@@ -1,0 +1,39 @@
+package redistgo
+
+import (
+	"redistgo/internal/adaptive"
+	"redistgo/internal/netsim"
+)
+
+// Dynamic-backbone scheduling (the paper's §6 future-work item 2): when
+// the backbone throughput varies or traffic arrives over time, re-plan
+// every few steps with a k derived from the current capacity instead of
+// committing to one schedule.
+
+// ProfileSegment is one piece of a piecewise-constant backbone
+// throughput profile.
+type ProfileSegment = netsim.ProfileSegment
+
+// Profile is a piecewise-constant backbone capacity over time; set it in
+// SimConfig.BackboneProfile to simulate a varying backbone.
+type Profile = netsim.Profile
+
+// Arrival is a traffic batch that becomes known only at a given time.
+type Arrival = adaptive.Arrival
+
+// AdaptiveConfig parameterizes the adaptive multi-round driver.
+type AdaptiveConfig = adaptive.Config
+
+// AdaptiveRound records one re-planning round of the driver.
+type AdaptiveRound = adaptive.Round
+
+// AdaptiveReport compares the adaptive run against the static baseline.
+type AdaptiveReport = adaptive.Report
+
+// RunAdaptive redistributes the traffic matrix over the simulator,
+// re-deriving k from the backbone's current capacity every
+// HorizonSteps steps, and reports both the adaptive time and the
+// static single-k baseline time on the same congested execution model.
+func RunAdaptive(matrix [][]int64, sim *Simulator, cfg AdaptiveConfig) (*AdaptiveReport, error) {
+	return adaptive.Run(matrix, sim, cfg)
+}

@@ -1,0 +1,36 @@
+package redistgo
+
+import (
+	"redistgo/internal/aggregate"
+)
+
+// Local pre-redistribution (the paper's §6 future-work item 1): when the
+// sending cluster has a fast local network, small messages can be
+// gathered onto gateways before crossing the backbone, and overloaded
+// senders can dispatch their load to idle peers.
+
+// AggregateConfig parameterizes plan construction and evaluation of
+// local pre-redistribution.
+type AggregateConfig = aggregate.Config
+
+// AggregatePlan is a two-phase redistribution: local moves inside the
+// sending cluster followed by the transformed backbone schedule.
+type AggregatePlan = aggregate.Plan
+
+// AggregateResult compares a two-phase plan against the direct schedule.
+type AggregateResult = aggregate.Result
+
+// BuildAggregationPlan gathers every receiver column whose messages all
+// weigh less than threshold onto a gateway sender, so the backbone
+// carries one message per such receiver. Best when β dominates many tiny
+// messages.
+func BuildAggregationPlan(m [][]int64, threshold int64) (*AggregatePlan, error) {
+	return aggregate.BuildAggregation(m, threshold)
+}
+
+// BuildDispatchPlan offloads whole messages from overloaded senders to
+// idle peers, lowering the sending-side W(G) toward P(G)/k. Best when
+// per-sender traffic is skewed.
+func BuildDispatchPlan(m [][]int64) (*AggregatePlan, error) {
+	return aggregate.BuildDispatch(m)
+}

@@ -1,0 +1,116 @@
+// Command redist-experiments regenerates the figures of the paper's
+// evaluation section (§5) and prints them as CSV or markdown tables.
+//
+//	redist-experiments -fig 7 -runs 2000            # ratio vs k, small weights
+//	redist-experiments -fig 8 -runs 2000            # ratio vs k, large weights
+//	redist-experiments -fig 9 -runs 2000            # ratio vs beta
+//	redist-experiments -fig 10 -runs 5              # testbed, k=3
+//	redist-experiments -fig 11 -runs 5 -format md   # testbed, k=7
+//
+// The paper used 100000 Monte-Carlo runs per point for Figures 7–9; the
+// default here is smaller so a full regeneration takes seconds, and the
+// -runs flag restores any sample size.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"redistgo"
+	"redistgo/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "redist-experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("redist-experiments", flag.ContinueOnError)
+	fig := fs.String("fig", "7", "figure to regenerate: 7, 8, 9, 10, 11, or the extension sweeps agg, adapt")
+	runs := fs.Int("runs", 0, "Monte-Carlo runs per point (0 = figure-specific default)")
+	seed := fs.Int64("seed", 1, "random seed")
+	format := fs.String("format", "csv", "output format: csv or md")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *format != "csv" && *format != "md" {
+		return fmt.Errorf("unknown format %q (want csv or md)", *format)
+	}
+	md := *format == "md"
+
+	switch *fig {
+	case "7", "8":
+		n := defaultRuns(*runs, 2000)
+		var cfg redistgo.RatioConfig
+		if *fig == "7" {
+			cfg = redistgo.Figure7Config(n, *seed)
+		} else {
+			cfg = redistgo.Figure8Config(n, *seed)
+		}
+		points, err := redistgo.RatioVsK(cfg)
+		if err != nil {
+			return err
+		}
+		if md {
+			return experiments.WriteRatioMarkdown(stdout, "k", points)
+		}
+		return experiments.WriteRatioCSV(stdout, "k", points)
+	case "9":
+		n := defaultRuns(*runs, 2000)
+		points, err := redistgo.RatioVsBeta(redistgo.Figure9Config(n, *seed))
+		if err != nil {
+			return err
+		}
+		if md {
+			return experiments.WriteRatioMarkdown(stdout, "beta", points)
+		}
+		return experiments.WriteRatioCSV(stdout, "beta", points)
+	case "10", "11":
+		n := defaultRuns(*runs, 5)
+		k := 3
+		if *fig == "11" {
+			k = 7
+		}
+		points, err := redistgo.NetworkExperiment(redistgo.FigureNetworkConfig(k, n, *seed))
+		if err != nil {
+			return err
+		}
+		if md {
+			return experiments.WriteNetworkMarkdown(stdout, points)
+		}
+		return experiments.WriteNetworkCSV(stdout, points)
+	case "agg":
+		n := defaultRuns(*runs, 50)
+		points, err := experiments.AggregationSweep(experiments.DefaultAggregationConfig(n, *seed))
+		if err != nil {
+			return err
+		}
+		if md {
+			return experiments.WriteAggregationMarkdown(stdout, points)
+		}
+		return experiments.WriteAggregationCSV(stdout, points)
+	case "adapt":
+		n := defaultRuns(*runs, 5)
+		points, err := experiments.AdaptiveSweep(experiments.DefaultAdaptiveSweepConfig(n, *seed))
+		if err != nil {
+			return err
+		}
+		if md {
+			return experiments.WriteAdaptiveMarkdown(stdout, points)
+		}
+		return experiments.WriteAdaptiveCSV(stdout, points)
+	}
+	return fmt.Errorf("unknown figure %q (want 7, 8, 9, 10, 11, agg or adapt)", *fig)
+}
+
+func defaultRuns(requested, def int) int {
+	if requested > 0 {
+		return requested
+	}
+	return def
+}

@@ -1,0 +1,58 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func runCLI(t *testing.T, args ...string) (string, error) {
+	t.Helper()
+	var out bytes.Buffer
+	err := run(args, &out)
+	return out.String(), err
+}
+
+func TestSimEngineSmall(t *testing.T) {
+	out, err := runCLI(t, "-k", "3", "-nodes", "4", "-min-mb", "1", "-max-mb", "4", "-seed", "3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"pattern:", "brute-force TCP", "GGP:", "OGGP:", "faster"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in output:\n%s", want, out)
+		}
+	}
+}
+
+func TestTCPEngineSmall(t *testing.T) {
+	// Real sockets with tiny messages: 3x3 × ~60 KB at unshaped default
+	// backbone speed finishes quickly.
+	out, err := runCLI(t,
+		"-engine", "tcp", "-k", "2", "-nodes", "3",
+		"-min-mb", "0.02", "-max-mb", "0.05",
+		"-backbone-mbit", "400", "-beta-ms", "1",
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "brute-force TCP") || !strings.Contains(out, "steps") {
+		t.Fatalf("unexpected output:\n%s", out)
+	}
+}
+
+func TestBadArguments(t *testing.T) {
+	cases := [][]string{
+		{"-engine", "carrier-pigeon"},
+		{"-min-mb", "0"},
+		{"-min-mb", "10", "-max-mb", "5"},
+		{"-k", "0"},
+		{"-nodes", "0"},
+		{"-bogus-flag"},
+	}
+	for _, args := range cases {
+		if _, err := runCLI(t, args...); err == nil {
+			t.Fatalf("args %v accepted", args)
+		}
+	}
+}

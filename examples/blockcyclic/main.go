@@ -1,0 +1,58 @@
+// Local block-cyclic redistribution: the paper's §2.4 case where the
+// redistribution happens inside one parallel machine, the backbone is not
+// a bottleneck and k = min(n1, n2). The pattern is the classic
+// cyclic(r) -> cyclic(s) remapping of an array between two virtual
+// processor grids (the block-cyclic literature the paper cites: [3], [9]).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"redistgo"
+)
+
+func main() {
+	const (
+		elements  = 4 << 20 // 4M array elements
+		elemBytes = 8       // float64
+	)
+	from := redistgo.BlockCyclicSpec{Procs: 8, Block: 64}
+	to := redistgo.BlockCyclicSpec{Procs: 12, Block: 96}
+
+	matrix, err := redistgo.BlockCyclicMatrix(elements, elemBytes, from, to)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("cyclic(%d) on %d procs -> cyclic(%d) on %d procs, %d MB total\n",
+		from.Block, from.Procs, to.Block, to.Procs,
+		redistgo.MatrixTotal(matrix)>>20)
+
+	g, err := redistgo.FromMatrix(matrix)
+	if err != nil {
+		log.Fatal(err)
+	}
+	k := from.Procs // min(n1, n2): every sender can be busy at once
+	if to.Procs < k {
+		k = to.Procs
+	}
+
+	// β: a fast local interconnect barrier is worth ~64 KB of transfer.
+	const beta = 64 << 10
+	for _, alg := range []redistgo.Algorithm{redistgo.OGGP, redistgo.MinSteps, redistgo.Greedy} {
+		sched, err := redistgo.Solve(g, k, beta, redistgo.Options{Algorithm: alg})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := sched.Validate(g, k); err != nil {
+			log.Fatal(err)
+		}
+		lb := redistgo.LowerBound(g, k, beta)
+		fmt.Printf("%-9v: %2d steps, duration %8.2f MB-equivalents, cost/LB %.4f\n",
+			alg, sched.NumSteps(), float64(sched.TotalDuration())/(1<<20),
+			float64(sched.Cost())/float64(lb))
+	}
+
+	fmt.Println("\nOGGP schedule consumes the pattern with full-bandwidth steps;")
+	fmt.Println("MinSteps trades longer steps for the provably minimal step count.")
+}

@@ -1,0 +1,78 @@
+// Code coupling: the paper's motivating scenario (§1, §2.1). Two codes
+// run on two clusters — here the paper's own worked example platform:
+// 200 nodes with 10 Mbit/s cards feeding 100 nodes with 100 Mbit/s cards
+// through a 1 Gbit/s backbone, so k = 100 and each communication runs at
+// 10 Mbit/s. At every coupling iteration a sparse redistribution pattern
+// must cross the backbone; we schedule it with GGP and OGGP and compare
+// against brute-force TCP on the fluid simulator.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"redistgo"
+)
+
+func main() {
+	platform := redistgo.Platform{
+		N1: 200, N2: 100,
+		T1: 10 * redistgo.Mbit, T2: 100 * redistgo.Mbit,
+		Backbone: 1 * redistgo.Gbit,
+	}
+	k := platform.K()
+	fmt.Printf("platform: %d+%d nodes, backbone %.0f Mbit/s -> k=%d, per-transfer %.0f Mbit/s\n",
+		platform.N1, platform.N2, platform.Backbone/redistgo.Mbit, k,
+		platform.Speed()/redistgo.Mbit)
+
+	// A coupling boundary exchange: each sender ships three 2 MB slabs to
+	// receivers chosen round-robin, as a regular mesh-partitioned
+	// coupling does (equal-size slabs, every receiver gets six). Balance
+	// is what makes 1-port scheduling shine on this asymmetric platform;
+	// a pattern funneling most bytes into a few receivers would instead
+	// favor letting those receivers' fat 100 Mbit cards multiplex many
+	// slow senders at once — see DESIGN.md on the scope of the model.
+	g := redistgo.NewGraph(platform.N1, platform.N2)
+	for s := 0; s < platform.N1; s++ {
+		for i := 0; i < 3; i++ {
+			r := (s + i*67) % platform.N2
+			g.AddEdge(s, r, int64(2*redistgo.MB))
+		}
+	}
+	totalMB := float64(g.TotalWeight()) / redistgo.MB
+	fmt.Printf("pattern: %d messages, %.0f MB total\n\n", g.EdgeCount(), totalMB)
+
+	// β: a barrier across 300 nodes, ~5 ms, expressed in bytes-equivalent
+	// (the schedule weighs edges in bytes).
+	const betaSec = 0.005
+	betaUnits := int64(betaSec * platform.Speed() / 8)
+
+	ideal, err := redistgo.NewSimulator(redistgo.SimConfig{Platform: platform})
+	if err != nil {
+		log.Fatal(err)
+	}
+	tcp, err := redistgo.NewSimulator(redistgo.DefaultSimConfig(platform, 1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	brute, err := tcp.BruteForce(redistgo.MatrixFlows(g.ToMatrix()))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("brute-force TCP : %6.2f s\n", brute.Time)
+
+	for _, alg := range []redistgo.Algorithm{redistgo.GGP, redistgo.OGGP} {
+		sched, err := redistgo.Solve(g, k, betaUnits, redistgo.Options{Algorithm: alg})
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := ideal.RunSteps(redistgo.FlowSteps(sched), betaSec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-16v: %6.2f s  (%d steps, %.1f%% faster, ratio to LB %.4f)\n",
+			alg, res.Time, res.Steps,
+			100*(brute.Time-res.Time)/brute.Time,
+			float64(sched.Cost())/float64(redistgo.LowerBound(g, k, betaUnits)))
+	}
+}

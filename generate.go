@@ -1,0 +1,93 @@
+package redistgo
+
+import (
+	"math/rand"
+
+	"redistgo/internal/trafficgen"
+)
+
+// RandomGraph generates a bipartite communication graph with the exact
+// numbers of nodes and edges given, weights uniform in [minW, maxW], over
+// distinct node pairs. Deterministic in the rng state.
+func RandomGraph(rng *rand.Rand, nLeft, nRight, edges int, minW, maxW int64) *Graph {
+	return trafficgen.RandomBipartite(rng, nLeft, nRight, edges, minW, maxW)
+}
+
+// PaperRandomGraph draws an instance the way the paper's simulations do
+// (§5.1): node counts uniform in [1, maxNodes], edge count uniform in
+// [1, maxEdges], weights uniform in [minW, maxW].
+func PaperRandomGraph(rng *rand.Rand, maxNodes, maxEdges int, minW, maxW int64) *Graph {
+	return trafficgen.PaperRandom(rng, maxNodes, maxEdges, minW, maxW)
+}
+
+// DenseUniformMatrix generates the all-pairs traffic matrix of the
+// paper's real-world experiment (§5.2): every entry uniform in
+// [minW, maxW].
+func DenseUniformMatrix(rng *rand.Rand, nLeft, nRight int, minW, maxW int64) [][]int64 {
+	return trafficgen.DenseUniform(rng, nLeft, nRight, minW, maxW)
+}
+
+// SparseUniformMatrix generates a matrix where each pair communicates
+// with the given probability.
+func SparseUniformMatrix(rng *rand.Rand, nLeft, nRight int, density float64, minW, maxW int64) [][]int64 {
+	return trafficgen.SparseUniform(rng, nLeft, nRight, density, minW, maxW)
+}
+
+// SkewedMatrix generates a hotspot traffic pattern: the first ⌈hotFrac⌉
+// share of senders and receivers exchange hotFactor× more data.
+func SkewedMatrix(rng *rand.Rand, nLeft, nRight int, hotFrac float64, hotFactor, minW, maxW int64) [][]int64 {
+	return trafficgen.Skewed(rng, nLeft, nRight, hotFrac, hotFactor, minW, maxW)
+}
+
+// BlockCyclicSpec describes a one-dimensional block-cyclic distribution:
+// blocks of Block elements dealt round-robin over Procs processors.
+type BlockCyclicSpec = trafficgen.BlockCyclicSpec
+
+// BlockCyclicMatrix computes the exact traffic matrix for redistributing
+// n elements of elemBytes bytes from one block-cyclic layout to another —
+// the paper's §2.4 local-redistribution case.
+func BlockCyclicMatrix(n, elemBytes int64, from, to BlockCyclicSpec) ([][]int64, error) {
+	return trafficgen.BlockCyclic(n, elemBytes, from, to)
+}
+
+// Grid2DSpec describes a two-dimensional (ScaLAPACK-style) block-cyclic
+// distribution of a matrix over a processor grid.
+type Grid2DSpec = trafficgen.Grid2DSpec
+
+// BlockCyclic2DMatrix computes the exact traffic matrix for
+// redistributing a rows × cols element matrix between two 2D
+// block-cyclic layouts (flat row-major processor indices).
+func BlockCyclic2DMatrix(rows, cols, elemBytes int64, from, to Grid2DSpec) ([][]int64, error) {
+	return trafficgen.BlockCyclic2D(rows, cols, elemBytes, from, to)
+}
+
+// PermutationMatrix builds the pattern where sender i talks only to
+// receiver perm[i] — the scheduler's best case (one step when k ≥ n).
+func PermutationMatrix(perm []int, bytes int64) ([][]int64, error) {
+	return trafficgen.Permutation(perm, bytes)
+}
+
+// ShiftMatrix builds the cyclic-shift pattern i → (i+offset) mod n.
+func ShiftMatrix(n, offset int, bytes int64) ([][]int64, error) {
+	return trafficgen.Shift(n, offset, bytes)
+}
+
+// TransposeMatrix builds the matrix-transpose exchange on a √n×√n
+// processor grid.
+func TransposeMatrix(n int, bytes int64) ([][]int64, error) {
+	return trafficgen.Transpose(n, bytes)
+}
+
+// BitReversalMatrix builds the FFT bit-reversal exchange on a
+// power-of-two processor count.
+func BitReversalMatrix(n int, bytes int64) ([][]int64, error) {
+	return trafficgen.BitReversal(n, bytes)
+}
+
+// AllToAllMatrix builds the personalized all-to-all exchange.
+func AllToAllMatrix(n int, bytes int64, selfTraffic bool) ([][]int64, error) {
+	return trafficgen.AllToAll(n, bytes, selfTraffic)
+}
+
+// MatrixTotal returns the sum of all matrix entries.
+func MatrixTotal(m [][]int64) int64 { return trafficgen.MatrixTotal(m) }

@@ -1,0 +1,3 @@
+module redistgo
+
+go 1.22

@@ -1,0 +1,287 @@
+// Package adaptive implements the paper's second future-work item (§6):
+// scheduling when the backbone throughput varies dynamically and when
+// the redistribution pattern is not fully known in advance.
+//
+// The driver exploits exactly what the paper suggests — "our multi-step
+// approach could be useful for these dynamic cases": instead of
+// committing to one schedule computed with the initial k, it re-plans
+// every few steps. Each round it
+//
+//  1. probes the current backbone throughput (here: reads the simulator's
+//     profile; on a real platform this would be a bandwidth estimate),
+//  2. derives the round's k from that throughput (paper §2.1),
+//  3. schedules the *residual* traffic (plus any newly arrived messages)
+//     with GGP/OGGP,
+//  4. executes only the first HorizonSteps steps, then loops.
+//
+// The static baseline schedules everything once with the initial k and
+// executes it unchanged. When the backbone degrades, the static
+// schedule's steps oversubscribe it and pay the congestion penalty; the
+// adaptive driver shrinks k instead.
+package adaptive
+
+import (
+	"fmt"
+
+	"redistgo/internal/bipartite"
+	"redistgo/internal/kpbs"
+	"redistgo/internal/netsim"
+)
+
+// Arrival is a batch of traffic that becomes known only at a given time
+// (the online, partially-known-pattern case).
+type Arrival struct {
+	At     float64 // seconds
+	Matrix [][]int64
+}
+
+// Config parameterizes the adaptive driver.
+type Config struct {
+	// NIC throughputs of the two clusters, bits/s.
+	NIC1, NIC2 float64
+	// BetaSec is the per-step barrier cost in seconds.
+	BetaSec float64
+	// HorizonSteps is how many steps execute between re-plannings (≥ 1).
+	HorizonSteps int
+	// Algorithm is the scheduling algorithm per round; the zero value is
+	// GGP, use kpbs.OGGP for fewer steps per round.
+	Algorithm kpbs.Algorithm
+	// Arrivals optionally lists traffic that appears mid-run.
+	Arrivals []Arrival
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.NIC1 <= 0 || c.NIC2 <= 0 {
+		return fmt.Errorf("adaptive: NIC throughputs must be positive")
+	}
+	if c.BetaSec < 0 {
+		return fmt.Errorf("adaptive: negative beta")
+	}
+	if c.HorizonSteps < 1 {
+		return fmt.Errorf("adaptive: horizon must be at least 1 step, got %d", c.HorizonSteps)
+	}
+	for i, a := range c.Arrivals {
+		if a.At < 0 {
+			return fmt.Errorf("adaptive: arrival %d at negative time %g", i, a.At)
+		}
+	}
+	return nil
+}
+
+// Round records one re-planning round.
+type Round struct {
+	Start    float64 // seconds
+	Backbone float64 // probed capacity, bits/s
+	K        int     // k derived for this round
+	Steps    int     // steps executed
+	Duration float64 // seconds spent (barriers included)
+}
+
+// Report is the outcome of an adaptive run and its static baseline.
+type Report struct {
+	Rounds       []Round
+	AdaptiveTime float64
+	StaticTime   float64
+	StaticSteps  int
+}
+
+// Improvement returns the relative gain of adaptive over static.
+func (r Report) Improvement() float64 {
+	if r.StaticTime <= 0 {
+		return 0
+	}
+	return (r.StaticTime - r.AdaptiveTime) / r.StaticTime
+}
+
+// deriveK computes the round's k from a probed backbone capacity
+// (paper §2.1): the communication speed is min(NIC1, NIC2, T) and
+// k = min(⌊T/speed⌋, n1, n2), at least 1.
+func deriveK(backbone float64, cfg Config, n1, n2 int) int {
+	speed := cfg.NIC1
+	if cfg.NIC2 < speed {
+		speed = cfg.NIC2
+	}
+	if backbone < speed {
+		speed = backbone
+	}
+	k := int(backbone / speed)
+	if k > n1 {
+		k = n1
+	}
+	if k > n2 {
+		k = n2
+	}
+	if k < 1 {
+		k = 1
+	}
+	return k
+}
+
+// Run redistributes matrix over the given simulator (whose backbone may
+// follow a profile), comparing the adaptive multi-round driver against
+// the static single-schedule baseline. Both run on the same congested
+// execution model (netsim.RunStepsFrom).
+func Run(matrix [][]int64, sim *netsim.Simulator, cfg Config) (*Report, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	n1 := len(matrix)
+	if n1 == 0 {
+		return nil, fmt.Errorf("adaptive: empty matrix")
+	}
+	n2 := len(matrix[0])
+	profile := sim.Profile()
+	nominal := sim.Platform().Backbone
+
+	report := &Report{}
+
+	// --- Static baseline: everything is scheduled with the k derived
+	// from the initial backbone capacity. Traffic known at time zero is
+	// scheduled once; each arrival batch is scheduled on arrival — still
+	// with the stale initial k, which is precisely what a non-adaptive
+	// implementation would do.
+	initialBackbone := profile.CapacityAt(0, nominal)
+	k0 := deriveK(initialBackbone, cfg, n1, n2)
+	cursor := 0.0
+	pending := append([]Arrival{{At: 0, Matrix: matrix}}, cfg.Arrivals...)
+	for _, batch := range pending {
+		if batch.At > cursor {
+			cursor = batch.At
+		}
+		sched, err := scheduleResidual(batch.Matrix, k0, cfg)
+		if err != nil {
+			return nil, err
+		}
+		res, err := sim.RunStepsFrom(flowSteps(sched), cfg.BetaSec, cursor)
+		if err != nil {
+			return nil, err
+		}
+		cursor += res.Time
+		report.StaticSteps += res.Steps
+	}
+	report.StaticTime = cursor
+
+	// --- Adaptive multi-round driver.
+	residual := copyMatrix(matrix)
+	arrivalsLeft := append([]Arrival(nil), cfg.Arrivals...)
+	now := 0.0
+	guard := 0
+	for {
+		guard++
+		if guard > 10000 {
+			return nil, fmt.Errorf("adaptive: driver did not terminate")
+		}
+		// Absorb arrivals that are now known.
+		rest := arrivalsLeft[:0]
+		for _, a := range arrivalsLeft {
+			if a.At <= now {
+				addMatrix(residual, a.Matrix)
+			} else {
+				rest = append(rest, a)
+			}
+		}
+		arrivalsLeft = rest
+
+		if total(residual) == 0 {
+			if len(arrivalsLeft) == 0 {
+				break
+			}
+			// Idle until the next arrival.
+			next := arrivalsLeft[0].At
+			for _, a := range arrivalsLeft[1:] {
+				if a.At < next {
+					next = a.At
+				}
+			}
+			if next > now {
+				now = next
+			}
+			continue
+		}
+
+		backbone := profile.CapacityAt(now, nominal)
+		k := deriveK(backbone, cfg, n1, n2)
+		sched, err := scheduleResidual(residual, k, cfg)
+		if err != nil {
+			return nil, err
+		}
+		horizon := sched.Steps
+		if len(horizon) > cfg.HorizonSteps {
+			horizon = horizon[:cfg.HorizonSteps]
+		}
+		res, err := sim.RunStepsFrom(flowStepsOf(horizon), cfg.BetaSec, now)
+		if err != nil {
+			return nil, err
+		}
+		for _, st := range horizon {
+			for _, c := range st.Comms {
+				residual[c.L][c.R] -= c.Amount
+				if residual[c.L][c.R] < 0 {
+					return nil, fmt.Errorf("adaptive: over-transferred pair (%d,%d)", c.L, c.R)
+				}
+			}
+		}
+		report.Rounds = append(report.Rounds, Round{
+			Start: now, Backbone: backbone, K: k,
+			Steps: res.Steps, Duration: res.Time,
+		})
+		now += res.Time
+	}
+	report.AdaptiveTime = now
+	return report, nil
+}
+
+func scheduleResidual(m [][]int64, k int, cfg Config) (*kpbs.Schedule, error) {
+	g, err := bipartite.FromMatrix(m)
+	if err != nil {
+		return nil, err
+	}
+	// β in bytes-equivalents at the per-communication speed.
+	speed := cfg.NIC1
+	if cfg.NIC2 < speed {
+		speed = cfg.NIC2
+	}
+	betaUnits := int64(cfg.BetaSec * speed / 8)
+	return kpbs.Solve(g, k, betaUnits, kpbs.Options{Algorithm: cfg.Algorithm})
+}
+
+func flowSteps(s *kpbs.Schedule) [][]netsim.Flow { return flowStepsOf(s.Steps) }
+
+func flowStepsOf(steps []kpbs.Step) [][]netsim.Flow {
+	out := make([][]netsim.Flow, 0, len(steps))
+	for _, st := range steps {
+		flows := make([]netsim.Flow, 0, len(st.Comms))
+		for _, c := range st.Comms {
+			flows = append(flows, netsim.Flow{Src: c.L, Dst: c.R, Bytes: float64(c.Amount)})
+		}
+		out = append(out, flows)
+	}
+	return out
+}
+
+func copyMatrix(m [][]int64) [][]int64 {
+	out := make([][]int64, len(m))
+	for i, row := range m {
+		out[i] = append([]int64(nil), row...)
+	}
+	return out
+}
+
+func addMatrix(dst, src [][]int64) {
+	for i := range src {
+		for j := range src[i] {
+			dst[i][j] += src[i][j]
+		}
+	}
+}
+
+func total(m [][]int64) int64 {
+	var t int64
+	for _, row := range m {
+		for _, v := range row {
+			t += v
+		}
+	}
+	return t
+}

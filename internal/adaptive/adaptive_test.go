@@ -1,0 +1,203 @@
+package adaptive
+
+import (
+	"math/rand"
+	"testing"
+
+	"redistgo/internal/kpbs"
+	"redistgo/internal/netsim"
+	"redistgo/internal/trafficgen"
+)
+
+// testbed builds a k0=4 platform whose backbone halves at halfTime.
+func testbed(t *testing.T, halfTime float64) *netsim.Simulator {
+	t.Helper()
+	p := netsim.Platform{
+		N1: 8, N2: 8,
+		T1: 25 * netsim.Mbit, T2: 25 * netsim.Mbit,
+		Backbone: 100 * netsim.Mbit,
+	}
+	sim, err := netsim.New(netsim.Config{
+		Platform:        p,
+		CongestionAlpha: 0.5, // only oversubscribed steps pay
+		BackboneProfile: netsim.Profile{
+			{Duration: halfTime, Backbone: 100 * netsim.Mbit},
+			{Duration: 1e6, Backbone: 50 * netsim.Mbit},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sim
+}
+
+func defaultCfg() Config {
+	return Config{
+		NIC1: 25 * netsim.Mbit, NIC2: 25 * netsim.Mbit,
+		BetaSec:      0.002,
+		HorizonSteps: 4,
+		Algorithm:    kpbs.OGGP,
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	bad := []Config{
+		{},
+		{NIC1: 1, NIC2: 0, HorizonSteps: 1},
+		{NIC1: 1, NIC2: 1, HorizonSteps: 0},
+		{NIC1: 1, NIC2: 1, HorizonSteps: 1, BetaSec: -1},
+		{NIC1: 1, NIC2: 1, HorizonSteps: 1, Arrivals: []Arrival{{At: -1}}},
+	}
+	for i, cfg := range bad {
+		if cfg.Validate() == nil {
+			t.Fatalf("case %d: invalid config accepted", i)
+		}
+	}
+	if err := defaultCfg().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeriveK(t *testing.T) {
+	cfg := Config{NIC1: 25 * netsim.Mbit, NIC2: 100 * netsim.Mbit}
+	if k := deriveK(100*netsim.Mbit, cfg, 8, 8); k != 4 {
+		t.Fatalf("k = %d, want 4", k)
+	}
+	if k := deriveK(50*netsim.Mbit, cfg, 8, 8); k != 2 {
+		t.Fatalf("k = %d, want 2", k)
+	}
+	if k := deriveK(100*netsim.Mbit, cfg, 3, 8); k != 3 {
+		t.Fatalf("node-limited k = %d, want 3", k)
+	}
+	if k := deriveK(1, cfg, 8, 8); k != 1 {
+		t.Fatalf("k = %d, want at least 1", k)
+	}
+}
+
+func TestAdaptiveBeatsStaticWhenBackboneDegrades(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	matrix := trafficgen.DenseUniform(rng, 8, 8, int64(2*netsim.MB), int64(6*netsim.MB))
+	// Backbone halves early: most of the transfer runs at half capacity.
+	sim := testbed(t, 5)
+	report, err := Run(matrix, sim, defaultCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.AdaptiveTime <= 0 || report.StaticTime <= 0 {
+		t.Fatalf("non-positive times: %+v", report)
+	}
+	if report.AdaptiveTime >= report.StaticTime {
+		t.Fatalf("adaptive %.2fs not faster than static %.2fs under degradation",
+			report.AdaptiveTime, report.StaticTime)
+	}
+	// The driver must actually have lowered k after the drop.
+	sawSmallK := false
+	for _, r := range report.Rounds {
+		if r.K == 2 {
+			sawSmallK = true
+		}
+		if r.K > 4 || r.K < 1 {
+			t.Fatalf("round k = %d out of range", r.K)
+		}
+	}
+	if !sawSmallK {
+		t.Fatalf("driver never adapted k: %+v", report.Rounds)
+	}
+	if report.Improvement() <= 0 {
+		t.Fatalf("improvement = %g", report.Improvement())
+	}
+}
+
+func TestAdaptiveMatchesStaticOnStableBackbone(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	matrix := trafficgen.DenseUniform(rng, 8, 8, int64(1*netsim.MB), int64(3*netsim.MB))
+	// No capacity change: re-planning must cost no more than a few
+	// barriers' worth relative to static.
+	sim := testbed(t, 1e6)
+	report, err := Run(matrix, sim, defaultCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.AdaptiveTime > report.StaticTime*1.05 {
+		t.Fatalf("adaptive %.2fs much slower than static %.2fs on stable backbone",
+			report.AdaptiveTime, report.StaticTime)
+	}
+}
+
+func TestAdaptiveHandlesArrivals(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	initial := trafficgen.DenseUniform(rng, 8, 8, int64(1*netsim.MB), int64(2*netsim.MB))
+	late := trafficgen.DenseUniform(rng, 8, 8, int64(1*netsim.MB), int64(2*netsim.MB))
+	cfg := defaultCfg()
+	cfg.Arrivals = []Arrival{{At: 3, Matrix: late}}
+	sim := testbed(t, 1e6)
+	report, err := Run(initial, sim, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var moved float64
+	for _, r := range report.Rounds {
+		moved += r.Duration
+	}
+	if report.AdaptiveTime <= 0 || len(report.Rounds) < 2 {
+		t.Fatalf("suspicious report: %+v", report)
+	}
+	// All traffic (initial + arrival) must have been transferred: total
+	// round durations bound below by bytes/backbone.
+	totalBytes := float64(trafficgen.MatrixTotal(initial) + trafficgen.MatrixTotal(late))
+	if minTime := totalBytes / (100 * netsim.Mbit / 8); moved < minTime*0.99 {
+		t.Fatalf("rounds too fast to have moved all traffic: %.2fs < %.2fs", moved, minTime)
+	}
+}
+
+func TestAdaptiveArrivalAfterIdleGap(t *testing.T) {
+	// Nothing to do until t=2: the driver must idle forward, then move
+	// the batch.
+	empty := make([][]int64, 4)
+	for i := range empty {
+		empty[i] = make([]int64, 4)
+	}
+	batch := [][]int64{
+		{int64(1 * netsim.MB), 0, 0, 0},
+		{0, int64(1 * netsim.MB), 0, 0},
+		{0, 0, int64(1 * netsim.MB), 0},
+		{0, 0, 0, int64(1 * netsim.MB)},
+	}
+	p := netsim.Platform{N1: 4, N2: 4, T1: 25 * netsim.Mbit, T2: 25 * netsim.Mbit, Backbone: 100 * netsim.Mbit}
+	sim, err := netsim.New(netsim.Config{Platform: p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := defaultCfg()
+	cfg.Arrivals = []Arrival{{At: 2, Matrix: batch}}
+	report, err := Run(empty, sim, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.AdaptiveTime < 2 {
+		t.Fatalf("finished at %.2fs before the batch even arrived", report.AdaptiveTime)
+	}
+}
+
+func TestRunRejectsBadInput(t *testing.T) {
+	sim := testbed(t, 10)
+	if _, err := Run(nil, sim, defaultCfg()); err == nil {
+		t.Fatal("empty matrix accepted")
+	}
+	if _, err := Run([][]int64{{1}}, sim, Config{}); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+	if _, err := Run([][]int64{{-1}}, sim, defaultCfg()); err == nil {
+		t.Fatal("negative traffic accepted")
+	}
+}
+
+func TestReportImprovementEdgeCases(t *testing.T) {
+	if (Report{}).Improvement() != 0 {
+		t.Fatal("zero static time should yield zero improvement")
+	}
+	r := Report{AdaptiveTime: 50, StaticTime: 100}
+	if r.Improvement() != 0.5 {
+		t.Fatalf("improvement = %g, want 0.5", r.Improvement())
+	}
+}

@@ -1,0 +1,197 @@
+// Package aggregate implements the paper's first future-work item (§6):
+// local pre-redistribution inside the sending cluster before the data
+// crosses the backbone, when a fast local network is available.
+//
+// Two transformations are provided:
+//
+//   - Aggregation: many small messages bound for the same receiver are
+//     first gathered onto a gateway node of the sending cluster, so the
+//     backbone schedule carries one message per receiver instead of many
+//     — fewer steps, fewer β payments. Worthwhile when β is large
+//     relative to the message sizes.
+//   - Dispatch: an overloaded sender offloads whole messages to
+//     underloaded peers, lowering the sending-side maximum node weight
+//     W(G) toward P(G)/k — shorter backbone transmission time under the
+//     1-port constraint. Worthwhile when per-sender traffic is skewed.
+//
+// Both produce a Plan: a local n1×n1 move matrix (itself a K-PBS
+// instance with an unconstrained backbone, paper §2.4) plus the
+// transformed backbone matrix. Plan.Evaluate schedules both phases with
+// the core algorithms and compares against scheduling the original
+// matrix directly, expressing everything in backbone time units (the
+// local network is faster by Config.LocalSpeedup).
+package aggregate
+
+import (
+	"fmt"
+
+	"redistgo/internal/bipartite"
+	"redistgo/internal/kpbs"
+)
+
+// Config parameterizes plan construction and evaluation.
+type Config struct {
+	// K and Beta are the backbone scheduling parameters (paper §2.2).
+	K    int
+	Beta int64
+
+	// LocalSpeedup is how many times faster the local network moves a
+	// byte than a backbone communication does (t_local / t). Must be
+	// positive; typical clusters have 4–100.
+	LocalSpeedup float64
+
+	// LocalBeta is the setup delay of local communication steps, in
+	// local time units before speedup conversion (usually much smaller
+	// than Beta; local barriers are cheap).
+	LocalBeta int64
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.K <= 0 {
+		return fmt.Errorf("aggregate: k must be positive, got %d", c.K)
+	}
+	if c.Beta < 0 || c.LocalBeta < 0 {
+		return fmt.Errorf("aggregate: setup delays must be non-negative")
+	}
+	if c.LocalSpeedup <= 0 {
+		return fmt.Errorf("aggregate: local speedup must be positive, got %g", c.LocalSpeedup)
+	}
+	return nil
+}
+
+// Plan is a two-phase redistribution: first Local moves data inside the
+// sending cluster, then Backbone crosses the backbone.
+type Plan struct {
+	// Original is the input traffic matrix (n1 × n2).
+	Original [][]int64
+	// Local[i][i2] is the number of bytes sender i hands to sender i2
+	// during the local phase (n1 × n1, zero diagonal).
+	Local [][]int64
+	// Backbone is the transformed traffic matrix (n1 × n2).
+	Backbone [][]int64
+}
+
+// validateConservation checks that the plan moves exactly the original
+// data: for every receiver the backbone column sums match, and every
+// sender's backbone row equals its original row plus received-locally
+// minus sent-locally bytes.
+func (p *Plan) validateConservation() error {
+	n1 := len(p.Original)
+	if len(p.Local) != n1 || len(p.Backbone) != n1 {
+		return fmt.Errorf("aggregate: plan shape mismatch")
+	}
+	for j := 0; j < rowLen(p.Original); j++ {
+		var orig, after int64
+		for i := 0; i < n1; i++ {
+			orig += p.Original[i][j]
+			after += p.Backbone[i][j]
+		}
+		if orig != after {
+			return fmt.Errorf("aggregate: receiver %d column sum changed: %d -> %d", j, orig, after)
+		}
+	}
+	for i := 0; i < n1; i++ {
+		var origRow, newRow, sent, recv int64
+		for j := range p.Original[i] {
+			origRow += p.Original[i][j]
+			newRow += p.Backbone[i][j]
+		}
+		for i2 := 0; i2 < n1; i2++ {
+			sent += p.Local[i][i2]
+			recv += p.Local[i2][i]
+		}
+		if newRow != origRow-sent+recv {
+			return fmt.Errorf("aggregate: sender %d books do not balance: row %d -> %d, sent %d, received %d",
+				i, origRow, newRow, sent, recv)
+		}
+	}
+	return nil
+}
+
+func rowLen(m [][]int64) int {
+	if len(m) == 0 {
+		return 0
+	}
+	return len(m[0])
+}
+
+// LocalBytes returns the total bytes moved in the local phase.
+func (p *Plan) LocalBytes() int64 {
+	var t int64
+	for _, row := range p.Local {
+		for _, v := range row {
+			t += v
+		}
+	}
+	return t
+}
+
+// Result compares the two-phase plan against scheduling the original
+// matrix directly. All costs are in backbone time units.
+type Result struct {
+	// DirectCost is the cost of scheduling Original with OGGP.
+	DirectCost int64
+	// LocalCost is the local phase cost converted to backbone units
+	// (divided by LocalSpeedup, rounded up).
+	LocalCost int64
+	// BackboneCost is the cost of scheduling the transformed matrix.
+	BackboneCost int64
+	// PlanCost = LocalCost + BackboneCost.
+	PlanCost int64
+	// DirectSteps and PlanSteps count backbone communication steps.
+	DirectSteps, PlanSteps int
+}
+
+// Improved reports whether the plan beats the direct schedule.
+func (r Result) Improved() bool { return r.PlanCost < r.DirectCost }
+
+// Evaluate schedules both phases with OGGP and the direct baseline, and
+// returns the comparison. The local phase is a same-cluster K-PBS
+// instance: k is unconstrained (min(n1, n1); the local network is not a
+// bottleneck, paper §2.4).
+func (p *Plan) Evaluate(cfg Config) (Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	if err := p.validateConservation(); err != nil {
+		return Result{}, err
+	}
+	var res Result
+
+	direct, err := scheduleMatrix(p.Original, cfg.K, cfg.Beta)
+	if err != nil {
+		return Result{}, err
+	}
+	res.DirectCost = direct.Cost()
+	res.DirectSteps = direct.NumSteps()
+
+	backbone, err := scheduleMatrix(p.Backbone, cfg.K, cfg.Beta)
+	if err != nil {
+		return Result{}, err
+	}
+	res.BackboneCost = backbone.Cost()
+	res.PlanSteps = backbone.NumSteps()
+
+	if p.LocalBytes() > 0 {
+		n1 := len(p.Local)
+		local, err := scheduleMatrix(p.Local, n1, cfg.LocalBeta)
+		if err != nil {
+			return Result{}, err
+		}
+		// Convert local time units to backbone units.
+		res.LocalCost = int64(float64(local.Cost())/cfg.LocalSpeedup + 0.999999)
+	}
+	res.PlanCost = res.LocalCost + res.BackboneCost
+	return res, nil
+}
+
+// scheduleMatrix runs OGGP on a traffic matrix, returning an empty
+// schedule for an all-zero matrix.
+func scheduleMatrix(m [][]int64, k int, beta int64) (*kpbs.Schedule, error) {
+	g, err := bipartite.FromMatrix(m)
+	if err != nil {
+		return nil, err
+	}
+	return kpbs.Solve(g, k, beta, kpbs.Options{Algorithm: kpbs.OGGP})
+}

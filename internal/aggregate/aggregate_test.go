@@ -1,0 +1,261 @@
+package aggregate
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"redistgo/internal/trafficgen"
+)
+
+func defaultCfg() Config {
+	return Config{K: 4, Beta: 50, LocalSpeedup: 10, LocalBeta: 1}
+}
+
+func TestConfigValidate(t *testing.T) {
+	bad := []Config{
+		{},
+		{K: 1, LocalSpeedup: 0},
+		{K: 1, LocalSpeedup: 1, Beta: -1},
+		{K: 1, LocalSpeedup: 1, LocalBeta: -1},
+		{K: 0, LocalSpeedup: 1},
+	}
+	for i, cfg := range bad {
+		if cfg.Validate() == nil {
+			t.Fatalf("case %d: invalid config accepted", i)
+		}
+	}
+	if err := defaultCfg().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAggregationGathersSmallColumns(t *testing.T) {
+	// Receiver 0: three small messages -> aggregated onto sender 1 (the
+	// largest contributor). Receiver 1: has a big message -> untouched.
+	m := [][]int64{
+		{2, 100},
+		{5, 0},
+		{3, 4},
+	}
+	plan, err := BuildAggregation(m, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Backbone[1][0] != 10 || plan.Backbone[0][0] != 0 || plan.Backbone[2][0] != 0 {
+		t.Fatalf("column 0 not gathered: %v", plan.Backbone)
+	}
+	if plan.Backbone[0][1] != 100 || plan.Backbone[2][1] != 4 {
+		t.Fatalf("column 1 modified: %v", plan.Backbone)
+	}
+	if plan.Local[0][1] != 2 || plan.Local[2][1] != 3 {
+		t.Fatalf("local moves wrong: %v", plan.Local)
+	}
+	if plan.LocalBytes() != 5 {
+		t.Fatalf("local bytes = %d, want 5", plan.LocalBytes())
+	}
+	if err := plan.validateConservation(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAggregationSkipsSingleSenderColumns(t *testing.T) {
+	m := [][]int64{
+		{7, 0},
+		{0, 3},
+	}
+	plan, err := BuildAggregation(m, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.LocalBytes() != 0 {
+		t.Fatal("single-sender columns should not be aggregated")
+	}
+}
+
+func TestAggregationRejectsBadInput(t *testing.T) {
+	if _, err := BuildAggregation(nil, 1); err == nil {
+		t.Fatal("empty matrix accepted")
+	}
+	if _, err := BuildAggregation([][]int64{{1}, {1, 2}}, 1); err == nil {
+		t.Fatal("ragged matrix accepted")
+	}
+	if _, err := BuildAggregation([][]int64{{-1}}, 1); err == nil {
+		t.Fatal("negative entry accepted")
+	}
+	if _, err := BuildAggregation([][]int64{{1}}, -1); err == nil {
+		t.Fatal("negative threshold accepted")
+	}
+}
+
+func TestAggregationImprovesManyTinyMessages(t *testing.T) {
+	// The motivating workload: β dominates dozens of tiny messages. The
+	// gateway plan must win clearly.
+	rng := rand.New(rand.NewSource(1))
+	m := trafficgen.SparseUniform(rng, 12, 12, 0.9, 1, 3)
+	plan, err := BuildAggregation(m, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{K: 4, Beta: 100, LocalSpeedup: 20, LocalBeta: 1}
+	res, err := plan.Evaluate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Improved() {
+		t.Fatalf("aggregation did not improve: %+v", res)
+	}
+	if res.PlanSteps >= res.DirectSteps {
+		t.Fatalf("aggregation did not reduce steps: %+v", res)
+	}
+}
+
+func TestAggregationUselessForBigMessages(t *testing.T) {
+	// Nothing below threshold: the plan equals the direct schedule.
+	rng := rand.New(rand.NewSource(2))
+	m := trafficgen.DenseUniform(rng, 6, 6, 1000, 2000)
+	plan, err := BuildAggregation(m, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.LocalBytes() != 0 {
+		t.Fatal("threshold should have prevented aggregation")
+	}
+	res, err := plan.Evaluate(defaultCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PlanCost != res.DirectCost {
+		t.Fatalf("no-op plan cost %d != direct %d", res.PlanCost, res.DirectCost)
+	}
+}
+
+func TestDispatchBalancesSkewedSenders(t *testing.T) {
+	// Sender 0 carries almost everything; dispatch must spread it.
+	m := [][]int64{
+		{50, 40, 30, 20},
+		{0, 0, 0, 0},
+		{0, 0, 0, 0},
+		{1, 0, 0, 0},
+	}
+	plan, err := BuildDispatch(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := plan.validateConservation(); err != nil {
+		t.Fatal(err)
+	}
+	var maxBefore, maxAfter int64
+	for i := range m {
+		var b, a int64
+		for j := range m[i] {
+			b += m[i][j]
+			a += plan.Backbone[i][j]
+		}
+		if b > maxBefore {
+			maxBefore = b
+		}
+		if a > maxAfter {
+			maxAfter = a
+		}
+	}
+	if maxAfter >= maxBefore {
+		t.Fatalf("dispatch did not reduce the heaviest sender: %d -> %d", maxBefore, maxAfter)
+	}
+}
+
+func TestDispatchImprovesSkewedInstance(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m := trafficgen.Skewed(rng, 8, 8, 0.13, 20, 1, 5)
+	plan, err := BuildDispatch(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{K: 8, Beta: 1, LocalSpeedup: 50, LocalBeta: 0}
+	res, err := plan.Evaluate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Improved() {
+		t.Fatalf("dispatch did not improve skewed instance: %+v", res)
+	}
+}
+
+func TestDispatchNoOpWhenBalanced(t *testing.T) {
+	m := [][]int64{
+		{10, 0},
+		{0, 10},
+	}
+	plan, err := BuildDispatch(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.LocalBytes() != 0 {
+		t.Fatal("balanced matrix should not dispatch")
+	}
+}
+
+func TestQuickPlansConserveTraffic(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n1 := 2 + rng.Intn(8)
+		n2 := 1 + rng.Intn(8)
+		m := trafficgen.SparseUniform(rng, n1, n2, 0.6, 1, 50)
+		agg, err := BuildAggregation(m, 1+rng.Int63n(60))
+		if err != nil {
+			return false
+		}
+		if err := agg.validateConservation(); err != nil {
+			t.Logf("seed %d aggregation: %v", seed, err)
+			return false
+		}
+		disp, err := BuildDispatch(m)
+		if err != nil {
+			return false
+		}
+		if err := disp.validateConservation(); err != nil {
+			t.Logf("seed %d dispatch: %v", seed, err)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickEvaluateNeverFails(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(6)
+		m := trafficgen.SparseUniform(rng, n, n, 0.7, 1, 30)
+		if trafficgen.MatrixTotal(m) == 0 {
+			m[0][0] = 1
+		}
+		plan, err := BuildAggregation(m, 15)
+		if err != nil {
+			return false
+		}
+		cfg := Config{K: 1 + rng.Intn(n), Beta: rng.Int63n(20), LocalSpeedup: 1 + rng.Float64()*20, LocalBeta: rng.Int63n(3)}
+		res, err := plan.Evaluate(cfg)
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		return res.DirectCost > 0 && res.PlanCost > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEvaluateRejectsCorruptPlan(t *testing.T) {
+	plan, err := BuildAggregation([][]int64{{3, 4}, {5, 6}}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan.Backbone[0][0] += 7 // break conservation
+	if _, err := plan.Evaluate(defaultCfg()); err == nil {
+		t.Fatal("corrupt plan accepted")
+	}
+}

@@ -1,0 +1,172 @@
+package aggregate
+
+import (
+	"fmt"
+)
+
+// copyMatrix deep-copies m.
+func copyMatrix(m [][]int64) [][]int64 {
+	out := make([][]int64, len(m))
+	for i, row := range m {
+		out[i] = append([]int64(nil), row...)
+	}
+	return out
+}
+
+func zeroSquare(n int) [][]int64 {
+	m := make([][]int64, n)
+	for i := range m {
+		m[i] = make([]int64, n)
+	}
+	return m
+}
+
+func validateMatrix(m [][]int64) error {
+	if len(m) == 0 {
+		return fmt.Errorf("aggregate: empty traffic matrix")
+	}
+	width := len(m[0])
+	for i, row := range m {
+		if len(row) != width {
+			return fmt.Errorf("aggregate: ragged traffic matrix at row %d", i)
+		}
+		for j, v := range row {
+			if v < 0 {
+				return fmt.Errorf("aggregate: negative entry %d at (%d,%d)", v, i, j)
+			}
+		}
+	}
+	return nil
+}
+
+// BuildAggregation plans gateway aggregation: for every receiver whose
+// incoming messages all weigh less than threshold, the column is gathered
+// onto its largest contributor (the gateway), so the backbone carries a
+// single message for that receiver. Columns with any entry ≥ threshold
+// are left untouched — aggregating a big message would only lengthen the
+// local phase without saving meaningful backbone steps.
+func BuildAggregation(m [][]int64, threshold int64) (*Plan, error) {
+	if err := validateMatrix(m); err != nil {
+		return nil, err
+	}
+	if threshold < 0 {
+		return nil, fmt.Errorf("aggregate: negative threshold %d", threshold)
+	}
+	n1 := len(m)
+	n2 := len(m[0])
+	plan := &Plan{
+		Original: copyMatrix(m),
+		Local:    zeroSquare(n1),
+		Backbone: copyMatrix(m),
+	}
+	for j := 0; j < n2; j++ {
+		gateway := -1
+		var gatewayLoad, colSum int64
+		senders := 0
+		aggregable := true
+		for i := 0; i < n1; i++ {
+			v := m[i][j]
+			if v == 0 {
+				continue
+			}
+			senders++
+			colSum += v
+			if v >= threshold {
+				aggregable = false
+			}
+			if v > gatewayLoad {
+				gatewayLoad = v
+				gateway = i
+			}
+		}
+		if !aggregable || senders < 2 {
+			continue
+		}
+		// Gather the column onto the gateway.
+		for i := 0; i < n1; i++ {
+			if i == gateway || m[i][j] == 0 {
+				continue
+			}
+			plan.Local[i][gateway] += m[i][j]
+			plan.Backbone[i][j] = 0
+		}
+		plan.Backbone[gateway][j] = colSum
+	}
+	return plan, nil
+}
+
+// BuildDispatch plans load dispatching: while some sender's outgoing
+// volume exceeds the balanced target max(⌈P/n1⌉, largest single message),
+// its smallest messages are reassigned (whole) to the currently
+// least-loaded sender. This lowers the sending-side W(G) toward P/k and
+// with it the backbone transmission lower bound. Receiver-side weights
+// are untouched (dispatching on the receiving cluster would be the
+// symmetric transformation).
+func BuildDispatch(m [][]int64) (*Plan, error) {
+	if err := validateMatrix(m); err != nil {
+		return nil, err
+	}
+	n1 := len(m)
+	plan := &Plan{
+		Original: copyMatrix(m),
+		Local:    zeroSquare(n1),
+		Backbone: copyMatrix(m),
+	}
+	load := make([]int64, n1)
+	var total, maxMsg int64
+	for i, row := range plan.Backbone {
+		for _, v := range row {
+			load[i] += v
+			total += v
+			if v > maxMsg {
+				maxMsg = v
+			}
+		}
+	}
+	target := (total + int64(n1) - 1) / int64(n1)
+	if maxMsg > target {
+		target = maxMsg
+	}
+
+	for iter := 0; iter < n1*len(plan.Backbone[0])+1; iter++ {
+		// Heaviest and lightest senders.
+		hi, lo := 0, 0
+		for i := 1; i < n1; i++ {
+			if load[i] > load[hi] {
+				hi = i
+			}
+			if load[i] < load[lo] {
+				lo = i
+			}
+		}
+		if load[hi] <= target || hi == lo {
+			break
+		}
+		// Smallest movable message of the heaviest sender that still
+		// fits under the target at the destination. If the destination
+		// already talks to that receiver the messages merge (amounts
+		// add; the data still has a single backbone sender).
+		bestJ := -1
+		var bestV int64
+		for j, v := range plan.Backbone[hi] {
+			if v == 0 {
+				continue
+			}
+			if load[lo]+v > target {
+				continue
+			}
+			if bestJ < 0 || v < bestV {
+				bestJ, bestV = j, v
+			}
+		}
+		if bestJ < 0 {
+			break // nothing movable
+		}
+		plan.Backbone[lo][bestJ] += bestV
+		plan.Backbone[hi][bestJ] = 0
+		plan.Local[hi][lo] += bestV
+		load[hi] -= bestV
+		load[lo] += bestV
+	}
+	return plan, nil
+}

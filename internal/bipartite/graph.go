@@ -1,0 +1,466 @@
+// Package bipartite implements the weighted bipartite multigraph substrate
+// used by the K-PBS schedulers.
+//
+// A Graph has nLeft left-side nodes (the sending cluster) and nRight
+// right-side nodes (the receiving cluster). Edges carry strictly positive
+// integer weights representing communication durations in abstract time
+// units (paper notation: f(e) = c_ij = m_ij / t). Parallel edges between
+// the same node pair are permitted; the scheduling layer treats them as
+// distinct messages.
+//
+// The package mirrors the paper's §2.3 notation:
+//
+//	m = |E|            Graph.EdgeCount
+//	n = |V1| + |V2|    Graph.NodeCount
+//	Δ(G)               Graph.MaxDegree
+//	P(G) = Σ f(e)      Graph.TotalWeight
+//	w(s)               Graph.LeftWeight / Graph.RightWeight
+//	W(G) = max w(s)    Graph.MaxNodeWeight
+package bipartite
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Side distinguishes the two node classes of a bipartite graph.
+type Side int
+
+const (
+	// Left is the sending cluster (paper: V1 / C1).
+	Left Side = iota
+	// Right is the receiving cluster (paper: V2 / C2).
+	Right
+)
+
+// String returns "left" or "right".
+func (s Side) String() string {
+	if s == Left {
+		return "left"
+	}
+	return "right"
+}
+
+// Edge is a weighted edge between left node L and right node R.
+type Edge struct {
+	L, R   int
+	Weight int64
+}
+
+// Graph is a weighted bipartite multigraph. The zero value is an empty
+// graph with no nodes; use New to size the vertex sets.
+type Graph struct {
+	nLeft, nRight int
+	edges         []Edge
+}
+
+// New returns an empty graph with nLeft left nodes and nRight right nodes.
+// Negative sizes are clamped to zero.
+func New(nLeft, nRight int) *Graph {
+	if nLeft < 0 {
+		nLeft = 0
+	}
+	if nRight < 0 {
+		nRight = 0
+	}
+	return &Graph{nLeft: nLeft, nRight: nRight}
+}
+
+// FromMatrix builds a graph from a traffic/communication matrix: entry
+// m[i][j] > 0 becomes an edge (i, j, m[i][j]). Rows may have differing
+// lengths; the number of right nodes is the longest row. Negative entries
+// are rejected.
+func FromMatrix(m [][]int64) (*Graph, error) {
+	nRight := 0
+	for _, row := range m {
+		if len(row) > nRight {
+			nRight = len(row)
+		}
+	}
+	g := New(len(m), nRight)
+	for i, row := range m {
+		for j, w := range row {
+			if w < 0 {
+				return nil, fmt.Errorf("bipartite: negative weight %d at (%d,%d)", w, i, j)
+			}
+			if w > 0 {
+				g.edges = append(g.edges, Edge{L: i, R: j, Weight: w})
+			}
+		}
+	}
+	return g, nil
+}
+
+// Clone returns a deep copy of g.
+func (g *Graph) Clone() *Graph {
+	c := &Graph{nLeft: g.nLeft, nRight: g.nRight}
+	c.edges = append([]Edge(nil), g.edges...)
+	return c
+}
+
+// AddEdge appends an edge of the given weight. It panics if the endpoints
+// are out of range or the weight is not positive; graph construction errors
+// are programming errors at this layer (FromMatrix validates user input).
+func (g *Graph) AddEdge(l, r int, weight int64) {
+	if l < 0 || l >= g.nLeft {
+		panic(fmt.Sprintf("bipartite: left node %d out of range [0,%d)", l, g.nLeft))
+	}
+	if r < 0 || r >= g.nRight {
+		panic(fmt.Sprintf("bipartite: right node %d out of range [0,%d)", r, g.nRight))
+	}
+	if weight <= 0 {
+		panic(fmt.Sprintf("bipartite: non-positive weight %d", weight))
+	}
+	g.edges = append(g.edges, Edge{L: l, R: r, Weight: weight})
+}
+
+// AddLeftNodes grows the left vertex set by n and returns the index of the
+// first new node.
+func (g *Graph) AddLeftNodes(n int) int {
+	first := g.nLeft
+	g.nLeft += n
+	return first
+}
+
+// AddRightNodes grows the right vertex set by n and returns the index of
+// the first new node.
+func (g *Graph) AddRightNodes(n int) int {
+	first := g.nRight
+	g.nRight += n
+	return first
+}
+
+// LeftCount returns |V1|.
+func (g *Graph) LeftCount() int { return g.nLeft }
+
+// RightCount returns |V2|.
+func (g *Graph) RightCount() int { return g.nRight }
+
+// NodeCount returns n = |V1| + |V2|.
+func (g *Graph) NodeCount() int { return g.nLeft + g.nRight }
+
+// EdgeCount returns m = |E|.
+func (g *Graph) EdgeCount() int { return len(g.edges) }
+
+// Edge returns the i-th edge.
+func (g *Graph) Edge(i int) Edge { return g.edges[i] }
+
+// Edges returns a copy of the edge list.
+func (g *Graph) Edges() []Edge { return append([]Edge(nil), g.edges...) }
+
+// SetWeight overwrites the weight of edge i. The new weight must be
+// positive; use RemoveZeroEdges after driving weights to zero via
+// AddToWeight instead of setting zero weights directly.
+func (g *Graph) SetWeight(i int, w int64) {
+	if w <= 0 {
+		panic(fmt.Sprintf("bipartite: non-positive weight %d", w))
+	}
+	g.edges[i].Weight = w
+}
+
+// TotalWeight returns P(G) = Σ_e f(e).
+func (g *Graph) TotalWeight() int64 {
+	var p int64
+	for _, e := range g.edges {
+		p += e.Weight
+	}
+	return p
+}
+
+// LeftWeights returns w(s) for every left node.
+func (g *Graph) LeftWeights() []int64 {
+	w := make([]int64, g.nLeft)
+	for _, e := range g.edges {
+		w[e.L] += e.Weight
+	}
+	return w
+}
+
+// RightWeights returns w(s) for every right node.
+func (g *Graph) RightWeights() []int64 {
+	w := make([]int64, g.nRight)
+	for _, e := range g.edges {
+		w[e.R] += e.Weight
+	}
+	return w
+}
+
+// LeftWeight returns w(s) of left node l.
+func (g *Graph) LeftWeight(l int) int64 {
+	var w int64
+	for _, e := range g.edges {
+		if e.L == l {
+			w += e.Weight
+		}
+	}
+	return w
+}
+
+// RightWeight returns w(s) of right node r.
+func (g *Graph) RightWeight(r int) int64 {
+	var w int64
+	for _, e := range g.edges {
+		if e.R == r {
+			w += e.Weight
+		}
+	}
+	return w
+}
+
+// MaxNodeWeight returns W(G) = max_s w(s) over all nodes of both sides.
+// It is 0 for an edgeless graph.
+func (g *Graph) MaxNodeWeight() int64 {
+	var max int64
+	for _, w := range g.LeftWeights() {
+		if w > max {
+			max = w
+		}
+	}
+	for _, w := range g.RightWeights() {
+		if w > max {
+			max = w
+		}
+	}
+	return max
+}
+
+// LeftDegrees returns Δ(s) for every left node.
+func (g *Graph) LeftDegrees() []int {
+	d := make([]int, g.nLeft)
+	for _, e := range g.edges {
+		d[e.L]++
+	}
+	return d
+}
+
+// RightDegrees returns Δ(s) for every right node.
+func (g *Graph) RightDegrees() []int {
+	d := make([]int, g.nRight)
+	for _, e := range g.edges {
+		d[e.R]++
+	}
+	return d
+}
+
+// MaxDegree returns Δ(G), the maximum node degree over both sides.
+func (g *Graph) MaxDegree() int {
+	max := 0
+	for _, d := range g.LeftDegrees() {
+		if d > max {
+			max = d
+		}
+	}
+	for _, d := range g.RightDegrees() {
+		if d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// ActiveLeft returns the number of left nodes with at least one edge.
+func (g *Graph) ActiveLeft() int {
+	n := 0
+	for _, d := range g.LeftDegrees() {
+		if d > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// ActiveRight returns the number of right nodes with at least one edge.
+func (g *Graph) ActiveRight() int {
+	n := 0
+	for _, d := range g.RightDegrees() {
+		if d > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// IsWeightRegular reports whether every node (on both sides) has node
+// weight exactly r. A graph with r == 0 is weight-regular only if it has
+// no edges.
+func (g *Graph) IsWeightRegular(r int64) bool {
+	for _, w := range g.LeftWeights() {
+		if w != r {
+			return false
+		}
+	}
+	for _, w := range g.RightWeights() {
+		if w != r {
+			return false
+		}
+	}
+	return true
+}
+
+// RegularWeight returns (r, true) if the graph is weight-regular with
+// common node weight r, and (0, false) otherwise. An edgeless graph with
+// equal side sizes is 0-regular.
+func (g *Graph) RegularWeight() (int64, bool) {
+	lw := g.LeftWeights()
+	rw := g.RightWeights()
+	var r int64 = -1
+	for _, w := range lw {
+		if r == -1 {
+			r = w
+		} else if w != r {
+			return 0, false
+		}
+	}
+	for _, w := range rw {
+		if r == -1 {
+			r = w
+		} else if w != r {
+			return 0, false
+		}
+	}
+	if r == -1 {
+		r = 0
+	}
+	return r, true
+}
+
+// LeftAdjacency returns, for each left node, the indices of its incident
+// edges. The slices share one backing array; callers must not append.
+func (g *Graph) LeftAdjacency() [][]int {
+	counts := make([]int, g.nLeft)
+	for _, e := range g.edges {
+		counts[e.L]++
+	}
+	backing := make([]int, len(g.edges))
+	adj := make([][]int, g.nLeft)
+	off := 0
+	for i, c := range counts {
+		adj[i] = backing[off : off : off+c]
+		off += c
+	}
+	for idx, e := range g.edges {
+		adj[e.L] = append(adj[e.L], idx)
+	}
+	return adj
+}
+
+// MinWeight returns the smallest edge weight, or 0 for an edgeless graph.
+func (g *Graph) MinWeight() int64 {
+	if len(g.edges) == 0 {
+		return 0
+	}
+	min := g.edges[0].Weight
+	for _, e := range g.edges[1:] {
+		if e.Weight < min {
+			min = e.Weight
+		}
+	}
+	return min
+}
+
+// MaxWeight returns the largest edge weight, or 0 for an edgeless graph.
+func (g *Graph) MaxWeight() int64 {
+	var max int64
+	for _, e := range g.edges {
+		if e.Weight > max {
+			max = e.Weight
+		}
+	}
+	return max
+}
+
+// AddToWeight adds delta (possibly negative) to the weight of edge i.
+// The resulting weight must be non-negative. Edges whose weight reaches
+// zero stay in the edge list until RemoveZeroEdges is called, so that edge
+// indices held by the caller remain stable during a peeling round.
+func (g *Graph) AddToWeight(i int, delta int64) {
+	w := g.edges[i].Weight + delta
+	if w < 0 {
+		panic(fmt.Sprintf("bipartite: edge %d weight would become %d", i, w))
+	}
+	g.edges[i].Weight = w
+}
+
+// RemoveZeroEdges deletes all zero-weight edges, invalidating previously
+// held edge indices. It returns the number of edges removed.
+func (g *Graph) RemoveZeroEdges() int {
+	kept := g.edges[:0]
+	removed := 0
+	for _, e := range g.edges {
+		if e.Weight > 0 {
+			kept = append(kept, e)
+		} else {
+			removed++
+		}
+	}
+	g.edges = kept
+	return removed
+}
+
+// ToMatrix renders the graph as an nLeft×nRight matrix, summing parallel
+// edges.
+func (g *Graph) ToMatrix() [][]int64 {
+	m := make([][]int64, g.nLeft)
+	backing := make([]int64, g.nLeft*g.nRight)
+	for i := range m {
+		m[i] = backing[i*g.nRight : (i+1)*g.nRight]
+	}
+	for _, e := range g.edges {
+		m[e.L][e.R] += e.Weight
+	}
+	return m
+}
+
+// Equal reports whether g and h have the same node counts and the same
+// multiset of edges (order-insensitive).
+func (g *Graph) Equal(h *Graph) bool {
+	if g.nLeft != h.nLeft || g.nRight != h.nRight || len(g.edges) != len(h.edges) {
+		return false
+	}
+	a := append([]Edge(nil), g.edges...)
+	b := append([]Edge(nil), h.edges...)
+	less := func(s []Edge) func(i, j int) bool {
+		return func(i, j int) bool {
+			if s[i].L != s[j].L {
+				return s[i].L < s[j].L
+			}
+			if s[i].R != s[j].R {
+				return s[i].R < s[j].R
+			}
+			return s[i].Weight < s[j].Weight
+		}
+	}
+	sort.Slice(a, less(a))
+	sort.Slice(b, less(b))
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders a compact description, e.g. "bipartite(3x4, 5 edges)".
+func (g *Graph) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "bipartite(%dx%d, %d edges)", g.nLeft, g.nRight, len(g.edges))
+	return b.String()
+}
+
+// Validate checks structural invariants: endpoints in range and weights
+// strictly positive. It returns nil for a well-formed graph.
+func (g *Graph) Validate() error {
+	for i, e := range g.edges {
+		if e.L < 0 || e.L >= g.nLeft {
+			return fmt.Errorf("bipartite: edge %d left endpoint %d out of range [0,%d)", i, e.L, g.nLeft)
+		}
+		if e.R < 0 || e.R >= g.nRight {
+			return fmt.Errorf("bipartite: edge %d right endpoint %d out of range [0,%d)", i, e.R, g.nRight)
+		}
+		if e.Weight <= 0 {
+			return fmt.Errorf("bipartite: edge %d has non-positive weight %d", i, e.Weight)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,419 @@
+package bipartite
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewClampsNegativeSizes(t *testing.T) {
+	g := New(-3, -1)
+	if g.LeftCount() != 0 || g.RightCount() != 0 {
+		t.Fatalf("got %dx%d, want 0x0", g.LeftCount(), g.RightCount())
+	}
+}
+
+func TestFromMatrixBasic(t *testing.T) {
+	g, err := FromMatrix([][]int64{
+		{0, 5, 0},
+		{7, 0, 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.LeftCount() != 2 || g.RightCount() != 3 {
+		t.Fatalf("size = %dx%d, want 2x3", g.LeftCount(), g.RightCount())
+	}
+	if g.EdgeCount() != 3 {
+		t.Fatalf("edges = %d, want 3", g.EdgeCount())
+	}
+	if g.TotalWeight() != 14 {
+		t.Fatalf("P(G) = %d, want 14", g.TotalWeight())
+	}
+}
+
+func TestFromMatrixRaggedRows(t *testing.T) {
+	g, err := FromMatrix([][]int64{
+		{1},
+		{0, 0, 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.RightCount() != 3 {
+		t.Fatalf("right count = %d, want 3", g.RightCount())
+	}
+	if g.EdgeCount() != 2 {
+		t.Fatalf("edges = %d, want 2", g.EdgeCount())
+	}
+}
+
+func TestFromMatrixRejectsNegative(t *testing.T) {
+	if _, err := FromMatrix([][]int64{{-1}}); err == nil {
+		t.Fatal("expected error for negative weight")
+	}
+}
+
+func TestAddEdgePanics(t *testing.T) {
+	cases := []struct {
+		name string
+		l, r int
+		w    int64
+	}{
+		{"left out of range", 5, 0, 1},
+		{"left negative", -1, 0, 1},
+		{"right out of range", 0, 9, 1},
+		{"right negative", 0, -2, 1},
+		{"zero weight", 0, 0, 0},
+		{"negative weight", 0, 0, -3},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			g := New(2, 2)
+			g.AddEdge(tc.l, tc.r, tc.w)
+		})
+	}
+}
+
+func TestNodeWeightsAndDegrees(t *testing.T) {
+	g := New(2, 2)
+	g.AddEdge(0, 0, 3)
+	g.AddEdge(0, 1, 4)
+	g.AddEdge(1, 1, 5)
+
+	lw := g.LeftWeights()
+	if lw[0] != 7 || lw[1] != 5 {
+		t.Fatalf("left weights = %v, want [7 5]", lw)
+	}
+	rw := g.RightWeights()
+	if rw[0] != 3 || rw[1] != 9 {
+		t.Fatalf("right weights = %v, want [3 9]", rw)
+	}
+	if g.LeftWeight(0) != 7 || g.RightWeight(1) != 9 {
+		t.Fatalf("single-node weights wrong: L0=%d R1=%d", g.LeftWeight(0), g.RightWeight(1))
+	}
+	if g.MaxNodeWeight() != 9 {
+		t.Fatalf("W(G) = %d, want 9", g.MaxNodeWeight())
+	}
+	if g.MaxDegree() != 2 {
+		t.Fatalf("Δ(G) = %d, want 2", g.MaxDegree())
+	}
+	ld := g.LeftDegrees()
+	if ld[0] != 2 || ld[1] != 1 {
+		t.Fatalf("left degrees = %v, want [2 1]", ld)
+	}
+	rd := g.RightDegrees()
+	if rd[0] != 1 || rd[1] != 2 {
+		t.Fatalf("right degrees = %v, want [1 2]", rd)
+	}
+}
+
+func TestActiveCounts(t *testing.T) {
+	g := New(4, 3)
+	g.AddEdge(0, 2, 1)
+	g.AddEdge(3, 2, 1)
+	if g.ActiveLeft() != 2 {
+		t.Fatalf("active left = %d, want 2", g.ActiveLeft())
+	}
+	if g.ActiveRight() != 1 {
+		t.Fatalf("active right = %d, want 1", g.ActiveRight())
+	}
+}
+
+func TestParallelEdges(t *testing.T) {
+	g := New(1, 1)
+	g.AddEdge(0, 0, 2)
+	g.AddEdge(0, 0, 3)
+	if g.EdgeCount() != 2 {
+		t.Fatalf("edges = %d, want 2 (multigraph)", g.EdgeCount())
+	}
+	if g.LeftWeight(0) != 5 {
+		t.Fatalf("w(L0) = %d, want 5", g.LeftWeight(0))
+	}
+	m := g.ToMatrix()
+	if m[0][0] != 5 {
+		t.Fatalf("matrix coalesced = %d, want 5", m[0][0])
+	}
+}
+
+func TestWeightRegular(t *testing.T) {
+	g := New(2, 2)
+	g.AddEdge(0, 0, 3)
+	g.AddEdge(0, 1, 2)
+	g.AddEdge(1, 0, 2)
+	g.AddEdge(1, 1, 3)
+	if !g.IsWeightRegular(5) {
+		t.Fatal("graph should be 5-regular")
+	}
+	if g.IsWeightRegular(4) {
+		t.Fatal("graph is not 4-regular")
+	}
+	r, ok := g.RegularWeight()
+	if !ok || r != 5 {
+		t.Fatalf("RegularWeight = (%d,%v), want (5,true)", r, ok)
+	}
+	g.AddEdge(0, 0, 1)
+	if _, ok := g.RegularWeight(); ok {
+		t.Fatal("graph should no longer be regular")
+	}
+}
+
+func TestRegularWeightEdgeless(t *testing.T) {
+	g := New(3, 3)
+	r, ok := g.RegularWeight()
+	if !ok || r != 0 {
+		t.Fatalf("edgeless RegularWeight = (%d,%v), want (0,true)", r, ok)
+	}
+	if !g.IsWeightRegular(0) {
+		t.Fatal("edgeless graph should be 0-regular")
+	}
+}
+
+func TestAddToWeightAndRemoveZero(t *testing.T) {
+	g := New(2, 2)
+	g.AddEdge(0, 0, 3)
+	g.AddEdge(1, 1, 2)
+	g.AddToWeight(0, -3)
+	if g.Edge(0).Weight != 0 {
+		t.Fatalf("weight = %d, want 0", g.Edge(0).Weight)
+	}
+	if n := g.RemoveZeroEdges(); n != 1 {
+		t.Fatalf("removed %d, want 1", n)
+	}
+	if g.EdgeCount() != 1 || g.Edge(0).R != 1 {
+		t.Fatalf("remaining edge wrong: %+v", g.Edge(0))
+	}
+}
+
+func TestAddToWeightPanicsOnNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	g := New(1, 1)
+	g.AddEdge(0, 0, 2)
+	g.AddToWeight(0, -3)
+}
+
+func TestSetWeightPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	g := New(1, 1)
+	g.AddEdge(0, 0, 2)
+	g.SetWeight(0, 0)
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	g := New(2, 2)
+	g.AddEdge(0, 1, 7)
+	c := g.Clone()
+	c.AddToWeight(0, -2)
+	c.AddLeftNodes(3)
+	if g.Edge(0).Weight != 7 {
+		t.Fatalf("clone mutated original weight: %d", g.Edge(0).Weight)
+	}
+	if g.LeftCount() != 2 {
+		t.Fatalf("clone mutated original size: %d", g.LeftCount())
+	}
+}
+
+func TestAddNodesReturnsFirstIndex(t *testing.T) {
+	g := New(2, 3)
+	if first := g.AddLeftNodes(2); first != 2 {
+		t.Fatalf("first new left = %d, want 2", first)
+	}
+	if first := g.AddRightNodes(1); first != 3 {
+		t.Fatalf("first new right = %d, want 3", first)
+	}
+	if g.LeftCount() != 4 || g.RightCount() != 4 {
+		t.Fatalf("size = %dx%d, want 4x4", g.LeftCount(), g.RightCount())
+	}
+}
+
+func TestLeftAdjacency(t *testing.T) {
+	g := New(3, 2)
+	g.AddEdge(0, 0, 1)
+	g.AddEdge(2, 1, 1)
+	g.AddEdge(0, 1, 1)
+	adj := g.LeftAdjacency()
+	if len(adj[0]) != 2 || len(adj[1]) != 0 || len(adj[2]) != 1 {
+		t.Fatalf("adjacency sizes wrong: %v", adj)
+	}
+	for _, idx := range adj[0] {
+		if g.Edge(idx).L != 0 {
+			t.Fatalf("edge %d not incident to left 0", idx)
+		}
+	}
+}
+
+func TestMinMaxWeight(t *testing.T) {
+	g := New(2, 2)
+	if g.MinWeight() != 0 || g.MaxWeight() != 0 {
+		t.Fatal("edgeless min/max should be 0")
+	}
+	g.AddEdge(0, 0, 9)
+	g.AddEdge(1, 1, 4)
+	if g.MinWeight() != 4 || g.MaxWeight() != 9 {
+		t.Fatalf("min/max = %d/%d, want 4/9", g.MinWeight(), g.MaxWeight())
+	}
+}
+
+func TestEqual(t *testing.T) {
+	a := New(2, 2)
+	a.AddEdge(0, 0, 1)
+	a.AddEdge(1, 1, 2)
+	b := New(2, 2)
+	b.AddEdge(1, 1, 2)
+	b.AddEdge(0, 0, 1)
+	if !a.Equal(b) {
+		t.Fatal("order-insensitive equality failed")
+	}
+	b.AddEdge(0, 1, 1)
+	if a.Equal(b) {
+		t.Fatal("graphs with different edges compared equal")
+	}
+	c := New(3, 2)
+	c.AddEdge(0, 0, 1)
+	c.AddEdge(1, 1, 2)
+	if a.Equal(c) {
+		t.Fatal("graphs with different sizes compared equal")
+	}
+}
+
+func TestToMatrixRoundTrip(t *testing.T) {
+	m := [][]int64{
+		{0, 3, 0, 1},
+		{2, 0, 0, 0},
+		{0, 0, 7, 0},
+	}
+	g, err := FromMatrix(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := g.ToMatrix()
+	for i := range m {
+		for j := range m[i] {
+			if got[i][j] != m[i][j] {
+				t.Fatalf("round trip mismatch at (%d,%d): %d != %d", i, j, got[i][j], m[i][j])
+			}
+		}
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	g := New(2, 2)
+	g.AddEdge(0, 0, 1)
+	if err := g.Validate(); err != nil {
+		t.Fatalf("valid graph rejected: %v", err)
+	}
+	g.edges[0].L = 99
+	if err := g.Validate(); err == nil {
+		t.Fatal("out-of-range endpoint accepted")
+	}
+	g.edges[0] = Edge{L: 0, R: 0, Weight: 0}
+	if err := g.Validate(); err == nil {
+		t.Fatal("zero weight accepted")
+	}
+}
+
+func TestString(t *testing.T) {
+	g := New(3, 4)
+	g.AddEdge(0, 0, 1)
+	if s := g.String(); s != "bipartite(3x4, 1 edges)" {
+		t.Fatalf("String = %q", s)
+	}
+	if Left.String() != "left" || Right.String() != "right" {
+		t.Fatal("Side.String wrong")
+	}
+}
+
+// randomGraph builds a random graph for property tests.
+func randomGraph(rng *rand.Rand, maxNodes, maxEdges int, maxWeight int64) *Graph {
+	nl := 1 + rng.Intn(maxNodes)
+	nr := 1 + rng.Intn(maxNodes)
+	g := New(nl, nr)
+	for i := 0; i < rng.Intn(maxEdges+1); i++ {
+		g.AddEdge(rng.Intn(nl), rng.Intn(nr), 1+rng.Int63n(maxWeight))
+	}
+	return g
+}
+
+func TestQuickTotalWeightEqualsSideSums(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomGraph(rng, 10, 40, 50)
+		var lsum, rsum int64
+		for _, w := range g.LeftWeights() {
+			lsum += w
+		}
+		for _, w := range g.RightWeights() {
+			rsum += w
+		}
+		return lsum == g.TotalWeight() && rsum == g.TotalWeight()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickDegreeSumsEqualEdgeCount(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomGraph(rng, 10, 40, 50)
+		ls, rs := 0, 0
+		for _, d := range g.LeftDegrees() {
+			ls += d
+		}
+		for _, d := range g.RightDegrees() {
+			rs += d
+		}
+		return ls == g.EdgeCount() && rs == g.EdgeCount()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickMatrixRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomGraph(rng, 8, 30, 20)
+		h, err := FromMatrix(g.ToMatrix())
+		if err != nil {
+			return false
+		}
+		// Parallel edges coalesce, so compare matrices, not edge lists.
+		a, b := g.ToMatrix(), h.ToMatrix()
+		for i := range a {
+			for j := range a[i] {
+				if a[i][j] != b[i][j] {
+					return false
+				}
+			}
+		}
+		return g.TotalWeight() == h.TotalWeight()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickCloneEqual(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomGraph(rng, 8, 30, 20)
+		return g.Equal(g.Clone())
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,81 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// AsyncTransfer is one communication of a dependency-DAG execution over
+// the real runtime: Transfer plus the indices of transfers that must
+// complete first.
+type AsyncTransfer struct {
+	Transfer
+	Deps []int
+}
+
+// RunAsync executes the transfers as a dependency DAG with weakened
+// barriers: a transfer starts once its dependencies have completed and
+// one of k backbone slots is free. This is the sockets-level counterpart
+// of netsim.RunAsync; dependency DAGs built by kpbs.Schedule.AsyncPlan
+// preserve the 1-port constraint by construction.
+func (c *Cluster) RunAsync(comms []AsyncTransfer, k int) (time.Duration, error) {
+	if k <= 0 {
+		return 0, fmt.Errorf("cluster: k must be positive, got %d", k)
+	}
+	for i, t := range comms {
+		for _, d := range t.Deps {
+			if d < 0 || d >= i {
+				return 0, fmt.Errorf("cluster: transfer %d has non-backward dependency %d", i, d)
+			}
+		}
+	}
+
+	start := time.Now()
+	done := make([]chan struct{}, len(comms))
+	for i := range done {
+		done[i] = make(chan struct{})
+	}
+	slots := make(chan struct{}, k)
+	for i := 0; i < k; i++ {
+		slots <- struct{}{}
+	}
+
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+	}
+	for i, t := range comms {
+		wg.Add(1)
+		go func(i int, t AsyncTransfer) {
+			defer wg.Done()
+			defer close(done[i])
+			for _, d := range t.Deps {
+				<-done[d]
+			}
+			mu.Lock()
+			failed := firstErr != nil
+			mu.Unlock()
+			if failed {
+				return // abort quickly after the first error
+			}
+			<-slots
+			err := c.transfer(t.Transfer)
+			slots <- struct{}{}
+			if err != nil {
+				fail(err)
+			}
+		}(i, t)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return 0, firstErr
+	}
+	return time.Since(start), nil
+}

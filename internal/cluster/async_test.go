@@ -1,0 +1,92 @@
+package cluster
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestRunAsyncDelivers(t *testing.T) {
+	c := newTestCluster(t, Config{N1: 3, N2: 3})
+	comms := []AsyncTransfer{
+		{Transfer: Transfer{Src: 0, Dst: 0, Bytes: 8 << 10}},
+		{Transfer: Transfer{Src: 1, Dst: 1, Bytes: 8 << 10}},
+		{Transfer: Transfer{Src: 0, Dst: 1, Bytes: 8 << 10}, Deps: []int{0, 1}},
+		{Transfer: Transfer{Src: 2, Dst: 2, Bytes: 8 << 10}},
+	}
+	d, err := c.RunAsync(comms, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d <= 0 {
+		t.Fatal("non-positive duration")
+	}
+}
+
+func TestRunAsyncValidation(t *testing.T) {
+	c := newTestCluster(t, Config{N1: 2, N2: 2})
+	ok := []AsyncTransfer{{Transfer: Transfer{Src: 0, Dst: 0, Bytes: 1}}}
+	if _, err := c.RunAsync(ok, 0); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	bad := []AsyncTransfer{
+		{Transfer: Transfer{Src: 0, Dst: 0, Bytes: 1}, Deps: []int{0}},
+	}
+	if _, err := c.RunAsync(bad, 1); err == nil {
+		t.Fatal("self-dependency accepted")
+	}
+	if _, err := c.RunAsync([]AsyncTransfer{{Transfer: Transfer{Src: 9, Dst: 0, Bytes: 1}}}, 1); err == nil {
+		t.Fatal("bad endpoint accepted")
+	}
+}
+
+func TestRunAsyncPropagatesTransferErrors(t *testing.T) {
+	c := newTestCluster(t, Config{N1: 2, N2: 2})
+	comms := []AsyncTransfer{
+		{Transfer: Transfer{Src: 0, Dst: 0, Bytes: 4096}},
+		{Transfer: Transfer{Src: 1, Dst: 1, Bytes: -1}}, // invalid size
+		{Transfer: Transfer{Src: 0, Dst: 1, Bytes: 4096}, Deps: []int{1}},
+	}
+	if _, err := c.RunAsync(comms, 2); err == nil {
+		t.Fatal("invalid transfer in DAG accepted")
+	}
+}
+
+func TestRunAsyncRespectsDependencies(t *testing.T) {
+	// Shape the sender so the first transfer takes a measurable time; the
+	// dependent transfer must not start (hence not finish) before it.
+	c := newTestCluster(t, Config{N1: 1, N2: 2, SendRate: 1e6, ChunkSize: 4 << 10})
+	var firstDone atomic.Int64
+	go func() {
+		// Watchdog only; real assertion below via total duration.
+	}()
+	start := time.Now()
+	comms := []AsyncTransfer{
+		{Transfer: Transfer{Src: 0, Dst: 0, Bytes: 100 << 10}},
+		{Transfer: Transfer{Src: 0, Dst: 1, Bytes: 100 << 10}, Deps: []int{0}},
+	}
+	d, err := c.RunAsync(comms, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = firstDone.Load()
+	// Two chained 100 KB transfers through a 1 MB/s sender: ≥ ~150 ms
+	// even with burst credit (they cannot overlap).
+	if d < 100*time.Millisecond {
+		t.Fatalf("chained transfers finished in %v; dependency ignored?", d)
+	}
+	if time.Since(start) < d {
+		t.Fatal("implausible timing")
+	}
+}
+
+func TestRunAsyncEmptyPlan(t *testing.T) {
+	c := newTestCluster(t, Config{N1: 1, N2: 1})
+	d, err := c.RunAsync(nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d < 0 {
+		t.Fatal("negative duration")
+	}
+}

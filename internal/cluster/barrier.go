@@ -1,0 +1,150 @@
+package cluster
+
+import (
+	"fmt"
+	"net"
+	"sync"
+
+	"redistgo/internal/wire"
+)
+
+// barrierCoordinator implements an MPI-style barrier over real TCP: every
+// sender node holds a dedicated connection to the coordinator; entering
+// the barrier sends a MsgBarrier token, and the coordinator releases all
+// participants with MsgBarrier replies once every one has arrived. This
+// is the honest analog of the MPICH barrier the paper's experiments used
+// to separate communication steps.
+type barrierCoordinator struct {
+	ln       net.Listener
+	n        int
+	arrivals chan int
+	releases []chan struct{}
+	quit     chan struct{}
+	wg       sync.WaitGroup
+
+	closeOnce sync.Once
+}
+
+// newBarrierCoordinator starts the coordinator for n participants and
+// returns it together with the address participants must dial.
+func newBarrierCoordinator(n int) (*barrierCoordinator, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("cluster: barrier coordinator listen: %w", err)
+	}
+	bc := &barrierCoordinator{
+		ln: ln,
+		n:  n,
+		// Each participant has at most one arrival in flight before it
+		// blocks on its release, so the buffer bounds all sends and the
+		// senders never block (which makes shutdown race-free).
+		arrivals: make(chan int, n),
+		releases: make([]chan struct{}, n),
+		quit:     make(chan struct{}),
+	}
+	for i := range bc.releases {
+		bc.releases[i] = make(chan struct{}, 1)
+	}
+	// Acceptors: one handler per participant connection.
+	for i := 0; i < n; i++ {
+		bc.wg.Add(1)
+		go bc.serve()
+	}
+	// Round loop: gather n arrivals, then release everyone.
+	bc.wg.Add(1)
+	go bc.rounds()
+	return bc, nil
+}
+
+// serve handles one participant connection for its lifetime.
+func (bc *barrierCoordinator) serve() {
+	defer bc.wg.Done()
+	conn, err := bc.ln.Accept()
+	if err != nil {
+		return // shutting down
+	}
+	defer conn.Close()
+	for {
+		f, err := wire.Read(conn)
+		if err != nil || f.Type != wire.MsgBarrier {
+			return
+		}
+		id := int(f.Src)
+		if id < 0 || id >= bc.n {
+			return
+		}
+		bc.arrivals <- id
+		select {
+		case <-bc.releases[id]:
+		case <-bc.quit:
+			return
+		}
+		if err := wire.Write(conn, wire.Frame{Type: wire.MsgBarrier, Src: -1, Dst: f.Src}); err != nil {
+			return
+		}
+	}
+}
+
+// rounds gathers arrivals and broadcasts releases until closed.
+func (bc *barrierCoordinator) rounds() {
+	defer bc.wg.Done()
+	for {
+		seen := make(map[int]bool, bc.n)
+		for len(seen) < bc.n {
+			select {
+			case id := <-bc.arrivals:
+				if seen[id] {
+					// A participant re-entered before the round closed:
+					// protocol violation; drop the coordinator.
+					return
+				}
+				seen[id] = true
+			case <-bc.quit:
+				return
+			}
+		}
+		for id := range seen {
+			bc.releases[id] <- struct{}{}
+		}
+	}
+}
+
+// close tears the coordinator down.
+func (bc *barrierCoordinator) close() {
+	bc.closeOnce.Do(func() {
+		close(bc.quit)
+		bc.ln.Close()
+	})
+	bc.wg.Wait()
+}
+
+// barrierClient is one participant's connection.
+type barrierClient struct {
+	id   int
+	conn net.Conn
+}
+
+func dialBarrier(addr string, id int) (*barrierClient, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: dialing barrier coordinator: %w", err)
+	}
+	return &barrierClient{id: id, conn: conn}, nil
+}
+
+// enter blocks until every participant has entered the barrier.
+func (c *barrierClient) enter() error {
+	if err := wire.Write(c.conn, wire.Frame{Type: wire.MsgBarrier, Src: int32(c.id)}); err != nil {
+		return fmt.Errorf("cluster: barrier enter: %w", err)
+	}
+	f, err := wire.Read(c.conn)
+	if err != nil {
+		return fmt.Errorf("cluster: barrier release: %w", err)
+	}
+	if f.Type != wire.MsgBarrier {
+		return fmt.Errorf("cluster: unexpected barrier reply %v", f.Type)
+	}
+	return nil
+}
+
+func (c *barrierClient) close() { c.conn.Close() }

@@ -1,0 +1,133 @@
+package cluster
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestRealBarrierSynchronizesSchedule(t *testing.T) {
+	c := newTestCluster(t, Config{N1: 3, N2: 3, RealBarrier: true})
+	steps := [][]Transfer{
+		{{Src: 0, Dst: 0, Bytes: 4096}, {Src: 1, Dst: 1, Bytes: 4096}},
+		{{Src: 2, Dst: 2, Bytes: 4096}},
+		{{Src: 0, Dst: 2, Bytes: 4096}},
+	}
+	total, perStep, err := c.RunSchedule(steps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(perStep) != 3 || total <= 0 {
+		t.Fatalf("total %v perStep %v", total, perStep)
+	}
+}
+
+func TestBarrierIsNoOpWithoutCoordinator(t *testing.T) {
+	c := newTestCluster(t, Config{N1: 2, N2: 2})
+	if err := c.Barrier(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBarrierRepeatedRounds(t *testing.T) {
+	c := newTestCluster(t, Config{N1: 4, N2: 1, RealBarrier: true})
+	for round := 0; round < 20; round++ {
+		if err := c.Barrier(); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+	}
+}
+
+func TestBarrierActuallyWaitsForAll(t *testing.T) {
+	// Drive the raw barrier protocol: three clients, one deliberately
+	// late. The early clients must not be released before the laggard
+	// enters.
+	coord, err := newBarrierCoordinator(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.close()
+	clients := make([]*barrierClient, 3)
+	for i := range clients {
+		clients[i], err = dialBarrier(coord.ln.Addr().String(), i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer clients[i].close()
+	}
+
+	var released int32
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if err := clients[i].enter(); err != nil {
+				t.Error(err)
+				return
+			}
+			atomic.AddInt32(&released, 1)
+		}(i)
+	}
+	time.Sleep(50 * time.Millisecond)
+	if n := atomic.LoadInt32(&released); n != 0 {
+		t.Fatalf("%d clients released before the last one entered", n)
+	}
+	if err := clients[2].enter(); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	if n := atomic.LoadInt32(&released); n != 2 {
+		t.Fatalf("released = %d, want 2", n)
+	}
+}
+
+func TestBarrierCoordinatorCloseUnblocks(t *testing.T) {
+	coord, err := newBarrierCoordinator(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := dialBarrier(coord.ln.Addr().String(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- client.enter() }()
+	time.Sleep(20 * time.Millisecond)
+	client.close()
+	coord.close()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("half-entered barrier returned success after shutdown")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("barrier entry did not unblock on shutdown")
+	}
+}
+
+func TestRealBarrierAddsMeasurableCost(t *testing.T) {
+	// A schedule of empty-ish steps with a real barrier takes longer than
+	// without, but not absurdly so.
+	mk := func(real bool) time.Duration {
+		c := newTestCluster(t, Config{N1: 4, N2: 4, RealBarrier: real})
+		steps := make([][]Transfer, 30)
+		for i := range steps {
+			steps[i] = []Transfer{{Src: i % 4, Dst: i % 4, Bytes: 512}}
+		}
+		d, _, err := c.RunSchedule(steps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+	with := mk(true)
+	without := mk(false)
+	if with <= without {
+		t.Logf("real barrier %v vs none %v — loopback barriers are cheap; only requiring sanity", with, without)
+	}
+	if with > 5*time.Second {
+		t.Fatalf("barrier overhead absurd: %v", with)
+	}
+}

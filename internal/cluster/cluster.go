@@ -1,0 +1,407 @@
+// Package cluster is a real-sockets execution runtime for redistribution
+// schedules: the counterpart of the paper's MPICH + rshaper testbed
+// (§5.2), built on loopback TCP. Every cluster node is a goroutine;
+// every sender-receiver pair is connected by a real TCP connection; NIC
+// shaping is a token bucket per node (the rshaper analog) plus one bucket
+// for the backbone.
+//
+// Two executors mirror the paper's comparison: RunBruteForce starts every
+// transfer at once and lets TCP and the buckets fight it out; RunSchedule
+// executes the steps of a K-PBS schedule one at a time, separated by
+// barriers.
+package cluster
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"redistgo/internal/tokenbucket"
+	"redistgo/internal/wire"
+)
+
+// Config sizes and shapes the cluster. All rates are bytes per second;
+// zero means unlimited.
+type Config struct {
+	N1, N2 int
+
+	SendRate     float64 // per sender NIC
+	RecvRate     float64 // per receiver NIC
+	BackboneRate float64 // shared by every transfer
+
+	// ChunkSize is the data frame payload size; defaults to 32 KiB.
+	ChunkSize int
+	// Burst is the token bucket capacity in bytes; defaults to 2 chunks.
+	Burst float64
+	// BarrierDelay is the cost β of each synchronization barrier in
+	// RunSchedule (the paper's setup delay), applied as a sleep.
+	BarrierDelay time.Duration
+
+	// RealBarrier synchronizes steps with an actual MPI-style barrier
+	// over TCP — every sender exchanges tokens with a coordinator — so
+	// the measured β is a genuine network round-trip rather than a
+	// configured sleep. Combine with BarrierDelay to add artificial
+	// slack on top.
+	RealBarrier bool
+}
+
+// Transfer is one point-to-point message: Bytes bytes from sender Src to
+// receiver Dst.
+type Transfer struct {
+	Src, Dst int
+	Bytes    int64
+}
+
+// Cluster is a running set of nodes. Create with New, release with Close.
+type Cluster struct {
+	cfg       Config
+	listeners []net.Listener
+	conns     [][]net.Conn    // conns[src][dst]
+	connMu    [][]*sync.Mutex // serializes transfers per connection
+	sendLim   []*tokenbucket.Limiter
+	recvLim   []*tokenbucket.Limiter
+	backbone  *tokenbucket.Limiter
+
+	coord          *barrierCoordinator
+	barrierClients []*barrierClient
+
+	wg      sync.WaitGroup
+	closeMu sync.Mutex
+	closed  bool
+}
+
+// New starts N2 receiver listeners on loopback and dials one connection
+// per sender-receiver pair.
+func New(cfg Config) (*Cluster, error) {
+	if cfg.N1 <= 0 || cfg.N2 <= 0 {
+		return nil, fmt.Errorf("cluster: node counts must be positive, got %d and %d", cfg.N1, cfg.N2)
+	}
+	if cfg.ChunkSize <= 0 {
+		cfg.ChunkSize = 32 << 10
+	}
+	if cfg.ChunkSize > wire.MaxPayload {
+		return nil, fmt.Errorf("cluster: chunk size %d exceeds frame maximum %d", cfg.ChunkSize, wire.MaxPayload)
+	}
+	if cfg.Burst <= 0 {
+		cfg.Burst = float64(2 * cfg.ChunkSize)
+	}
+	if cfg.BarrierDelay < 0 {
+		return nil, fmt.Errorf("cluster: negative barrier delay %v", cfg.BarrierDelay)
+	}
+
+	c := &Cluster{cfg: cfg}
+	mkLimiter := func(rate float64) (*tokenbucket.Limiter, error) {
+		if rate <= 0 {
+			return nil, nil // nil limiter = unlimited
+		}
+		return tokenbucket.New(rate, cfg.Burst)
+	}
+	var err error
+	c.sendLim = make([]*tokenbucket.Limiter, cfg.N1)
+	for i := range c.sendLim {
+		if c.sendLim[i], err = mkLimiter(cfg.SendRate); err != nil {
+			return nil, err
+		}
+	}
+	c.recvLim = make([]*tokenbucket.Limiter, cfg.N2)
+	for i := range c.recvLim {
+		if c.recvLim[i], err = mkLimiter(cfg.RecvRate); err != nil {
+			return nil, err
+		}
+	}
+	if c.backbone, err = mkLimiter(cfg.BackboneRate); err != nil {
+		return nil, err
+	}
+
+	// Receivers.
+	for r := 0; r < cfg.N2; r++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			c.Close()
+			return nil, fmt.Errorf("cluster: receiver %d listen: %w", r, err)
+		}
+		c.listeners = append(c.listeners, ln)
+		for s := 0; s < cfg.N1; s++ {
+			c.wg.Add(1)
+			go c.serveOne(r, ln)
+		}
+	}
+
+	// Real TCP barrier: a coordinator plus one connection per sender.
+	if cfg.RealBarrier {
+		coord, err := newBarrierCoordinator(cfg.N1)
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		c.coord = coord
+		for s := 0; s < cfg.N1; s++ {
+			client, err := dialBarrier(coord.ln.Addr().String(), s)
+			if err != nil {
+				c.Close()
+				return nil, err
+			}
+			c.barrierClients = append(c.barrierClients, client)
+		}
+	}
+
+	// One connection per pair.
+	c.conns = make([][]net.Conn, cfg.N1)
+	c.connMu = make([][]*sync.Mutex, cfg.N1)
+	for s := 0; s < cfg.N1; s++ {
+		c.conns[s] = make([]net.Conn, cfg.N2)
+		c.connMu[s] = make([]*sync.Mutex, cfg.N2)
+		for r := 0; r < cfg.N2; r++ {
+			conn, err := net.Dial("tcp", c.listeners[r].Addr().String())
+			if err != nil {
+				c.Close()
+				return nil, fmt.Errorf("cluster: dialing receiver %d: %w", r, err)
+			}
+			c.conns[s][r] = conn
+			c.connMu[s][r] = &sync.Mutex{}
+		}
+	}
+	return c, nil
+}
+
+// serveOne accepts a single connection on ln and services transfers on it
+// until the peer closes.
+func (c *Cluster) serveOne(recvID int, ln net.Listener) {
+	defer c.wg.Done()
+	conn, err := ln.Accept()
+	if err != nil {
+		return // listener closed during shutdown
+	}
+	defer conn.Close()
+	lim := c.recvLim[recvID]
+	for {
+		f, err := wire.Read(conn)
+		if err != nil {
+			return // EOF or connection torn down
+		}
+		switch f.Type {
+		case wire.MsgDone:
+			return
+		case wire.MsgXfer:
+			total, err := wire.Uint64(f.Payload)
+			if err != nil {
+				return
+			}
+			var got uint64
+			var sum uint64
+			for got < total {
+				df, err := wire.Read(conn)
+				if err != nil || df.Type != wire.MsgData {
+					return
+				}
+				lim.Wait(len(df.Payload))
+				got += uint64(len(df.Payload))
+				sum = checksum(sum, df.Payload)
+			}
+			// The ack carries both the byte count and the payload
+			// checksum so the sender can verify end-to-end integrity.
+			ack := wire.Frame{Type: wire.MsgAck, Src: int32(recvID), Dst: f.Src,
+				Payload: append(wire.PutUint64(got), wire.PutUint64(sum)...)}
+			if err := wire.Write(conn, ack); err != nil {
+				return
+			}
+		default:
+			return
+		}
+	}
+}
+
+// transfer performs one shaped transfer over the pair connection and
+// waits for the receiver's acknowledgement.
+func (c *Cluster) transfer(t Transfer) error {
+	if t.Src < 0 || t.Src >= c.cfg.N1 || t.Dst < 0 || t.Dst >= c.cfg.N2 {
+		return fmt.Errorf("cluster: transfer (%d,%d) out of range", t.Src, t.Dst)
+	}
+	if t.Bytes < 0 {
+		return fmt.Errorf("cluster: negative transfer size %d", t.Bytes)
+	}
+	if t.Bytes == 0 {
+		return nil
+	}
+	mu := c.connMu[t.Src][t.Dst]
+	mu.Lock()
+	defer mu.Unlock()
+	conn := c.conns[t.Src][t.Dst]
+
+	hdr := wire.Frame{Type: wire.MsgXfer, Src: int32(t.Src), Dst: int32(t.Dst), Payload: wire.PutUint64(uint64(t.Bytes))}
+	if err := wire.Write(conn, hdr); err != nil {
+		return fmt.Errorf("cluster: announcing transfer (%d,%d): %w", t.Src, t.Dst, err)
+	}
+	// Payload content is a deterministic per-sender pattern, so the
+	// checksum verifies the bytes the receiver saw are the bytes sent.
+	buf := make([]byte, c.cfg.ChunkSize)
+	for i := range buf {
+		buf[i] = byte(t.Src + i)
+	}
+	remaining := t.Bytes
+	var sum uint64
+	for remaining > 0 {
+		n := int64(len(buf))
+		if n > remaining {
+			n = remaining
+		}
+		c.sendLim[t.Src].Wait(int(n))
+		c.backbone.Wait(int(n))
+		df := wire.Frame{Type: wire.MsgData, Src: int32(t.Src), Dst: int32(t.Dst), Payload: buf[:n]}
+		if err := wire.Write(conn, df); err != nil {
+			return fmt.Errorf("cluster: sending (%d,%d): %w", t.Src, t.Dst, err)
+		}
+		sum = checksum(sum, buf[:n])
+		remaining -= n
+	}
+	ack, err := wire.Read(conn)
+	if err != nil {
+		return fmt.Errorf("cluster: waiting for ack (%d,%d): %w", t.Src, t.Dst, err)
+	}
+	if ack.Type != wire.MsgAck {
+		return fmt.Errorf("cluster: expected ACK, got %v", ack.Type)
+	}
+	if len(ack.Payload) != 16 {
+		return fmt.Errorf("cluster: malformed ack payload (%d bytes)", len(ack.Payload))
+	}
+	got, err := wire.Uint64(ack.Payload[:8])
+	if err != nil {
+		return err
+	}
+	theirSum, err := wire.Uint64(ack.Payload[8:])
+	if err != nil {
+		return err
+	}
+	if got != uint64(t.Bytes) {
+		return fmt.Errorf("cluster: receiver acknowledged %d bytes, sent %d", got, t.Bytes)
+	}
+	if theirSum != sum {
+		return fmt.Errorf("cluster: checksum mismatch on (%d,%d): sent %x, receiver saw %x", t.Src, t.Dst, sum, theirSum)
+	}
+	return nil
+}
+
+// checksum is a rolling FNV-1a over the payload stream: cheap, order-
+// sensitive, and good enough to catch framing or truncation bugs.
+func checksum(h uint64, p []byte) uint64 {
+	if h == 0 {
+		h = 1469598103934665603 // FNV offset basis
+	}
+	for _, b := range p {
+		h ^= uint64(b)
+		h *= 1099511628211 // FNV prime
+	}
+	return h
+}
+
+// runParallel executes the transfers concurrently and returns the first
+// error, if any.
+func (c *Cluster) runParallel(transfers []Transfer) error {
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
+	for _, t := range transfers {
+		wg.Add(1)
+		go func(t Transfer) {
+			defer wg.Done()
+			if err := c.transfer(t); err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+			}
+		}(t)
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// RunBruteForce starts every transfer simultaneously — the paper's
+// baseline where the transport layer alone handles contention — and
+// returns the wall-clock duration until the last acknowledgement.
+func (c *Cluster) RunBruteForce(transfers []Transfer) (time.Duration, error) {
+	start := time.Now()
+	if err := c.runParallel(transfers); err != nil {
+		return 0, err
+	}
+	return time.Since(start), nil
+}
+
+// RunSchedule executes the steps in order; within a step the transfers
+// run in parallel, and each step ends with a barrier costing
+// Config.BarrierDelay. It returns the total duration and the per-step
+// durations (barrier included).
+func (c *Cluster) RunSchedule(steps [][]Transfer) (time.Duration, []time.Duration, error) {
+	start := time.Now()
+	perStep := make([]time.Duration, 0, len(steps))
+	for i, step := range steps {
+		stepStart := time.Now()
+		if err := c.runParallel(step); err != nil {
+			return 0, nil, fmt.Errorf("step %d: %w", i, err)
+		}
+		if err := c.Barrier(); err != nil {
+			return 0, nil, fmt.Errorf("step %d barrier: %w", i, err)
+		}
+		if c.cfg.BarrierDelay > 0 {
+			time.Sleep(c.cfg.BarrierDelay)
+		}
+		perStep = append(perStep, time.Since(stepStart))
+	}
+	return time.Since(start), perStep, nil
+}
+
+// Barrier synchronizes all sender nodes through the TCP coordinator when
+// the cluster was built with RealBarrier; otherwise it is a no-op. It is
+// called between schedule steps and may be used directly.
+func (c *Cluster) Barrier() error {
+	if c.coord == nil {
+		return nil
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, len(c.barrierClients))
+	for i, client := range c.barrierClients {
+		wg.Add(1)
+		go func(i int, client *barrierClient) {
+			defer wg.Done()
+			errs[i] = client.enter()
+		}(i, client)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close tears down all connections and listeners. Safe to call twice.
+func (c *Cluster) Close() error {
+	c.closeMu.Lock()
+	defer c.closeMu.Unlock()
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	for _, client := range c.barrierClients {
+		client.close()
+	}
+	if c.coord != nil {
+		c.coord.close()
+	}
+	for _, row := range c.conns {
+		for _, conn := range row {
+			if conn != nil {
+				_ = wire.Write(conn, wire.Frame{Type: wire.MsgDone})
+				conn.Close()
+			}
+		}
+	}
+	for _, ln := range c.listeners {
+		ln.Close()
+	}
+	c.wg.Wait()
+	return nil
+}

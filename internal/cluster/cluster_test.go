@@ -1,0 +1,169 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+func newTestCluster(t *testing.T, cfg Config) *Cluster {
+	t.Helper()
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{N1: 0, N2: 1}); err == nil {
+		t.Fatal("zero senders accepted")
+	}
+	if _, err := New(Config{N1: 1, N2: 0}); err == nil {
+		t.Fatal("zero receivers accepted")
+	}
+	if _, err := New(Config{N1: 1, N2: 1, ChunkSize: 1 << 30}); err == nil {
+		t.Fatal("chunk above frame maximum accepted")
+	}
+	if _, err := New(Config{N1: 1, N2: 1, BarrierDelay: -time.Second}); err == nil {
+		t.Fatal("negative barrier accepted")
+	}
+}
+
+func TestBruteForceDeliversAll(t *testing.T) {
+	c := newTestCluster(t, Config{N1: 3, N2: 3})
+	var transfers []Transfer
+	for s := 0; s < 3; s++ {
+		for r := 0; r < 3; r++ {
+			transfers = append(transfers, Transfer{Src: s, Dst: r, Bytes: int64(1000 * (s + r + 1))})
+		}
+	}
+	d, err := c.RunBruteForce(transfers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d <= 0 {
+		t.Fatal("non-positive duration")
+	}
+}
+
+func TestTransferValidation(t *testing.T) {
+	c := newTestCluster(t, Config{N1: 2, N2: 2})
+	bad := []Transfer{
+		{Src: -1, Dst: 0, Bytes: 1},
+		{Src: 2, Dst: 0, Bytes: 1},
+		{Src: 0, Dst: -1, Bytes: 1},
+		{Src: 0, Dst: 2, Bytes: 1},
+		{Src: 0, Dst: 0, Bytes: -1},
+	}
+	for i, tr := range bad {
+		if _, err := c.RunBruteForce([]Transfer{tr}); err == nil {
+			t.Fatalf("case %d: invalid transfer accepted", i)
+		}
+	}
+}
+
+func TestZeroByteTransferIsNoOp(t *testing.T) {
+	c := newTestCluster(t, Config{N1: 1, N2: 1})
+	if _, err := c.RunBruteForce([]Transfer{{Src: 0, Dst: 0, Bytes: 0}}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScheduleStepsAndBarrier(t *testing.T) {
+	barrier := 30 * time.Millisecond
+	c := newTestCluster(t, Config{N1: 2, N2: 2, BarrierDelay: barrier})
+	steps := [][]Transfer{
+		{{Src: 0, Dst: 0, Bytes: 4096}, {Src: 1, Dst: 1, Bytes: 4096}},
+		{{Src: 0, Dst: 1, Bytes: 4096}, {Src: 1, Dst: 0, Bytes: 4096}},
+	}
+	total, perStep, err := c.RunSchedule(steps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(perStep) != 2 {
+		t.Fatalf("perStep = %v", perStep)
+	}
+	if total < 2*barrier {
+		t.Fatalf("total %v below two barriers %v", total, 2*barrier)
+	}
+	for i, d := range perStep {
+		if d < barrier {
+			t.Fatalf("step %d duration %v below barrier %v", i, d, barrier)
+		}
+	}
+}
+
+func TestSenderShapingLimitsThroughput(t *testing.T) {
+	// 200 KB through a 1 MB/s sender NIC must take at least ~150 ms
+	// (minus one burst worth of head start).
+	c := newTestCluster(t, Config{N1: 1, N2: 1, SendRate: 1e6, ChunkSize: 8 << 10})
+	start := time.Now()
+	if _, err := c.RunBruteForce([]Transfer{{Src: 0, Dst: 0, Bytes: 200 << 10}}); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 150*time.Millisecond {
+		t.Fatalf("finished in %v; sender shaping inactive", elapsed)
+	}
+}
+
+func TestBackboneShapingSharedAcrossSenders(t *testing.T) {
+	// Two disjoint pairs share a 1 MB/s backbone: 2 × 100 KB ≈ 200 ms.
+	c := newTestCluster(t, Config{N1: 2, N2: 2, BackboneRate: 1e6, ChunkSize: 8 << 10})
+	start := time.Now()
+	_, err := c.RunBruteForce([]Transfer{
+		{Src: 0, Dst: 0, Bytes: 100 << 10},
+		{Src: 1, Dst: 1, Bytes: 100 << 10},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 140*time.Millisecond {
+		t.Fatalf("finished in %v; backbone shaping inactive", elapsed)
+	}
+}
+
+func TestParallelTransfersOnSamePairSerialize(t *testing.T) {
+	// Two messages between the same pair must both arrive (the connection
+	// is serialized by a mutex, emulating the 1-port constraint at the
+	// transport level).
+	c := newTestCluster(t, Config{N1: 1, N2: 1})
+	_, err := c.RunBruteForce([]Transfer{
+		{Src: 0, Dst: 0, Bytes: 50 << 10},
+		{Src: 0, Dst: 0, Bytes: 60 << 10},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCloseIsIdempotent(t *testing.T) {
+	c, err := New(Config{N1: 1, N2: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestManyTransfersStress(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	c := newTestCluster(t, Config{N1: 5, N2: 5, ChunkSize: 4 << 10})
+	var transfers []Transfer
+	for s := 0; s < 5; s++ {
+		for r := 0; r < 5; r++ {
+			transfers = append(transfers, Transfer{Src: s, Dst: r, Bytes: 64 << 10})
+		}
+	}
+	for round := 0; round < 3; round++ {
+		if _, err := c.RunBruteForce(transfers); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,218 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRatioVsKSmoke(t *testing.T) {
+	cfg := Figure7Config(15, 1)
+	cfg.Ks = []int{1, 8, 40}
+	points, err := RatioVsK(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 3 {
+		t.Fatalf("points = %d, want 3", len(points))
+	}
+	for _, p := range points {
+		// Ratios are ≥ 1 by definition of the lower bound, and ≤ 2 plus
+		// the small padding slack (Theorem 1).
+		for name, v := range map[string]float64{
+			"GGP avg": p.GGPAvg, "GGP max": p.GGPMax,
+			"OGGP avg": p.OGGPAvg, "OGGP max": p.OGGPMax,
+		} {
+			if v < 1 || v > 2.3 {
+				t.Fatalf("k=%g %s ratio %g outside [1, 2.3]", p.X, name, v)
+			}
+		}
+		if p.OGGPAvg > p.GGPAvg+1e-9 {
+			t.Fatalf("k=%g: OGGP average %g worse than GGP %g", p.X, p.OGGPAvg, p.GGPAvg)
+		}
+	}
+}
+
+func TestRatioVsKLargeWeightsNearOptimal(t *testing.T) {
+	// Figure 8's headline: with weights up to 10000 and β=1 the ratios
+	// are within a fraction of a percent of the lower bound.
+	cfg := Figure8Config(10, 2)
+	cfg.Ks = []int{4, 20}
+	points, err := RatioVsK(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range points {
+		if p.GGPMax > 1.05 || p.OGGPMax > 1.05 {
+			t.Fatalf("k=%g: large-weight ratios too high: GGP max %g, OGGP max %g",
+				p.X, p.GGPMax, p.OGGPMax)
+		}
+	}
+}
+
+func TestRatioVsKDeterministic(t *testing.T) {
+	cfg := Figure7Config(8, 33)
+	cfg.Ks = []int{4}
+	a, err := RatioVsK(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RatioVsK(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a[0] != b[0] {
+		t.Fatalf("same seed diverged: %+v vs %+v", a[0], b[0])
+	}
+}
+
+func TestRatioVsKValidation(t *testing.T) {
+	bad := []RatioConfig{
+		{},
+		{Runs: 1, MaxNodes: 1, MaxEdges: 1, MinW: 0, MaxW: 1, Ks: []int{1}},
+		{Runs: 1, MaxNodes: 1, MaxEdges: 1, MinW: 2, MaxW: 1, Ks: []int{1}},
+		{Runs: 1, MaxNodes: 1, MaxEdges: 1, MinW: 1, MaxW: 1, Beta: -1, Ks: []int{1}},
+		{Runs: 1, MaxNodes: 1, MaxEdges: 1, MinW: 1, MaxW: 1},
+		{Runs: 1, MaxNodes: 1, MaxEdges: 1, MinW: 1, MaxW: 1, Ks: []int{0}},
+	}
+	for i, cfg := range bad {
+		if _, err := RatioVsK(cfg); err == nil {
+			t.Fatalf("case %d: bad config accepted", i)
+		}
+	}
+}
+
+func TestRatioVsBetaShape(t *testing.T) {
+	cfg := Figure9Config(12, 3)
+	// Three regimes: β ≪ weights, β ≈ weights, β ≫ weights.
+	cfg.Betas = []int64{1, 64, 64 * 1024}
+	points, err := RatioVsBeta(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 3 {
+		t.Fatalf("points = %d", len(points))
+	}
+	for _, p := range points {
+		if p.GGPAvg < 1 || p.GGPMax > 2.3 || p.OGGPAvg < 1 || p.OGGPMax > 2.3 {
+			t.Fatalf("β=%g ratios out of range: %+v", p.X, p)
+		}
+	}
+	// The paper's Figure 9 shape: the mid-β regime is the hard one; huge β
+	// pushes ratios back toward 1.
+	if points[2].GGPAvg >= points[1].GGPAvg {
+		t.Fatalf("GGP ratio should drop for β ≫ weights: mid %g, large %g",
+			points[1].GGPAvg, points[2].GGPAvg)
+	}
+	if points[2].GGPAvg > 1.2 {
+		t.Fatalf("β ≫ weights should be near-optimal, got %g", points[2].GGPAvg)
+	}
+}
+
+func TestRatioVsBetaValidation(t *testing.T) {
+	bad := []BetaConfig{
+		{},
+		{Runs: 1, MaxNodes: 1, MaxEdges: 1, MinW: 1, MaxW: 1, WeightScale: 0, Betas: []int64{1}},
+		{Runs: 1, MaxNodes: 1, MaxEdges: 1, MinW: 1, MaxW: 1, WeightScale: 1},
+	}
+	for i, cfg := range bad {
+		if _, err := RatioVsBeta(cfg); err == nil {
+			t.Fatalf("case %d: bad config accepted", i)
+		}
+	}
+	cfg := Figure9Config(1, 1)
+	cfg.Betas = []int64{-5}
+	if _, err := RatioVsBeta(cfg); err == nil {
+		t.Fatal("negative beta accepted")
+	}
+}
+
+func TestNetworkExperimentShape(t *testing.T) {
+	// Scaled-down Figure 10: the scheduled runs must beat the average
+	// brute-force time, and brute force must show nondeterminism.
+	cfg := FigureNetworkConfig(3, 4, 9)
+	cfg.NsMB = []float64{20, 60}
+	points, err := Network(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("points = %d", len(points))
+	}
+	for _, p := range points {
+		if p.GGPTime <= 0 || p.OGGPTime <= 0 || p.BruteAvg <= 0 {
+			t.Fatalf("non-positive times: %+v", p)
+		}
+		if p.GGPTime >= p.BruteAvg {
+			t.Fatalf("n=%g: GGP %.2fs not faster than brute force %.2fs", p.NMB, p.GGPTime, p.BruteAvg)
+		}
+		if p.OGGPTime >= p.BruteAvg {
+			t.Fatalf("n=%g: OGGP %.2fs not faster than brute force %.2fs", p.NMB, p.OGGPTime, p.BruteAvg)
+		}
+		if p.BruteSpread <= 0 {
+			t.Fatalf("n=%g: brute force deterministic (spread %g)", p.NMB, p.BruteSpread)
+		}
+		if p.OGGPSteps > p.GGPSteps {
+			t.Fatalf("n=%g: OGGP used more steps (%d) than GGP (%d)", p.NMB, p.OGGPSteps, p.GGPSteps)
+		}
+	}
+	// Larger transfers take longer.
+	if points[1].BruteAvg <= points[0].BruteAvg {
+		t.Fatal("brute-force time did not grow with n")
+	}
+}
+
+func TestNetworkValidation(t *testing.T) {
+	bad := []NetworkConfig{
+		{},
+		{K: 3, Nodes: 10, BruteRuns: 1, MinMB: 0, NsMB: []float64{10}},
+		{K: 3, Nodes: 10, BruteRuns: 1, MinMB: 10},
+		{K: 3, Nodes: 10, BruteRuns: 1, MinMB: 10, NsMB: []float64{20}, BetaSec: -1},
+	}
+	for i, cfg := range bad {
+		if _, err := Network(cfg); err == nil {
+			t.Fatalf("case %d: bad config accepted", i)
+		}
+	}
+	cfg := FigureNetworkConfig(3, 1, 1)
+	cfg.NsMB = []float64{5} // below MinMB
+	if _, err := Network(cfg); err == nil {
+		t.Fatal("sweep below minimum accepted")
+	}
+}
+
+func TestOutputRenderers(t *testing.T) {
+	points := []RatioPoint{{X: 4, GGPAvg: 1.01, GGPMax: 1.1, OGGPAvg: 1.005, OGGPMax: 1.05}}
+	var csvBuf, mdBuf bytes.Buffer
+	if err := WriteRatioCSV(&csvBuf, "k", points); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(csvBuf.String(), "k,ggp_avg") || !strings.Contains(csvBuf.String(), "1.01") {
+		t.Fatalf("csv output: %q", csvBuf.String())
+	}
+	if err := WriteRatioMarkdown(&mdBuf, "k", points); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(mdBuf.String(), "| GGP avg |") {
+		t.Fatalf("markdown output: %q", mdBuf.String())
+	}
+
+	net := []NetworkPoint{{
+		NMB: 50, BruteAvg: 40, BruteMin: 38, BruteMax: 42, BruteSpread: 0.1,
+		GGPTime: 35, OGGPTime: 34, GGPSteps: 120, OGGPSteps: 60,
+	}}
+	csvBuf.Reset()
+	mdBuf.Reset()
+	if err := WriteNetworkCSV(&csvBuf, net); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(csvBuf.String(), "n_mb") || !strings.Contains(csvBuf.String(), "120") {
+		t.Fatalf("network csv: %q", csvBuf.String())
+	}
+	if err := WriteNetworkMarkdown(&mdBuf, net); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(mdBuf.String(), "15.0%") { // (40-34)/40
+		t.Fatalf("network markdown should show gain: %q", mdBuf.String())
+	}
+}

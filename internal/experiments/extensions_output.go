@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+)
+
+// WriteAggregationCSV renders the aggregation sweep as CSV.
+func WriteAggregationCSV(w io.Writer, points []AggregationPoint) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"beta", "direct_cost", "plan_cost", "steps_saved", "improvement"}); err != nil {
+		return err
+	}
+	for _, p := range points {
+		rec := []string{
+			formatF(p.Beta), formatF(p.DirectCost), formatF(p.PlanCost),
+			formatF(p.StepsSaved), formatF(p.Improvement),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteAggregationMarkdown renders the aggregation sweep as markdown.
+func WriteAggregationMarkdown(w io.Writer, points []AggregationPoint) error {
+	if _, err := fmt.Fprint(w, "| β | direct cost | plan cost | backbone steps saved | gain |\n|---|---|---|---|---|\n"); err != nil {
+		return err
+	}
+	for _, p := range points {
+		if _, err := fmt.Fprintf(w, "| %.0f | %.1f | %.1f | %.1f | %.1f%% |\n",
+			p.Beta, p.DirectCost, p.PlanCost, p.StepsSaved, 100*p.Improvement); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteAdaptiveCSV renders the adaptive sweep as CSV.
+func WriteAdaptiveCSV(w io.Writer, points []AdaptivePoint) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"capacity_fraction", "static_s", "adaptive_s", "improvement"}); err != nil {
+		return err
+	}
+	for _, p := range points {
+		rec := []string{
+			formatF(p.Fraction), formatF(p.StaticTime), formatF(p.AdaptiveTime),
+			formatF(p.Improvement),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteAdaptiveMarkdown renders the adaptive sweep as markdown.
+func WriteAdaptiveMarkdown(w io.Writer, points []AdaptivePoint) error {
+	if _, err := fmt.Fprint(w, "| remaining capacity | static (s) | adaptive (s) | gain |\n|---|---|---|---|\n"); err != nil {
+		return err
+	}
+	for _, p := range points {
+		if _, err := fmt.Fprintf(w, "| %.0f%% | %.2f | %.2f | %.1f%% |\n",
+			100*p.Fraction, p.StaticTime, p.AdaptiveTime, 100*p.Improvement); err != nil {
+			return err
+		}
+	}
+	return nil
+}

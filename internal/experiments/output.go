@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteRatioCSV renders Figure 7/8/9 series as CSV with a header row.
+func WriteRatioCSV(w io.Writer, xName string, points []RatioPoint) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{xName, "ggp_avg", "ggp_max", "oggp_avg", "oggp_max"}); err != nil {
+		return err
+	}
+	for _, p := range points {
+		rec := []string{
+			formatF(p.X), formatF(p.GGPAvg), formatF(p.GGPMax),
+			formatF(p.OGGPAvg), formatF(p.OGGPMax),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteRatioMarkdown renders Figure 7/8/9 series as a markdown table.
+func WriteRatioMarkdown(w io.Writer, xName string, points []RatioPoint) error {
+	if _, err := fmt.Fprintf(w, "| %s | GGP avg | GGP max | OGGP avg | OGGP max |\n|---|---|---|---|---|\n", xName); err != nil {
+		return err
+	}
+	for _, p := range points {
+		if _, err := fmt.Fprintf(w, "| %s | %.5f | %.5f | %.5f | %.5f |\n",
+			formatF(p.X), p.GGPAvg, p.GGPMax, p.OGGPAvg, p.OGGPMax); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteNetworkCSV renders Figure 10/11 series as CSV.
+func WriteNetworkCSV(w io.Writer, points []NetworkPoint) error {
+	cw := csv.NewWriter(w)
+	header := []string{
+		"n_mb", "brute_avg_s", "brute_min_s", "brute_max_s", "brute_spread",
+		"ggp_s", "oggp_s", "ggp_steps", "oggp_steps",
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, p := range points {
+		rec := []string{
+			formatF(p.NMB), formatF(p.BruteAvg), formatF(p.BruteMin), formatF(p.BruteMax),
+			formatF(p.BruteSpread), formatF(p.GGPTime), formatF(p.OGGPTime),
+			strconv.Itoa(p.GGPSteps), strconv.Itoa(p.OGGPSteps),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteNetworkMarkdown renders Figure 10/11 series as a markdown table,
+// including the gain of the best scheduled time over brute force.
+func WriteNetworkMarkdown(w io.Writer, points []NetworkPoint) error {
+	if _, err := fmt.Fprint(w, "| n (MB) | brute avg (s) | brute spread | GGP (s) | OGGP (s) | steps GGP/OGGP | gain |\n|---|---|---|---|---|---|---|\n"); err != nil {
+		return err
+	}
+	for _, p := range points {
+		best := p.GGPTime
+		if p.OGGPTime < best {
+			best = p.OGGPTime
+		}
+		gain := 0.0
+		if p.BruteAvg > 0 {
+			gain = (p.BruteAvg - best) / p.BruteAvg
+		}
+		if _, err := fmt.Fprintf(w, "| %.0f | %.2f | %.1f%% | %.2f | %.2f | %d/%d | %.1f%% |\n",
+			p.NMB, p.BruteAvg, 100*p.BruteSpread, p.GGPTime, p.OGGPTime,
+			p.GGPSteps, p.OGGPSteps, 100*gain); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func formatF(v float64) string {
+	return strconv.FormatFloat(v, 'g', 8, 64)
+}

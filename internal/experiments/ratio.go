@@ -1,0 +1,206 @@
+// Package experiments regenerates every figure of the paper's evaluation
+// (§5): the Monte-Carlo evaluation-ratio sweeps of Figures 7–9 and the
+// testbed comparisons of Figures 10–11 (on the netsim substitute
+// platform). Each harness returns the series the paper plots; the cmd/
+// tools and benchmarks render them.
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"redistgo/internal/bipartite"
+	"redistgo/internal/kpbs"
+	"redistgo/internal/stats"
+	"redistgo/internal/trafficgen"
+)
+
+// RatioConfig parameterizes the Figure 7/8 sweeps: evaluation ratio
+// (schedule cost / lower bound) as k increases.
+type RatioConfig struct {
+	Runs     int   // instances per k value (paper: 100000)
+	MaxNodes int   // nodes per side, uniform in [1, MaxNodes] (paper: 40)
+	MaxEdges int   // edges, uniform in [1, MaxEdges] (paper: 400)
+	MinW     int64 // uniform weight range (paper Fig 7: [1,20]; Fig 8: [1,10000])
+	MaxW     int64
+	Beta     int64 // setup delay (paper: 1)
+	Ks       []int // k values to sweep
+	Seed     int64
+}
+
+// Validate reports configuration errors.
+func (c RatioConfig) Validate() error {
+	if c.Runs <= 0 || c.MaxNodes <= 0 || c.MaxEdges <= 0 {
+		return fmt.Errorf("experiments: runs, nodes and edges must be positive")
+	}
+	if c.MinW <= 0 || c.MaxW < c.MinW {
+		return fmt.Errorf("experiments: bad weight range [%d,%d]", c.MinW, c.MaxW)
+	}
+	if c.Beta < 0 {
+		return fmt.Errorf("experiments: negative beta %d", c.Beta)
+	}
+	if len(c.Ks) == 0 {
+		return fmt.Errorf("experiments: no k values")
+	}
+	return nil
+}
+
+// Figure7Config returns the paper's Figure 7 setup (small weights), with
+// runs-per-point scaled down from the paper's 100000 to keep the default
+// regeneration fast; pass a bigger Runs to converge further.
+func Figure7Config(runs int, seed int64) RatioConfig {
+	return RatioConfig{
+		Runs: runs, MaxNodes: 40, MaxEdges: 400,
+		MinW: 1, MaxW: 20, Beta: 1,
+		Ks:   []int{1, 2, 4, 6, 8, 12, 16, 20, 24, 28, 32, 36, 40},
+		Seed: seed,
+	}
+}
+
+// Figure8Config returns the paper's Figure 8 setup (large weights, up to
+// 10000 — communications far longer than the setup delay).
+func Figure8Config(runs int, seed int64) RatioConfig {
+	c := Figure7Config(runs, seed)
+	c.MaxW = 10000
+	return c
+}
+
+// RatioPoint is one x-position of a ratio figure: the average and maximum
+// evaluation ratio over the sample, for GGP and OGGP.
+type RatioPoint struct {
+	X       float64 // k for Figures 7/8, β (in weight units) for Figure 9
+	GGPAvg  float64
+	GGPMax  float64
+	OGGPAvg float64
+	OGGPMax float64
+}
+
+// evaluationRatio computes cost/LB for one algorithm on one instance.
+func evaluationRatio(g *bipartite.Graph, k int, beta int64, alg kpbs.Algorithm) (float64, error) {
+	s, err := kpbs.Solve(g, k, beta, kpbs.Options{Algorithm: alg})
+	if err != nil {
+		return 0, err
+	}
+	lb := kpbs.LowerBound(g, k, beta)
+	if lb <= 0 {
+		return 0, fmt.Errorf("experiments: non-positive lower bound %d", lb)
+	}
+	return float64(s.Cost()) / float64(lb), nil
+}
+
+// RatioVsK runs the Figure 7/8 experiment: for every k in cfg.Ks, cfg.Runs
+// random instances are generated, scheduled with GGP and OGGP, and
+// compared to the K-PBS lower bound.
+func RatioVsK(cfg RatioConfig) ([]RatioPoint, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	points := make([]RatioPoint, 0, len(cfg.Ks))
+	for ki, k := range cfg.Ks {
+		if k <= 0 {
+			return nil, fmt.Errorf("experiments: non-positive k %d", k)
+		}
+		// Independent deterministic substream per point.
+		rng := rand.New(rand.NewSource(cfg.Seed + int64(ki)*1_000_003))
+		var ggp, oggp stats.Summary
+		for run := 0; run < cfg.Runs; run++ {
+			g := trafficgen.PaperRandom(rng, cfg.MaxNodes, cfg.MaxEdges, cfg.MinW, cfg.MaxW)
+			rg, err := evaluationRatio(g, k, cfg.Beta, kpbs.GGP)
+			if err != nil {
+				return nil, err
+			}
+			ro, err := evaluationRatio(g, k, cfg.Beta, kpbs.OGGP)
+			if err != nil {
+				return nil, err
+			}
+			ggp.Add(rg)
+			oggp.Add(ro)
+		}
+		points = append(points, RatioPoint{
+			X:      float64(k),
+			GGPAvg: ggp.Mean(), GGPMax: ggp.Max(),
+			OGGPAvg: oggp.Mean(), OGGPMax: oggp.Max(),
+		})
+	}
+	return points, nil
+}
+
+// BetaConfig parameterizes the Figure 9 sweep: evaluation ratio as β
+// increases with small weights and random k. Fractional β/weight ratios
+// are realized in integer arithmetic by scaling the weights by
+// WeightScale and sweeping integer β values around it.
+type BetaConfig struct {
+	Runs        int
+	MaxNodes    int
+	MaxEdges    int
+	MinW, MaxW  int64 // pre-scale weight range (paper: [1,20])
+	WeightScale int64 // weights are multiplied by this (β=WeightScale is "β equal to one weight unit")
+	Betas       []int64
+	Seed        int64
+}
+
+// Figure9Config returns the paper's Figure 9 setup: weights 1..20, β
+// sweeping from 1/64 to 1024 weight units.
+func Figure9Config(runs int, seed int64) BetaConfig {
+	scale := int64(64)
+	var betas []int64
+	for b := int64(1); b <= 1024*scale; b *= 4 {
+		betas = append(betas, b)
+	}
+	return BetaConfig{
+		Runs: runs, MaxNodes: 40, MaxEdges: 400,
+		MinW: 1, MaxW: 20, WeightScale: scale,
+		Betas: betas, Seed: seed,
+	}
+}
+
+// Validate reports configuration errors.
+func (c BetaConfig) Validate() error {
+	if c.Runs <= 0 || c.MaxNodes <= 0 || c.MaxEdges <= 0 {
+		return fmt.Errorf("experiments: runs, nodes and edges must be positive")
+	}
+	if c.MinW <= 0 || c.MaxW < c.MinW || c.WeightScale <= 0 {
+		return fmt.Errorf("experiments: bad weight configuration")
+	}
+	if len(c.Betas) == 0 {
+		return fmt.Errorf("experiments: no beta values")
+	}
+	return nil
+}
+
+// RatioVsBeta runs the Figure 9 experiment. Each instance draws a random
+// k in [1, MaxNodes] as the paper does; the returned X values are β in
+// weight units (β/WeightScale).
+func RatioVsBeta(cfg BetaConfig) ([]RatioPoint, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	points := make([]RatioPoint, 0, len(cfg.Betas))
+	for bi, beta := range cfg.Betas {
+		if beta < 0 {
+			return nil, fmt.Errorf("experiments: negative beta %d", beta)
+		}
+		rng := rand.New(rand.NewSource(cfg.Seed + int64(bi)*1_000_003))
+		var ggp, oggp stats.Summary
+		for run := 0; run < cfg.Runs; run++ {
+			g := trafficgen.PaperRandom(rng, cfg.MaxNodes, cfg.MaxEdges, cfg.MinW*cfg.WeightScale, cfg.MaxW*cfg.WeightScale)
+			k := 1 + rng.Intn(cfg.MaxNodes)
+			rg, err := evaluationRatio(g, k, beta, kpbs.GGP)
+			if err != nil {
+				return nil, err
+			}
+			ro, err := evaluationRatio(g, k, beta, kpbs.OGGP)
+			if err != nil {
+				return nil, err
+			}
+			ggp.Add(rg)
+			oggp.Add(ro)
+		}
+		points = append(points, RatioPoint{
+			X:      float64(beta) / float64(cfg.WeightScale),
+			GGPAvg: ggp.Mean(), GGPMax: ggp.Max(),
+			OGGPAvg: oggp.Mean(), OGGPMax: oggp.Max(),
+		})
+	}
+	return points, nil
+}

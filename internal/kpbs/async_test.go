@@ -1,0 +1,96 @@
+package kpbs
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAsyncPlanStructure(t *testing.T) {
+	s := &Schedule{Beta: 1, Steps: []Step{
+		{Comms: []Comm{{0, 0, 4}, {1, 1, 4}}, Duration: 4},
+		{Comms: []Comm{{0, 1, 2}, {1, 0, 3}}, Duration: 3},
+		{Comms: []Comm{{2, 2, 5}}, Duration: 5},
+	}}
+	p := s.AsyncPlan()
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Comms) != 5 {
+		t.Fatalf("comms = %d, want 5", len(p.Comms))
+	}
+	// Comm 2 = (0,1) depends on comm 0 (left node 0) and comm 1 (right
+	// node 1).
+	if len(p.Deps[2]) != 2 {
+		t.Fatalf("deps of comm 2 = %v, want two", p.Deps[2])
+	}
+	// Comm 4 = (2,2) touches fresh nodes: no dependencies — the whole
+	// point of weakened barriers.
+	if len(p.Deps[4]) != 0 {
+		t.Fatalf("independent comm has deps %v", p.Deps[4])
+	}
+}
+
+func TestAsyncPlanSamePairChains(t *testing.T) {
+	// Chunks of a preempted message must chain in order.
+	s := &Schedule{Beta: 1, Steps: []Step{
+		{Comms: []Comm{{0, 0, 4}}, Duration: 4},
+		{Comms: []Comm{{0, 0, 4}}, Duration: 4},
+		{Comms: []Comm{{0, 0, 2}}, Duration: 2},
+	}}
+	p := s.AsyncPlan()
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Deps[1]) != 1 || p.Deps[1][0] != 0 {
+		t.Fatalf("deps[1] = %v", p.Deps[1])
+	}
+	if len(p.Deps[2]) != 1 || p.Deps[2][0] != 1 {
+		t.Fatalf("deps[2] = %v", p.Deps[2])
+	}
+}
+
+func TestAsyncPlanNoIntraStepDeps(t *testing.T) {
+	// Comms inside one step are a matching: they must never depend on
+	// each other.
+	s := &Schedule{Beta: 1, Steps: []Step{
+		{Comms: []Comm{{0, 0, 1}, {1, 1, 1}, {2, 2, 1}}, Duration: 1},
+	}}
+	p := s.AsyncPlan()
+	for i, deps := range p.Deps {
+		if len(deps) != 0 {
+			t.Fatalf("comm %d in a single step has deps %v", i, deps)
+		}
+	}
+}
+
+func TestQuickAsyncPlanValid(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomInstance(rng, 8, 40, 20)
+		k := 1 + rng.Intn(8)
+		s, err := Solve(g, k, 2, Options{Algorithm: OGGP})
+		if err != nil {
+			return false
+		}
+		p := s.AsyncPlan()
+		if err := p.Validate(); err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		// Amount conservation.
+		var planned, scheduled int64
+		for _, c := range p.Comms {
+			planned += c.Amount
+		}
+		for _, st := range s.Steps {
+			for _, c := range st.Comms {
+				scheduled += c.Amount
+			}
+		}
+		return planned == scheduled
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

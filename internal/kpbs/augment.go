@@ -1,0 +1,287 @@
+package kpbs
+
+import (
+	"fmt"
+	"sort"
+
+	"redistgo/internal/bipartite"
+)
+
+// workEdge is an edge of the augmented working graph. orig is the index of
+// the original edge it represents, or -1 for a virtual edge added by the
+// augmentation (filler edges between two fresh nodes, or top-up edges
+// joining a fresh node to an existing one).
+type workEdge struct {
+	l, r int
+	w    int64
+	orig int
+}
+
+// instance is a fully prepared K-PBS working instance: weights normalized
+// by β, isolated nodes compacted away, and the graph augmented into a
+// balanced weight-regular graph whose perfect matchings contain at most k
+// real edges (paper §4.2.2, Proposition 1).
+type instance struct {
+	edges      []workEdge
+	nL, nR     int   // augmented node counts; nL == nR
+	realL      int   // work left nodes < realL map to original left nodes
+	realR      int   // work right nodes < realR map to original right nodes
+	mapL, mapR []int // compacted index -> original node id
+	k          int   // effective k (clamped to active node counts)
+	regular    int64 // common node weight R of the augmented graph
+}
+
+// normalizeWeight returns ⌈w/β⌉ for β > 0, or w unchanged for β = 0
+// (the paper's rule: never split a communication shorter than β; with no
+// setup delay there is nothing to amortize and no normalization is done).
+func normalizeWeight(w, beta int64) int64 {
+	if beta <= 0 {
+		return w
+	}
+	return ceilDiv(w, beta)
+}
+
+// buildInstance compacts, normalizes and augments g. With unitWeights set,
+// every edge gets weight 1 instead of its normalized weight — this turns
+// GGP into an optimal step-count scheduler (the MinSteps extension).
+// It returns nil (and no error) for an edgeless graph.
+func buildInstance(g *bipartite.Graph, k int, beta int64, unitWeights bool) (*instance, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("kpbs: k must be positive, got %d", k)
+	}
+	if beta < 0 {
+		return nil, fmt.Errorf("kpbs: beta must be non-negative, got %d", beta)
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	if g.EdgeCount() == 0 {
+		return nil, nil
+	}
+
+	in := &instance{}
+
+	// Compact away isolated nodes: they cannot communicate, and keeping
+	// them would force useless virtual top-up edges.
+	compactL := make([]int, g.LeftCount())
+	compactR := make([]int, g.RightCount())
+	for i := range compactL {
+		compactL[i] = -1
+	}
+	for i := range compactR {
+		compactR[i] = -1
+	}
+	for _, e := range g.Edges() {
+		if compactL[e.L] < 0 {
+			compactL[e.L] = len(in.mapL)
+			in.mapL = append(in.mapL, e.L)
+		}
+		if compactR[e.R] < 0 {
+			compactR[e.R] = len(in.mapR)
+			in.mapR = append(in.mapR, e.R)
+		}
+	}
+	in.realL = len(in.mapL)
+	in.realR = len(in.mapR)
+	in.nL = in.realL
+	in.nR = in.realR
+
+	// A matching cannot contain more edges than active nodes on either
+	// side, so larger k values are equivalent (paper §2.4).
+	in.k = k
+	if in.realL < in.k {
+		in.k = in.realL
+	}
+	if in.realR < in.k {
+		in.k = in.realR
+	}
+
+	for i, e := range g.Edges() {
+		w := e.Weight
+		if unitWeights {
+			w = 1
+		} else {
+			w = normalizeWeight(w, beta)
+		}
+		in.edges = append(in.edges, workEdge{
+			l:    compactL[e.L],
+			r:    compactR[e.R],
+			w:    w,
+			orig: i,
+		})
+	}
+
+	in.augment()
+	return in, nil
+}
+
+// nodeWeights returns the current per-node weight sums.
+func (in *instance) nodeWeights() (lw, rw []int64) {
+	lw = make([]int64, in.nL)
+	rw = make([]int64, in.nR)
+	for _, e := range in.edges {
+		lw[e.l] += e.w
+		rw[e.r] += e.w
+	}
+	return lw, rw
+}
+
+func (in *instance) totalWeight() int64 {
+	var p int64
+	for _, e := range in.edges {
+		p += e.w
+	}
+	return p
+}
+
+func (in *instance) maxNodeWeight() int64 {
+	lw, rw := in.nodeWeights()
+	var max int64
+	for _, w := range lw {
+		if w > max {
+			max = w
+		}
+	}
+	for _, w := range rw {
+		if w > max {
+			max = w
+		}
+	}
+	return max
+}
+
+// augment implements paper §4.2.2: first the filler phase ("case 2") that
+// adjusts the total weight so that R = P/k ≥ W(G) and k | P, then the
+// regularization phase ("case 1") that tops every node up to exactly R by
+// connecting fresh nodes to deficient existing ones.
+func (in *instance) augment() {
+	p := in.totalWeight()
+	w := in.maxNodeWeight()
+	k64 := int64(in.k)
+
+	// Filler phase. Fillers join a fresh left node to a fresh right node
+	// (the only place virtual-virtual edges are allowed). Each filler
+	// weighs at most W(G), so W of the graph is unchanged.
+	var deficit int64
+	if w*k64 > p {
+		// Raise the total so that P' / k = W(G).
+		deficit = w*k64 - p
+	} else if p%k64 != 0 {
+		// Pad the total to the next multiple of k.
+		deficit = k64 - p%k64
+	}
+	for deficit > 0 {
+		fw := w
+		if deficit < fw {
+			fw = deficit
+		}
+		l := in.nL
+		r := in.nR
+		in.nL++
+		in.nR++
+		in.edges = append(in.edges, workEdge{l: l, r: r, w: fw, orig: -1})
+		deficit -= fw
+	}
+	p = in.totalWeight()
+	in.regular = p / k64
+
+	// Regularization phase. Every existing node has weight ≤ R; its
+	// deficit is packed greedily into fresh opposite-side nodes of
+	// capacity exactly R. The left side needs (nL - k) fresh right nodes,
+	// the right side (nR - k) fresh left nodes; both counts are exact
+	// because the total deficit is R·(count − k)·... (see DESIGN.md §2).
+	lw, rw := in.nodeWeights()
+	in.topUp(lw, true)
+	in.topUp(rw, false)
+}
+
+// topUp adds fresh nodes on the opposite side and connects them to the
+// nodes whose weights are given, raising every weight to R. For left=true
+// the weights are left-node weights and the fresh nodes are right nodes.
+//
+// Deficits are packed largest-first: fragmentation splits a node's
+// deficit across several fresh nodes, and every extra fragment is a
+// small virtual edge that later forces a small peel (an extra step), so
+// packing big deficits first minimizes both the number and the spread of
+// fragments. The paper leaves this packing unspecified.
+func (in *instance) topUp(weights []int64, left bool) {
+	r := in.regular
+	order := make([]int, len(weights))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		if weights[order[a]] != weights[order[b]] {
+			return weights[order[a]] < weights[order[b]] // largest deficit first
+		}
+		return order[a] < order[b]
+	})
+	var freshCap int64 // remaining capacity of the currently open fresh node
+	fresh := -1
+	for _, node := range order {
+		need := r - weights[node]
+		for need > 0 {
+			if freshCap == 0 {
+				if left {
+					fresh = in.nR
+					in.nR++
+				} else {
+					fresh = in.nL
+					in.nL++
+				}
+				freshCap = r
+			}
+			amt := need
+			if amt > freshCap {
+				amt = freshCap
+			}
+			if left {
+				in.edges = append(in.edges, workEdge{l: node, r: fresh, w: amt, orig: -1})
+			} else {
+				in.edges = append(in.edges, workEdge{l: fresh, r: node, w: amt, orig: -1})
+			}
+			freshCap -= amt
+			need -= amt
+		}
+	}
+	if freshCap != 0 {
+		// The deficits always sum to a multiple of R; a leftover means the
+		// augmentation math is broken.
+		panic(fmt.Sprintf("kpbs: top-up leftover capacity %d (R=%d, left=%v)", freshCap, r, left))
+	}
+}
+
+// checkRegular verifies the augmented graph is balanced and R-weight-
+// regular. Used by tests and defensive checks.
+func (in *instance) checkRegular() error {
+	if in.nL != in.nR {
+		return fmt.Errorf("kpbs: augmented graph unbalanced: %d x %d", in.nL, in.nR)
+	}
+	lw, rw := in.nodeWeights()
+	for i, w := range lw {
+		if w != in.regular {
+			return fmt.Errorf("kpbs: left node %d weight %d != R=%d", i, w, in.regular)
+		}
+	}
+	for i, w := range rw {
+		if w != in.regular {
+			return fmt.Errorf("kpbs: right node %d weight %d != R=%d", i, w, in.regular)
+		}
+	}
+	return nil
+}
+
+// asGraph materializes the live working edges as a bipartite.Graph for the
+// matching algorithms, returning also the mapping from the materialized
+// graph's edge indices back to in.edges indices.
+func (in *instance) asGraph() (*bipartite.Graph, []int) {
+	g := bipartite.New(in.nL, in.nR)
+	idx := make([]int, 0, len(in.edges))
+	for i, e := range in.edges {
+		if e.w > 0 {
+			g.AddEdge(e.l, e.r, e.w)
+			idx = append(idx, i)
+		}
+	}
+	return g, idx
+}

@@ -1,0 +1,67 @@
+package kpbs
+
+import (
+	"math/rand"
+	"testing"
+
+	"redistgo/internal/bipartite"
+)
+
+// FuzzSolve drives the full pipeline with fuzzer-chosen instance shapes:
+// whatever the inputs, Solve must either reject them or produce a
+// feasible schedule within the approximation envelope.
+func FuzzSolve(f *testing.F) {
+	f.Add(int64(1), 5, 5, 10, int64(20), 3, int64(1), 0)
+	f.Add(int64(2), 1, 1, 1, int64(1), 1, int64(0), 1)
+	f.Add(int64(3), 40, 40, 400, int64(10000), 40, int64(7), 2)
+	f.Add(int64(4), 30, 2, 50, int64(5), 100, int64(3), 3)
+
+	f.Fuzz(func(t *testing.T, seed int64, nl, nr, edges int, maxW int64, k int, beta int64, algRaw int) {
+		// Clamp the fuzzed shape to something buildable; the point is to
+		// explore odd combinations, not to validate the generator.
+		if nl < 1 || nr < 1 || nl > 60 || nr > 60 {
+			return
+		}
+		if edges < 0 || edges > 600 {
+			return
+		}
+		if maxW < 1 || maxW > 1_000_000 {
+			return
+		}
+		rng := rand.New(rand.NewSource(seed))
+		g := bipartite.New(nl, nr)
+		for i := 0; i < edges; i++ {
+			g.AddEdge(rng.Intn(nl), rng.Intn(nr), 1+rng.Int63n(maxW))
+		}
+		alg := []Algorithm{GGP, OGGP, MinSteps, Greedy}[((algRaw%4)+4)%4]
+
+		s, err := Solve(g, k, beta, Options{Algorithm: alg})
+		if k <= 0 || beta < 0 {
+			if err == nil {
+				t.Fatalf("invalid parameters accepted: k=%d beta=%d", k, beta)
+			}
+			return
+		}
+		if err != nil {
+			t.Fatalf("valid instance rejected: %v", err)
+		}
+		if err := s.Validate(g, k); err != nil {
+			t.Fatalf("infeasible schedule: %v", err)
+		}
+		if alg == GGP || alg == OGGP {
+			lb := LowerBound(g, k, beta)
+			if s.Cost() > 2*lb+2*beta {
+				t.Fatalf("%v cost %d > 2·LB+2β = %d", alg, s.Cost(), 2*lb+2*beta)
+			}
+		}
+		// Post-passes must preserve feasibility.
+		s.Coalesce()
+		if err := s.Validate(g, k); err != nil {
+			t.Fatalf("coalesce broke schedule: %v", err)
+		}
+		s.Pack(k)
+		if err := s.Validate(g, k); err != nil {
+			t.Fatalf("pack broke schedule: %v", err)
+		}
+	})
+}

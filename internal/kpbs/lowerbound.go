@@ -1,0 +1,52 @@
+package kpbs
+
+import "redistgo/internal/bipartite"
+
+// ceilDiv returns ⌈a/b⌉ for a ≥ 0, b > 0.
+func ceilDiv(a, b int64) int64 {
+	return (a + b - 1) / b
+}
+
+// EtaD returns ηd(G,k) = max(W(G), ⌈P(G)/k⌉), a lower bound on the total
+// transmission time Σ_i W(M_i) of any feasible schedule: every node must
+// be busy for W(G) time under the 1-port constraint, and at most k
+// communications run per time unit so the aggregate work P(G) needs at
+// least P(G)/k time.
+func EtaD(g *bipartite.Graph, k int) int64 {
+	if g.EdgeCount() == 0 {
+		return 0
+	}
+	w := g.MaxNodeWeight()
+	p := ceilDiv(g.TotalWeight(), int64(k))
+	if p > w {
+		return p
+	}
+	return w
+}
+
+// EtaS returns ηs(G,k) = max(Δ(G), ⌈m/k⌉), a lower bound on the number of
+// steps of any feasible schedule: a node of degree Δ needs Δ distinct
+// steps (1-port, one partner per step, and splitting an edge only adds
+// steps), and m edges at ≤ k per step need ⌈m/k⌉ steps.
+func EtaS(g *bipartite.Graph, k int) int64 {
+	if g.EdgeCount() == 0 {
+		return 0
+	}
+	d := int64(g.MaxDegree())
+	s := ceilDiv(int64(g.EdgeCount()), int64(k))
+	if s > d {
+		return s
+	}
+	return d
+}
+
+// LowerBound returns the Cohen–Jeannot–Padoy lower bound on the optimal
+// K-PBS cost used by the paper's evaluation (§3, §5.1):
+//
+//	LB(G,k,β) = ηd(G,k) + β·ηs(G,k)
+//
+// Both terms bound their parts of the objective independently, so their
+// sum bounds the optimum.
+func LowerBound(g *bipartite.Graph, k int, beta int64) int64 {
+	return EtaD(g, k) + beta*EtaS(g, k)
+}

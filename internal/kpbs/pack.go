@@ -1,0 +1,139 @@
+package kpbs
+
+import "sort"
+
+// Pack is a post-processing extension (not part of the paper's
+// algorithms). The steps of a schedule are independent — each transfers
+// fixed amounts between fixed pairs — so two steps can be fused into one
+// whenever the union of their communications is still a matching of at
+// most k pairs. Nodes may be shared between the two steps only through
+// *identical* pairs, whose amounts simply add (this is what heals the
+// fragmentation the peeling introduces on sparse graphs: the chunks of a
+// preempted message fuse back together).
+//
+// Fusing steps of durations a and b yields one step of duration at most
+// a + b, so each fusion saves at least β and never increases the cost.
+//
+// Pack greedily fuses first-fit-decreasing by duration and returns the
+// number of fusions performed. The result remains a feasible schedule
+// for the same instance; Options.Pack applies it inside Solve and
+// BenchmarkAblationPack quantifies the effect.
+func (s *Schedule) Pack(k int) int {
+	if len(s.Steps) < 2 || k <= 0 {
+		return 0
+	}
+	order := make([]int, len(s.Steps))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return s.Steps[order[a]].Duration > s.Steps[order[b]].Duration
+	})
+
+	groups := make([]*stepGroup, len(order))
+	for i, idx := range order {
+		groups[i] = newStepGroup(s.Steps[idx])
+	}
+
+	fusions := 0
+	for i := range groups {
+		if groups[i] == nil {
+			continue
+		}
+		for j := i + 1; j < len(groups); j++ {
+			if groups[j] == nil {
+				continue
+			}
+			if groups[i].fuse(groups[j], k) {
+				groups[j] = nil
+				fusions++
+			}
+		}
+	}
+	if fusions == 0 {
+		return 0
+	}
+	out := make([]Step, 0, len(groups)-fusions)
+	for _, g := range groups {
+		if g == nil {
+			continue
+		}
+		out = append(out, g.step())
+	}
+	s.Steps = out
+	return fusions
+}
+
+// stepGroup is a step under construction during packing: a matching
+// keyed by node with per-pair amounts.
+type stepGroup struct {
+	partnerOfLeft  map[int]int // left node -> right node
+	partnerOfRight map[int]int // right node -> left node
+	amount         map[[2]int]int64
+}
+
+func newStepGroup(st Step) *stepGroup {
+	g := &stepGroup{
+		partnerOfLeft:  make(map[int]int, len(st.Comms)),
+		partnerOfRight: make(map[int]int, len(st.Comms)),
+		amount:         make(map[[2]int]int64, len(st.Comms)),
+	}
+	for _, c := range st.Comms {
+		g.partnerOfLeft[c.L] = c.R
+		g.partnerOfRight[c.R] = c.L
+		g.amount[[2]int{c.L, c.R}] += c.Amount
+	}
+	return g
+}
+
+// compatible reports whether other can fuse into g under the k limit:
+// every shared node must be shared through the identical pair.
+func (g *stepGroup) compatible(other *stepGroup, k int) bool {
+	extra := 0
+	for l, r := range other.partnerOfLeft {
+		if pr, ok := g.partnerOfLeft[l]; ok {
+			if pr != r {
+				return false
+			}
+			continue // identical pair: fuses, no new slot
+		}
+		if _, ok := g.partnerOfRight[r]; ok {
+			return false // r already busy with a different sender
+		}
+		extra++
+	}
+	return len(g.amount)+extra <= k
+}
+
+// fuse merges other into g if compatible, reporting whether it did.
+func (g *stepGroup) fuse(other *stepGroup, k int) bool {
+	if !g.compatible(other, k) {
+		return false
+	}
+	for pair, amt := range other.amount {
+		g.partnerOfLeft[pair[0]] = pair[1]
+		g.partnerOfRight[pair[1]] = pair[0]
+		g.amount[pair] += amt
+	}
+	return true
+}
+
+// step materializes the group as a Step with deterministic comm order.
+func (g *stepGroup) step() Step {
+	pairs := make([][2]int, 0, len(g.amount))
+	for p := range g.amount {
+		pairs = append(pairs, p)
+	}
+	sort.Slice(pairs, func(a, b int) bool {
+		if pairs[a][0] != pairs[b][0] {
+			return pairs[a][0] < pairs[b][0]
+		}
+		return pairs[a][1] < pairs[b][1]
+	})
+	var st Step
+	for _, p := range pairs {
+		st.Comms = append(st.Comms, Comm{L: p[0], R: p[1], Amount: g.amount[p]})
+	}
+	st.recomputeDuration()
+	return st
+}

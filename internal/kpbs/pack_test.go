@@ -1,0 +1,197 @@
+package kpbs
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPackMergesDisjointSteps(t *testing.T) {
+	s := &Schedule{Beta: 3, Steps: []Step{
+		{Comms: []Comm{{0, 0, 5}}, Duration: 5},
+		{Comms: []Comm{{1, 1, 2}}, Duration: 2},
+		{Comms: []Comm{{0, 1, 4}}, Duration: 4}, // shares L0 with step 1
+	}}
+	before := s.Cost() // 11 + 3*3 = 20
+	merges := s.Pack(3)
+	if merges != 1 {
+		t.Fatalf("merges = %d, want 1 (steps 1 and 2 are disjoint)", merges)
+	}
+	if s.NumSteps() != 2 {
+		t.Fatalf("steps = %d, want 2", s.NumSteps())
+	}
+	// Merging (5) and (2): new cost = (3+5) + (3+4) = 15, saving β+2 = 5.
+	if s.Cost() != before-5 {
+		t.Fatalf("cost = %d, want %d", s.Cost(), before-5)
+	}
+}
+
+func TestPackRespectsK(t *testing.T) {
+	s := &Schedule{Beta: 1, Steps: []Step{
+		{Comms: []Comm{{0, 0, 5}, {1, 1, 5}}, Duration: 5},
+		{Comms: []Comm{{2, 2, 2}}, Duration: 2},
+	}}
+	if merges := s.Pack(2); merges != 0 {
+		t.Fatalf("merged beyond k=2: %d", merges)
+	}
+	if merges := s.Pack(3); merges != 1 {
+		t.Fatal("k=3 should allow the merge")
+	}
+}
+
+func TestPackNoOpOnConflicts(t *testing.T) {
+	s := &Schedule{Beta: 1, Steps: []Step{
+		{Comms: []Comm{{0, 0, 5}}, Duration: 5},
+		{Comms: []Comm{{0, 1, 2}}, Duration: 2}, // sender 0 busy with a different partner
+	}}
+	if merges := s.Pack(5); merges != 0 {
+		t.Fatalf("merged conflicting steps: %d", merges)
+	}
+	empty := &Schedule{Beta: 1}
+	if empty.Pack(3) != 0 {
+		t.Fatal("empty schedule packed")
+	}
+	if s.Pack(0) != 0 {
+		t.Fatal("k=0 packed")
+	}
+}
+
+func TestPackFusesFragmentsOfSamePair(t *testing.T) {
+	// The chunks of a preempted message fuse back together: same pair in
+	// two steps, amounts add.
+	s := &Schedule{Beta: 2, Steps: []Step{
+		{Comms: []Comm{{0, 0, 4}, {1, 1, 4}}, Duration: 4},
+		{Comms: []Comm{{0, 0, 3}}, Duration: 3},
+	}}
+	if merges := s.Pack(2); merges != 1 {
+		t.Fatalf("merges = %d, want 1", merges)
+	}
+	if s.NumSteps() != 1 {
+		t.Fatalf("steps = %d, want 1", s.NumSteps())
+	}
+	var got int64
+	for _, c := range s.Steps[0].Comms {
+		if c.L == 0 && c.R == 0 {
+			got = c.Amount
+		}
+	}
+	if got != 7 {
+		t.Fatalf("fused amount = %d, want 7", got)
+	}
+	if s.Steps[0].Duration != 7 {
+		t.Fatalf("duration = %d, want 7", s.Steps[0].Duration)
+	}
+}
+
+func TestPackMixedSharedAndNewPairs(t *testing.T) {
+	// A step that shares one pair with the target and brings one new
+	// disjoint pair fuses as long as the union fits k.
+	s := &Schedule{Beta: 1, Steps: []Step{
+		{Comms: []Comm{{0, 0, 6}, {1, 1, 2}}, Duration: 6},
+		{Comms: []Comm{{0, 0, 1}, {2, 2, 5}}, Duration: 5},
+	}}
+	if merges := s.Pack(3); merges != 1 {
+		t.Fatalf("merges = %d, want 1", merges)
+	}
+	if len(s.Steps[0].Comms) != 3 {
+		t.Fatalf("fused step has %d comms, want 3", len(s.Steps[0].Comms))
+	}
+}
+
+func TestPackChainsMultipleMerges(t *testing.T) {
+	// Four singleton steps on disjoint pairs collapse into one step of
+	// the longest duration.
+	s := &Schedule{Beta: 2, Steps: []Step{
+		{Comms: []Comm{{0, 0, 9}}, Duration: 9},
+		{Comms: []Comm{{1, 1, 3}}, Duration: 3},
+		{Comms: []Comm{{2, 2, 7}}, Duration: 7},
+		{Comms: []Comm{{3, 3, 1}}, Duration: 1},
+	}}
+	merges := s.Pack(4)
+	if merges != 3 {
+		t.Fatalf("merges = %d, want 3", merges)
+	}
+	if s.NumSteps() != 1 || s.Steps[0].Duration != 9 {
+		t.Fatalf("expected one step of duration 9, got %+v", s.Steps)
+	}
+	if s.Cost() != 2+9 {
+		t.Fatalf("cost = %d, want 11", s.Cost())
+	}
+}
+
+func TestQuickPackPreservesValidityAndImproves(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomInstance(rng, 8, 30, 25)
+		k := 1 + rng.Intn(8)
+		for _, alg := range []Algorithm{GGP, OGGP, Greedy} {
+			s, err := Solve(g, k, 2, Options{Algorithm: alg})
+			if err != nil {
+				return false
+			}
+			before := s.Cost()
+			s.Pack(k)
+			if err := s.Validate(g, k); err != nil {
+				t.Logf("seed %d %v: %v", seed, alg, err)
+				return false
+			}
+			if s.Cost() > before {
+				t.Logf("seed %d %v: pack increased cost %d -> %d", seed, alg, before, s.Cost())
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSolvePackOption(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	g := randomInstance(rng, 10, 40, 20)
+	plain, err := Solve(g, 3, 2, Options{Algorithm: OGGP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	packed, err := Solve(g, 3, 2, Options{Algorithm: OGGP, Pack: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if packed.Cost() > plain.Cost() {
+		t.Fatalf("packed cost %d > plain %d", packed.Cost(), plain.Cost())
+	}
+	if err := packed.Validate(g, 3); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPackHelpsSparseInstances(t *testing.T) {
+	// The motivating case: a sparse instance where peeling fragments
+	// messages across narrow steps. Packing must strictly reduce the
+	// step count.
+	rng := rand.New(rand.NewSource(5))
+	var improved bool
+	for i := 0; i < 20; i++ {
+		g := randomInstance(rng, 30, 12, 20)
+		k := 10
+		plain, err := Solve(g, k, 1, Options{Algorithm: OGGP})
+		if err != nil {
+			t.Fatal(err)
+		}
+		packed := &Schedule{Beta: plain.Beta, Steps: append([]Step(nil), plain.Steps...)}
+		// Deep-copy comms so Pack cannot alias plain's slices.
+		for j := range packed.Steps {
+			packed.Steps[j].Comms = append([]Comm(nil), plain.Steps[j].Comms...)
+		}
+		if packed.Pack(k) > 0 && packed.NumSteps() < plain.NumSteps() {
+			improved = true
+		}
+		if err := packed.Validate(g, k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !improved {
+		t.Fatal("packing never improved any sparse instance")
+	}
+}

@@ -1,0 +1,125 @@
+package kpbs
+
+import (
+	"fmt"
+
+	"redistgo/internal/bipartite"
+	"redistgo/internal/matching"
+)
+
+// normComm is one real communication inside a normalized step: allocate
+// alloc normalized time units to original edge orig.
+type normComm struct {
+	orig  int
+	alloc int64
+}
+
+// normStep is a peeled step in normalized units. peel is the amount
+// subtracted from every matched edge (virtual ones included); comms lists
+// only the real edges.
+type normStep struct {
+	comms []normComm
+	peel  int64
+}
+
+// matcherKind selects the perfect-matching strategy used by the peeler.
+type matcherKind int
+
+const (
+	// matchAny uses any perfect matching (Hopcroft–Karp) — GGP (§4.2).
+	matchAny matcherKind = iota
+	// matchBottleneck maximizes the minimum matched weight — OGGP (§4.3),
+	// the paper's Figure-6 procedure.
+	matchBottleneck
+)
+
+// peel runs the WRGP loop (paper §4.1, Figure 3) on the augmented
+// weight-regular instance: repeatedly find a perfect matching, cut it to
+// its minimum weight w, emit a step of duration w, subtract w from every
+// matched edge, and drop edges that reach zero. The graph stays
+// weight-regular throughout, so a perfect matching always exists until the
+// graph is empty.
+func (in *instance) peel(kind matcherKind) ([]normStep, error) {
+	var steps []normStep
+	remaining := in.regular
+	// Each iteration removes at least one edge (the minimum-weight matched
+	// edge reaches zero), so the loop bound also caps malfunctions.
+	maxIter := len(in.edges) + 1
+	for iter := 0; remaining > 0; iter++ {
+		if iter > maxIter {
+			return nil, fmt.Errorf("kpbs: peeling did not terminate after %d iterations", maxIter)
+		}
+		g, idx := in.asGraph()
+		var m matching.Matching
+		var ok bool
+		switch kind {
+		case matchBottleneck:
+			m, ok = matching.BottleneckPerfect(g)
+		default:
+			m, ok = matching.Perfect(g)
+		}
+		if !ok {
+			return nil, fmt.Errorf("kpbs: no perfect matching in weight-regular graph (R=%d, remaining=%d); augmentation is broken", in.regular, remaining)
+		}
+		w := m.MinWeight(g)
+		if w <= 0 {
+			return nil, fmt.Errorf("kpbs: matching with non-positive minimum weight %d", w)
+		}
+		step := normStep{peel: w}
+		for _, ge := range m.Edges() {
+			we := idx[ge]
+			in.edges[we].w -= w
+			if orig := in.edges[we].orig; orig >= 0 {
+				step.comms = append(step.comms, normComm{orig: orig, alloc: w})
+			}
+		}
+		// Steps whose matching contains only virtual edges transfer
+		// nothing and are dropped from the output (the paper's "extract R
+		// from the solution" phase); the peel still advances the graph.
+		if len(step.comms) > 0 {
+			steps = append(steps, step)
+		}
+		remaining -= w
+	}
+	// All real edges must be fully consumed.
+	for _, e := range in.edges {
+		if e.w != 0 {
+			return nil, fmt.Errorf("kpbs: edge (%d,%d) has residual weight %d after peeling", e.l, e.r, e.w)
+		}
+	}
+	return steps, nil
+}
+
+// wrgpGraph runs plain WRGP on an already weight-regular balanced graph
+// without any augmentation or normalization (paper §4.1: k unbounded,
+// β ignored). Exposed through SolveWRGP for completeness and tests.
+func wrgpGraph(g *bipartite.Graph, kind matcherKind) ([]normStep, *instance, error) {
+	r, ok := g.RegularWeight()
+	if !ok {
+		return nil, nil, fmt.Errorf("kpbs: WRGP requires a weight-regular graph")
+	}
+	if g.LeftCount() != g.RightCount() {
+		return nil, nil, fmt.Errorf("kpbs: WRGP requires a balanced graph, got %dx%d", g.LeftCount(), g.RightCount())
+	}
+	in := &instance{
+		nL:      g.LeftCount(),
+		nR:      g.RightCount(),
+		realL:   g.LeftCount(),
+		realR:   g.RightCount(),
+		k:       g.LeftCount(),
+		regular: r,
+	}
+	in.mapL = make([]int, in.realL)
+	in.mapR = make([]int, in.realR)
+	for i := range in.mapL {
+		in.mapL[i] = i
+	}
+	for i := range in.mapR {
+		in.mapR[i] = i
+	}
+	for i, e := range g.Edges() {
+		in.edges = append(in.edges, workEdge{l: e.L, r: e.R, w: e.Weight, orig: i})
+	}
+	steps, err := in.peel(kind)
+	return steps, in, err
+}

@@ -1,0 +1,222 @@
+package kpbs
+
+import (
+	"fmt"
+	"sort"
+
+	"redistgo/internal/bipartite"
+)
+
+// Algorithm selects the scheduling algorithm.
+type Algorithm int
+
+const (
+	// GGP is the Generic Graph Peeling 2-approximation (paper §4.2).
+	GGP Algorithm = iota
+	// OGGP is the Optimized Generic Graph Peeling 2-approximation
+	// (paper §4.3): GGP with a bottleneck matching at each peel.
+	OGGP
+	// MinSteps schedules without preemption in the provably minimum
+	// number of steps max(Δ(G), ⌈m/k⌉): GGP on unit weights. An extension
+	// of the paper; the right choice when β dominates the weights.
+	MinSteps
+	// Greedy is a list-scheduling baseline without preemption: repeatedly
+	// build a step from the heaviest remaining compatible edges.
+	Greedy
+)
+
+// String returns the algorithm's conventional name.
+func (a Algorithm) String() string {
+	switch a {
+	case GGP:
+		return "GGP"
+	case OGGP:
+		return "OGGP"
+	case MinSteps:
+		return "MinSteps"
+	case Greedy:
+		return "Greedy"
+	}
+	return fmt.Sprintf("Algorithm(%d)", int(a))
+}
+
+// Options configure Solve beyond the instance parameters.
+type Options struct {
+	// Algorithm to run; GGP by default.
+	Algorithm Algorithm
+	// Coalesce merges adjacent steps with identical communication pairs
+	// after solving, saving one β per merge. Off by default so results
+	// reproduce the paper's algorithms verbatim.
+	Coalesce bool
+	// Pack merges node-disjoint steps that fit within k together after
+	// solving, saving β plus the shorter duration per merge (see
+	// Schedule.Pack). Off by default for the same reason.
+	Pack bool
+}
+
+// Solve computes a feasible K-PBS schedule for the instance (g, k, beta)
+// using the selected algorithm. The returned schedule transfers exactly
+// the weights of g (amounts are in the same units as the edge weights)
+// and satisfies the 1-port and k constraints.
+func Solve(g *bipartite.Graph, k int, beta int64, opts Options) (*Schedule, error) {
+	var s *Schedule
+	var err error
+	switch opts.Algorithm {
+	case GGP:
+		s, err = solvePeeling(g, k, beta, matchAny, false)
+	case OGGP:
+		s, err = solvePeeling(g, k, beta, matchBottleneck, false)
+	case MinSteps:
+		s, err = solvePeeling(g, k, beta, matchBottleneck, true)
+	case Greedy:
+		s, err = solveGreedy(g, k, beta)
+	default:
+		return nil, fmt.Errorf("kpbs: unknown algorithm %v", opts.Algorithm)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if opts.Coalesce {
+		s.Coalesce()
+	}
+	if opts.Pack {
+		s.Pack(k)
+	}
+	return s, nil
+}
+
+// solvePeeling is the common GGP/OGGP/MinSteps pipeline: normalize,
+// augment to weight-regular, peel, then convert the normalized steps back
+// to a schedule in original units.
+func solvePeeling(g *bipartite.Graph, k int, beta int64, kind matcherKind, unitWeights bool) (*Schedule, error) {
+	in, err := buildInstance(g, k, beta, unitWeights)
+	if err != nil {
+		return nil, err
+	}
+	if in == nil {
+		return &Schedule{Beta: beta}, nil
+	}
+	steps, err := in.peel(kind)
+	if err != nil {
+		return nil, err
+	}
+	return denormalize(g, in, steps, beta, unitWeights), nil
+}
+
+// denormalize converts normalized peeled steps back into original time
+// units. For β > 0 each edge was allotted ⌈w/β⌉ normalized units; the real
+// transfer per step is min(remaining, alloc·β), so the final chunk shrinks
+// to exactly exhaust the edge and the real cost is never above the
+// normalized cost. In unit-weight mode (MinSteps) each edge appears in
+// exactly one step and carries its full weight.
+func denormalize(g *bipartite.Graph, in *instance, steps []normStep, beta int64, unitWeights bool) *Schedule {
+	rem := make([]int64, g.EdgeCount())
+	for i := 0; i < g.EdgeCount(); i++ {
+		rem[i] = g.Edge(i).Weight
+	}
+	out := &Schedule{Beta: beta}
+	for _, ns := range steps {
+		var st Step
+		for _, c := range ns.comms {
+			amount := c.alloc
+			if unitWeights {
+				amount = rem[c.orig]
+			} else if beta > 0 {
+				amount = c.alloc * beta
+			}
+			if amount > rem[c.orig] {
+				amount = rem[c.orig]
+			}
+			if amount <= 0 {
+				continue
+			}
+			rem[c.orig] -= amount
+			e := g.Edge(c.orig)
+			st.Comms = append(st.Comms, Comm{L: e.L, R: e.R, Amount: amount})
+		}
+		if len(st.Comms) > 0 {
+			st.recomputeDuration()
+			out.Steps = append(out.Steps, st)
+		}
+	}
+	return out
+}
+
+// SolveWRGP runs the plain WRGP peeler (paper §4.1) on a weight-regular
+// balanced graph: k is unbounded (every step is a perfect matching) and β
+// is not considered. bottleneck selects OGGP's matching rule.
+func SolveWRGP(g *bipartite.Graph, bottleneck bool) (*Schedule, error) {
+	kind := matchAny
+	if bottleneck {
+		kind = matchBottleneck
+	}
+	if g.EdgeCount() == 0 {
+		if g.LeftCount() != g.RightCount() {
+			return nil, fmt.Errorf("kpbs: WRGP requires a balanced graph, got %dx%d", g.LeftCount(), g.RightCount())
+		}
+		return &Schedule{}, nil
+	}
+	steps, in, err := wrgpGraph(g, kind)
+	if err != nil {
+		return nil, err
+	}
+	return denormalize(g, in, steps, 0, false), nil
+}
+
+// solveGreedy is a non-preemptive list-scheduling baseline: edges sorted
+// by decreasing weight; each step greedily packs up to k compatible edges
+// in that order. It respects the instance constraints but has no
+// approximation guarantee; it exists to quantify what the peeling buys.
+func solveGreedy(g *bipartite.Graph, k int, beta int64) (*Schedule, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("kpbs: k must be positive, got %d", k)
+	}
+	if beta < 0 {
+		return nil, fmt.Errorf("kpbs: beta must be non-negative, got %d", beta)
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	order := make([]int, g.EdgeCount())
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		wa, wb := g.Edge(order[a]).Weight, g.Edge(order[b]).Weight
+		if wa != wb {
+			return wa > wb
+		}
+		return order[a] < order[b]
+	})
+	done := make([]bool, g.EdgeCount())
+	left := g.EdgeCount()
+	out := &Schedule{Beta: beta}
+	usedL := make([]bool, g.LeftCount())
+	usedR := make([]bool, g.RightCount())
+	for left > 0 {
+		for i := range usedL {
+			usedL[i] = false
+		}
+		for i := range usedR {
+			usedR[i] = false
+		}
+		var st Step
+		for _, ei := range order {
+			if done[ei] || len(st.Comms) == k {
+				continue
+			}
+			e := g.Edge(ei)
+			if usedL[e.L] || usedR[e.R] {
+				continue
+			}
+			usedL[e.L] = true
+			usedR[e.R] = true
+			done[ei] = true
+			left--
+			st.Comms = append(st.Comms, Comm{L: e.L, R: e.R, Amount: e.Weight})
+		}
+		st.recomputeDuration()
+		out.Steps = append(out.Steps, st)
+	}
+	return out, nil
+}

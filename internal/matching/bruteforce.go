@@ -1,0 +1,71 @@
+package matching
+
+import "redistgo/internal/bipartite"
+
+// BruteForceMaxSize returns the maximum matching cardinality of g by
+// exhaustive search. Exponential; intended only for validating the fast
+// algorithms on small graphs in tests.
+func BruteForceMaxSize(g *bipartite.Graph) int {
+	usedL := make([]bool, g.LeftCount())
+	usedR := make([]bool, g.RightCount())
+	best := 0
+	var rec func(edge, size int)
+	rec = func(edge, size int) {
+		if size > best {
+			best = size
+		}
+		if edge == g.EdgeCount() {
+			return
+		}
+		// Prune: even taking every remaining edge cannot beat best.
+		if size+(g.EdgeCount()-edge) <= best {
+			return
+		}
+		e := g.Edge(edge)
+		if !usedL[e.L] && !usedR[e.R] {
+			usedL[e.L], usedR[e.R] = true, true
+			rec(edge+1, size+1)
+			usedL[e.L], usedR[e.R] = false, false
+		}
+		rec(edge+1, size)
+	}
+	rec(0, 0)
+	return best
+}
+
+// BruteForceBottleneck returns the best achievable minimum weight over all
+// matchings of g with exactly the given cardinality, or ok=false if no
+// such matching exists. Exponential; tests only.
+func BruteForceBottleneck(g *bipartite.Graph, cardinality int) (int64, bool) {
+	usedL := make([]bool, g.LeftCount())
+	usedR := make([]bool, g.RightCount())
+	var best int64 = -1
+	var rec func(edge, size int, min int64)
+	rec = func(edge, size int, min int64) {
+		if size == cardinality {
+			if min > best {
+				best = min
+			}
+			return
+		}
+		if edge == g.EdgeCount() || size+(g.EdgeCount()-edge) < cardinality {
+			return
+		}
+		e := g.Edge(edge)
+		if !usedL[e.L] && !usedR[e.R] {
+			m := min
+			if m < 0 || e.Weight < m {
+				m = e.Weight
+			}
+			usedL[e.L], usedR[e.R] = true, true
+			rec(edge+1, size+1, m)
+			usedL[e.L], usedR[e.R] = false, false
+		}
+		rec(edge+1, size, min)
+	}
+	rec(0, 0, -1)
+	if best < 0 {
+		return 0, false
+	}
+	return best, true
+}

@@ -1,0 +1,367 @@
+// Package matching provides bipartite matching algorithms for the K-PBS
+// schedulers:
+//
+//   - Maximum: Hopcroft–Karp maximum-cardinality matching, O(m√n). This is
+//     the "any matching algorithm" slot of GGP (paper §4.1 cites [22]; the
+//     peeling loop is independent of the matcher).
+//   - Perfect: a perfect matching of a balanced graph, or a report that
+//     none exists.
+//   - BottleneckPerfect / BottleneckMaximum: a (perfect / maximum)
+//     matching whose minimum edge weight is as large as possible — the
+//     paper's Figure-6 procedure, used by OGGP: insert edges in decreasing
+//     weight order and grow the matching with augmenting paths until it
+//     reaches the target cardinality.
+//
+// All functions operate on *bipartite.Graph and return matchings as sets
+// of edge indices, so parallel edges are handled correctly.
+package matching
+
+import (
+	"sort"
+
+	"redistgo/internal/bipartite"
+)
+
+// Matching is a set of edges of a bipartite graph such that no two edges
+// share an endpoint.
+type Matching struct {
+	// EdgeOfLeft[l] is the index (into the graph's edge list) of the edge
+	// matching left node l, or -1 if l is unmatched.
+	EdgeOfLeft []int
+	// Size is the number of matched pairs.
+	Size int
+}
+
+// Edges returns the matched edge indices in increasing left-node order.
+func (m Matching) Edges() []int {
+	out := make([]int, 0, m.Size)
+	for _, e := range m.EdgeOfLeft {
+		if e >= 0 {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// MinWeight returns the smallest weight among matched edges of g, or 0 if
+// the matching is empty.
+func (m Matching) MinWeight(g *bipartite.Graph) int64 {
+	var min int64
+	first := true
+	for _, e := range m.EdgeOfLeft {
+		if e < 0 {
+			continue
+		}
+		w := g.Edge(e).Weight
+		if first || w < min {
+			min = w
+			first = false
+		}
+	}
+	if first {
+		return 0
+	}
+	return min
+}
+
+// IsPerfect reports whether the matching covers every node of g (which
+// requires a balanced graph).
+func (m Matching) IsPerfect(g *bipartite.Graph) bool {
+	return g.LeftCount() == g.RightCount() && m.Size == g.LeftCount()
+}
+
+const inf = int(^uint(0) >> 1)
+
+// hk is the Hopcroft–Karp working state over an adjacency restricted to a
+// subset of edges.
+type hk struct {
+	nLeft, nRight int
+	// adj[l] lists (right node, edge index) pairs.
+	adjR []int // flattened right endpoints
+	adjE []int // flattened edge indices
+	off  []int // adj offsets per left node, len nLeft+1
+
+	matchL []int // edge index matched to left node, -1 if free
+	matchR []int // edge index matched to right node, -1 if free
+	distL  []int
+	queue  []int
+	size   int
+}
+
+func newHK(g *bipartite.Graph, include func(edge int) bool) *hk {
+	h := &hk{nLeft: g.LeftCount(), nRight: g.RightCount()}
+	counts := make([]int, h.nLeft)
+	total := 0
+	for i := 0; i < g.EdgeCount(); i++ {
+		if include == nil || include(i) {
+			counts[g.Edge(i).L]++
+			total++
+		}
+	}
+	h.off = make([]int, h.nLeft+1)
+	for i, c := range counts {
+		h.off[i+1] = h.off[i] + c
+	}
+	h.adjR = make([]int, total)
+	h.adjE = make([]int, total)
+	fill := make([]int, h.nLeft)
+	copy(fill, h.off[:h.nLeft])
+	for i := 0; i < g.EdgeCount(); i++ {
+		if include == nil || include(i) {
+			e := g.Edge(i)
+			h.adjR[fill[e.L]] = e.R
+			h.adjE[fill[e.L]] = i
+			fill[e.L]++
+		}
+	}
+	h.matchL = make([]int, h.nLeft)
+	h.matchR = make([]int, h.nRight)
+	for i := range h.matchL {
+		h.matchL[i] = -1
+	}
+	for i := range h.matchR {
+		h.matchR[i] = -1
+	}
+	h.distL = make([]int, h.nLeft)
+	return h
+}
+
+// bfs layers free left nodes; returns true if an augmenting path exists.
+func (h *hk) bfs(g *bipartite.Graph) bool {
+	h.queue = h.queue[:0]
+	for l := 0; l < h.nLeft; l++ {
+		if h.matchL[l] < 0 {
+			h.distL[l] = 0
+			h.queue = append(h.queue, l)
+		} else {
+			h.distL[l] = inf
+		}
+	}
+	found := false
+	for qi := 0; qi < len(h.queue); qi++ {
+		l := h.queue[qi]
+		for i := h.off[l]; i < h.off[l+1]; i++ {
+			r := h.adjR[i]
+			me := h.matchR[r]
+			if me < 0 {
+				found = true
+				continue
+			}
+			nl := g.Edge(me).L
+			if h.distL[nl] == inf {
+				h.distL[nl] = h.distL[l] + 1
+				h.queue = append(h.queue, nl)
+			}
+		}
+	}
+	return found
+}
+
+// dfs searches a shortest augmenting path from left node l.
+func (h *hk) dfs(g *bipartite.Graph, l int) bool {
+	for i := h.off[l]; i < h.off[l+1]; i++ {
+		r := h.adjR[i]
+		edge := h.adjE[i]
+		me := h.matchR[r]
+		if me < 0 {
+			h.matchL[l] = edge
+			h.matchR[r] = edge
+			return true
+		}
+		nl := g.Edge(me).L
+		if h.distL[nl] == h.distL[l]+1 && h.dfs(g, nl) {
+			h.matchL[l] = edge
+			h.matchR[r] = edge
+			return true
+		}
+	}
+	h.distL[l] = inf
+	return false
+}
+
+func (h *hk) run(g *bipartite.Graph) {
+	for h.bfs(g) {
+		for l := 0; l < h.nLeft; l++ {
+			if h.matchL[l] < 0 && h.dfs(g, l) {
+				h.size++
+			}
+		}
+	}
+}
+
+func (h *hk) matching() Matching {
+	return Matching{EdgeOfLeft: append([]int(nil), h.matchL...), Size: h.size}
+}
+
+// Maximum returns a maximum-cardinality matching of g (Hopcroft–Karp).
+func Maximum(g *bipartite.Graph) Matching {
+	h := newHK(g, nil)
+	h.run(g)
+	return h.matching()
+}
+
+// Perfect returns a perfect matching of g if one exists. A perfect
+// matching pairs every node on both sides, so g must be balanced.
+func Perfect(g *bipartite.Graph) (Matching, bool) {
+	if g.LeftCount() != g.RightCount() {
+		return Matching{}, false
+	}
+	m := Maximum(g)
+	if m.Size != g.LeftCount() {
+		return Matching{}, false
+	}
+	return m, true
+}
+
+// kuhnAugment tries to find an augmenting path from left node l within the
+// active edge set, using iterative-deepening-free simple DFS (Kuhn).
+// visitedR marks right nodes seen in this search; stamp avoids clearing.
+type kuhn struct {
+	g        *bipartite.Graph
+	adj      [][]int // active edge indices per left node
+	matchL   []int
+	matchR   []int
+	visitedR []int
+	stamp    int
+	size     int
+}
+
+func newKuhn(g *bipartite.Graph) *kuhn {
+	k := &kuhn{
+		g:        g,
+		adj:      make([][]int, g.LeftCount()),
+		matchL:   make([]int, g.LeftCount()),
+		matchR:   make([]int, g.RightCount()),
+		visitedR: make([]int, g.RightCount()),
+	}
+	for i := range k.matchL {
+		k.matchL[i] = -1
+	}
+	for i := range k.matchR {
+		k.matchR[i] = -1
+	}
+	return k
+}
+
+func (k *kuhn) addEdge(edge int) {
+	l := k.g.Edge(edge).L
+	k.adj[l] = append(k.adj[l], edge)
+}
+
+func (k *kuhn) augment(l int) bool {
+	for _, edge := range k.adj[l] {
+		r := k.g.Edge(edge).R
+		if k.visitedR[r] == k.stamp {
+			continue
+		}
+		k.visitedR[r] = k.stamp
+		me := k.matchR[r]
+		if me < 0 || k.augment(k.g.Edge(me).L) {
+			k.matchL[l] = edge
+			k.matchR[r] = edge
+			return true
+		}
+	}
+	return false
+}
+
+// tryGrow attempts one augmentation from any free left node; returns true
+// if the matching grew.
+func (k *kuhn) tryGrow() bool {
+	for l := range k.adj {
+		if k.matchL[l] >= 0 || len(k.adj[l]) == 0 {
+			continue
+		}
+		k.stamp++
+		if k.augment(l) {
+			k.size++
+			return true
+		}
+	}
+	return false
+}
+
+// bottleneck implements the paper's Figure-6 procedure generalized to a
+// target cardinality: edges are inserted in decreasing weight order; after
+// each insertion we try to grow the matching; we stop as soon as the
+// matching reaches target. The resulting matching maximizes the minimum
+// edge weight among all matchings of that cardinality.
+func bottleneck(g *bipartite.Graph, target int) (Matching, bool) {
+	if target == 0 {
+		return Matching{EdgeOfLeft: newKuhn(g).matchL}, true
+	}
+	order := make([]int, g.EdgeCount())
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		return g.Edge(order[a]).Weight > g.Edge(order[b]).Weight
+	})
+	k := newKuhn(g)
+	i := 0
+	for i < len(order) {
+		// Insert the whole group of equal-weight edges before augmenting:
+		// augmentation order within a weight class cannot change the
+		// bottleneck value, and batching keeps the loop simple.
+		w := g.Edge(order[i]).Weight
+		for i < len(order) && g.Edge(order[i]).Weight == w {
+			k.addEdge(order[i])
+			i++
+		}
+		for k.size < target && k.tryGrow() {
+		}
+		if k.size == target {
+			return Matching{EdgeOfLeft: append([]int(nil), k.matchL...), Size: k.size}, true
+		}
+	}
+	return Matching{}, false
+}
+
+// BottleneckMaximum returns a maximum-cardinality matching of g whose
+// minimum edge weight is maximum among all maximum matchings.
+func BottleneckMaximum(g *bipartite.Graph) Matching {
+	max := Maximum(g)
+	m, ok := bottleneck(g, max.Size)
+	if !ok {
+		// Unreachable: the full edge set admits a matching of size max.Size.
+		return max
+	}
+	return m
+}
+
+// BottleneckPerfect returns a perfect matching of g maximizing the minimum
+// edge weight, or ok=false if g has no perfect matching.
+func BottleneckPerfect(g *bipartite.Graph) (Matching, bool) {
+	if g.LeftCount() != g.RightCount() {
+		return Matching{}, false
+	}
+	return bottleneck(g, g.LeftCount())
+}
+
+// Validate checks that m is a well-formed matching of g: edge indices in
+// range, consistency of EdgeOfLeft, and no shared right endpoints.
+func Validate(g *bipartite.Graph, m Matching) bool {
+	if len(m.EdgeOfLeft) != g.LeftCount() {
+		return false
+	}
+	seenR := make(map[int]bool)
+	count := 0
+	for l, e := range m.EdgeOfLeft {
+		if e < 0 {
+			continue
+		}
+		if e >= g.EdgeCount() {
+			return false
+		}
+		edge := g.Edge(e)
+		if edge.L != l {
+			return false
+		}
+		if seenR[edge.R] {
+			return false
+		}
+		seenR[edge.R] = true
+		count++
+	}
+	return count == m.Size
+}

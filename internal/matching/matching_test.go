@@ -1,0 +1,300 @@
+package matching
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"redistgo/internal/bipartite"
+)
+
+func graphFromMatrix(t testing.TB, m [][]int64) *bipartite.Graph {
+	t.Helper()
+	g, err := bipartite.FromMatrix(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestMaximumSimple(t *testing.T) {
+	// 3x3 with a unique perfect matching along the diagonal.
+	g := graphFromMatrix(t, [][]int64{
+		{1, 1, 0},
+		{0, 1, 1},
+		{0, 0, 1},
+	})
+	m := Maximum(g)
+	if m.Size != 3 {
+		t.Fatalf("size = %d, want 3", m.Size)
+	}
+	if !Validate(g, m) {
+		t.Fatal("invalid matching")
+	}
+}
+
+func TestMaximumNoEdges(t *testing.T) {
+	g := bipartite.New(3, 3)
+	m := Maximum(g)
+	if m.Size != 0 {
+		t.Fatalf("size = %d, want 0", m.Size)
+	}
+	if !Validate(g, m) {
+		t.Fatal("invalid matching")
+	}
+}
+
+func TestMaximumUnbalanced(t *testing.T) {
+	g := bipartite.New(2, 5)
+	g.AddEdge(0, 4, 1)
+	g.AddEdge(1, 4, 1)
+	m := Maximum(g)
+	if m.Size != 1 {
+		t.Fatalf("size = %d, want 1 (both lefts contend for right 4)", m.Size)
+	}
+}
+
+func TestPerfectExists(t *testing.T) {
+	g := graphFromMatrix(t, [][]int64{
+		{2, 3},
+		{4, 5},
+	})
+	m, ok := Perfect(g)
+	if !ok {
+		t.Fatal("perfect matching not found")
+	}
+	if !m.IsPerfect(g) {
+		t.Fatal("IsPerfect = false for perfect matching")
+	}
+}
+
+func TestPerfectMissing(t *testing.T) {
+	// Both left nodes connect only to right 0: no perfect matching.
+	g := graphFromMatrix(t, [][]int64{
+		{1, 0},
+		{1, 0},
+	})
+	if _, ok := Perfect(g); ok {
+		t.Fatal("found perfect matching in graph without one")
+	}
+}
+
+func TestPerfectRejectsUnbalanced(t *testing.T) {
+	g := bipartite.New(2, 3)
+	g.AddEdge(0, 0, 1)
+	g.AddEdge(1, 1, 1)
+	if _, ok := Perfect(g); ok {
+		t.Fatal("perfect matching on unbalanced graph")
+	}
+}
+
+func TestBottleneckPerfectPrefersHeavyEdges(t *testing.T) {
+	// Two perfect matchings: {(0,0),(1,1)} with min 1 and {(0,1),(1,0)}
+	// with min 5. The bottleneck matcher must pick the latter.
+	g := graphFromMatrix(t, [][]int64{
+		{1, 5},
+		{6, 10},
+	})
+	m, ok := BottleneckPerfect(g)
+	if !ok {
+		t.Fatal("no perfect matching found")
+	}
+	if got := m.MinWeight(g); got != 5 {
+		t.Fatalf("bottleneck = %d, want 5", got)
+	}
+}
+
+func TestBottleneckPerfectNoPerfect(t *testing.T) {
+	g := graphFromMatrix(t, [][]int64{
+		{1, 0},
+		{1, 0},
+	})
+	if _, ok := BottleneckPerfect(g); ok {
+		t.Fatal("bottleneck perfect matching on graph without perfect matching")
+	}
+}
+
+func TestBottleneckMaximumEmptyGraph(t *testing.T) {
+	g := bipartite.New(2, 2)
+	m := BottleneckMaximum(g)
+	if m.Size != 0 {
+		t.Fatalf("size = %d, want 0", m.Size)
+	}
+	if m.MinWeight(g) != 0 {
+		t.Fatal("MinWeight of empty matching should be 0")
+	}
+}
+
+func TestBottleneckWithParallelEdges(t *testing.T) {
+	g := bipartite.New(1, 1)
+	g.AddEdge(0, 0, 1)
+	g.AddEdge(0, 0, 9)
+	m := BottleneckMaximum(g)
+	if m.Size != 1 {
+		t.Fatalf("size = %d, want 1", m.Size)
+	}
+	if got := m.MinWeight(g); got != 9 {
+		t.Fatalf("bottleneck = %d, want 9 (heavier parallel edge)", got)
+	}
+}
+
+func TestMatchingEdges(t *testing.T) {
+	g := graphFromMatrix(t, [][]int64{
+		{1, 0},
+		{0, 1},
+	})
+	m := Maximum(g)
+	edges := m.Edges()
+	if len(edges) != 2 {
+		t.Fatalf("edges = %v, want 2 entries", edges)
+	}
+}
+
+func TestValidateRejectsBadMatchings(t *testing.T) {
+	g := graphFromMatrix(t, [][]int64{
+		{1, 1},
+		{1, 1},
+	})
+	// Wrong length.
+	if Validate(g, Matching{EdgeOfLeft: []int{-1}, Size: 0}) {
+		t.Fatal("accepted wrong-length matching")
+	}
+	// Edge index out of range.
+	if Validate(g, Matching{EdgeOfLeft: []int{99, -1}, Size: 1}) {
+		t.Fatal("accepted out-of-range edge")
+	}
+	// Edge not incident to claimed left node: edge 2 is (1,0).
+	if Validate(g, Matching{EdgeOfLeft: []int{2, -1}, Size: 1}) {
+		t.Fatal("accepted inconsistent EdgeOfLeft")
+	}
+	// Shared right endpoint: edges 0=(0,0) and 2=(1,0).
+	if Validate(g, Matching{EdgeOfLeft: []int{0, 2}, Size: 2}) {
+		t.Fatal("accepted shared right endpoint")
+	}
+	// Wrong size.
+	if Validate(g, Matching{EdgeOfLeft: []int{0, -1}, Size: 2}) {
+		t.Fatal("accepted wrong size")
+	}
+}
+
+func randomGraph(rng *rand.Rand, maxNodes, maxEdges int, maxWeight int64) *bipartite.Graph {
+	nl := 1 + rng.Intn(maxNodes)
+	nr := 1 + rng.Intn(maxNodes)
+	g := bipartite.New(nl, nr)
+	for i := 0; i < rng.Intn(maxEdges+1); i++ {
+		g.AddEdge(rng.Intn(nl), rng.Intn(nr), 1+rng.Int63n(maxWeight))
+	}
+	return g
+}
+
+func TestQuickMaximumMatchesBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomGraph(rng, 5, 10, 9)
+		m := Maximum(g)
+		return Validate(g, m) && m.Size == BruteForceMaxSize(g)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickBottleneckMatchesBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomGraph(rng, 5, 10, 9)
+		m := BottleneckMaximum(g)
+		if !Validate(g, m) {
+			return false
+		}
+		if m.Size != BruteForceMaxSize(g) {
+			return false
+		}
+		if m.Size == 0 {
+			return true
+		}
+		want, ok := BruteForceBottleneck(g, m.Size)
+		return ok && m.MinWeight(g) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickBottleneckPerfectOptimal(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(4)
+		g := bipartite.New(n, n)
+		// Dense balanced graph: perfect matching guaranteed.
+		for l := 0; l < n; l++ {
+			for r := 0; r < n; r++ {
+				g.AddEdge(l, r, 1+rng.Int63n(20))
+			}
+		}
+		m, ok := BottleneckPerfect(g)
+		if !ok || !m.IsPerfect(g) || !Validate(g, m) {
+			return false
+		}
+		want, ok := BruteForceBottleneck(g, n)
+		return ok && m.MinWeight(g) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickPerfectOnRegularBipartiteGraphs(t *testing.T) {
+	// Degree-regular bipartite graphs always have perfect matchings
+	// (König / Hall). Build a random d-regular balanced graph by summing d
+	// random permutations and check Perfect succeeds.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(6)
+		d := 1 + rng.Intn(4)
+		g := bipartite.New(n, n)
+		for i := 0; i < d; i++ {
+			perm := rng.Perm(n)
+			for l, r := range perm {
+				g.AddEdge(l, r, 1+rng.Int63n(10))
+			}
+		}
+		m, ok := Perfect(g)
+		return ok && m.IsPerfect(g) && Validate(g, m)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkMaximumDense(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	g := bipartite.New(100, 100)
+	for l := 0; l < 100; l++ {
+		for r := 0; r < 100; r++ {
+			if rng.Intn(4) == 0 {
+				g.AddEdge(l, r, 1+rng.Int63n(100))
+			}
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Maximum(g)
+	}
+}
+
+func BenchmarkBottleneckMaximumDense(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	g := bipartite.New(100, 100)
+	for l := 0; l < 100; l++ {
+		for r := 0; r < 100; r++ {
+			if rng.Intn(4) == 0 {
+				g.AddEdge(l, r, 1+rng.Int63n(100))
+			}
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		BottleneckMaximum(g)
+	}
+}

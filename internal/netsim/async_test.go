@@ -1,0 +1,128 @@
+package netsim
+
+import (
+	"testing"
+)
+
+func asyncTestPlatform() Platform {
+	return Platform{N1: 4, N2: 4, T1: 8 * Mbit, T2: 8 * Mbit, Backbone: 1 * Gbit}
+}
+
+func TestRunAsyncIndependentCommsOverlap(t *testing.T) {
+	sim, err := New(Config{Platform: asyncTestPlatform()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	comms := []AsyncComm{
+		{Flow: Flow{Src: 0, Dst: 0, Bytes: 1 * MB}},
+		{Flow: Flow{Src: 1, Dst: 1, Bytes: 1 * MB}},
+	}
+	res, err := sim.RunAsync(comms, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both at 1 MB/s in parallel: 1 s total.
+	approx(t, res.Time, 1.0, 1e-9, "independent comms")
+	if res.MaxConcurrency != 2 {
+		t.Fatalf("concurrency = %d, want 2", res.MaxConcurrency)
+	}
+}
+
+func TestRunAsyncDependencySequencing(t *testing.T) {
+	sim, err := New(Config{Platform: asyncTestPlatform()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	comms := []AsyncComm{
+		{Flow: Flow{Src: 0, Dst: 0, Bytes: 1 * MB}},
+		{Flow: Flow{Src: 0, Dst: 1, Bytes: 1 * MB}, Deps: []int{0}},
+	}
+	res, err := sim.RunAsync(comms, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, res.Time, 2.0, 1e-9, "chained comms")
+	if res.Start[1] < res.End[0]-1e-9 {
+		t.Fatalf("dependent comm started at %g before dep ended at %g", res.Start[1], res.End[0])
+	}
+}
+
+func TestRunAsyncRespectsSlots(t *testing.T) {
+	sim, err := New(Config{Platform: asyncTestPlatform()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	comms := []AsyncComm{
+		{Flow: Flow{Src: 0, Dst: 0, Bytes: 1 * MB}},
+		{Flow: Flow{Src: 1, Dst: 1, Bytes: 1 * MB}},
+		{Flow: Flow{Src: 2, Dst: 2, Bytes: 1 * MB}},
+	}
+	res, err := sim.RunAsync(comms, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MaxConcurrency != 1 {
+		t.Fatalf("concurrency = %d, want 1 with k=1", res.MaxConcurrency)
+	}
+	approx(t, res.Time, 3.0, 1e-9, "serialized by slots")
+}
+
+func TestRunAsyncSetupDelay(t *testing.T) {
+	sim, err := New(Config{Platform: asyncTestPlatform()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	comms := []AsyncComm{{Flow: Flow{Src: 0, Dst: 0, Bytes: 1 * MB}}}
+	res, err := sim.RunAsync(comms, 1, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, res.Time, 1.5, 1e-9, "setup + transfer")
+}
+
+func TestRunAsyncZeroByteComm(t *testing.T) {
+	sim, err := New(Config{Platform: asyncTestPlatform()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	comms := []AsyncComm{
+		{Flow: Flow{Src: 0, Dst: 0, Bytes: 0}},
+		{Flow: Flow{Src: 0, Dst: 1, Bytes: 1 * MB}, Deps: []int{0}},
+	}
+	res, err := sim.RunAsync(comms, 2, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, res.Time, 1.5, 1e-9, "zero-byte dep + setup chain")
+}
+
+func TestRunAsyncValidation(t *testing.T) {
+	sim, err := New(Config{Platform: asyncTestPlatform()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok := []AsyncComm{{Flow: Flow{Src: 0, Dst: 0, Bytes: 1}}}
+	if _, err := sim.RunAsync(ok, 0, 0); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if _, err := sim.RunAsync(ok, 1, -1); err == nil {
+		t.Fatal("negative beta accepted")
+	}
+	bad := []AsyncComm{
+		{Flow: Flow{Src: 0, Dst: 0, Bytes: 1}},
+		{Flow: Flow{Src: 1, Dst: 1, Bytes: 1}, Deps: []int{5}},
+	}
+	if _, err := sim.RunAsync(bad, 1, 0); err == nil {
+		t.Fatal("forward dependency accepted")
+	}
+	if _, err := sim.RunAsync([]AsyncComm{{Flow: Flow{Src: -1, Dst: 0, Bytes: 1}}}, 1, 0); err == nil {
+		t.Fatal("bad endpoint accepted")
+	}
+	empty, err := sim.RunAsync(nil, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if empty.Time != 0 {
+		t.Fatal("empty plan should take no time")
+	}
+}

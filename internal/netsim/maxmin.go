@@ -1,0 +1,109 @@
+package netsim
+
+import "math"
+
+// resource is one capacitated element of the network: a sender NIC, a
+// receiver NIC, or the backbone.
+type resource struct {
+	capacity float64 // bytes/s
+	flows    []int   // indices of member flows
+}
+
+// maxMinRates computes the weighted max-min fair allocation of the given
+// flows over the given resources using progressive filling: every active
+// flow's rate grows proportionally to its weight until some resource
+// saturates, which freezes that resource's flows; repeat until all flows
+// are frozen.
+//
+// weights must be positive. The returned rates satisfy, for every
+// resource, Σ rates ≤ capacity (up to floating-point rounding), and no
+// single flow can be increased without decreasing a flow of smaller or
+// equal rate/weight ratio.
+func maxMinRates(numFlows int, weights []float64, resources []resource) []float64 {
+	rates := make([]float64, numFlows)
+	frozen := make([]bool, numFlows)
+	active := numFlows
+	lambda := 0.0
+
+	// Per-resource bookkeeping: capacity already consumed by frozen flows,
+	// total weight of unfrozen member flows, and — to stay robust against
+	// floating-point residue in the weight sums — an exact count of
+	// unfrozen members.
+	frozenUse := make([]float64, len(resources))
+	liveWeight := make([]float64, len(resources))
+	liveCount := make([]int, len(resources))
+	for ri, r := range resources {
+		for _, f := range r.flows {
+			liveWeight[ri] += weights[f]
+			liveCount[ri]++
+		}
+	}
+
+	for active > 0 {
+		// The next resource to saturate is the one with the smallest
+		// growth factor λ_r = (cap − frozenUse) / liveWeight.
+		best := -1
+		bestLambda := math.Inf(1)
+		for ri, r := range resources {
+			if liveCount[ri] == 0 || liveWeight[ri] <= 0 {
+				continue
+			}
+			lr := (r.capacity - frozenUse[ri]) / liveWeight[ri]
+			if lr < bestLambda {
+				bestLambda = lr
+				best = ri
+			}
+		}
+		if best < 0 {
+			// No resource constrains the remaining flows; they are only
+			// possible if a flow belongs to no resource, which the
+			// simulator never constructs. Freeze at current λ defensively.
+			for f := 0; f < numFlows; f++ {
+				if !frozen[f] {
+					rates[f] = weights[f] * lambda
+					frozen[f] = true
+				}
+			}
+			break
+		}
+		if bestLambda < lambda {
+			// Numerically a resource can appear oversubscribed by frozen
+			// flows; clamp so rates never decrease.
+			bestLambda = lambda
+		}
+		lambda = bestLambda
+		progressed := false
+		for _, f := range resources[best].flows {
+			if frozen[f] {
+				continue
+			}
+			rates[f] = weights[f] * lambda
+			frozen[f] = true
+			active--
+			progressed = true
+			// Remove the flow from every resource it uses.
+			for ri, r := range resources {
+				for _, ff := range r.flows {
+					if ff == f {
+						liveWeight[ri] -= weights[f]
+						liveCount[ri]--
+						frozenUse[ri] += rates[f]
+						break
+					}
+				}
+			}
+		}
+		if !progressed {
+			// Defensive: cannot happen with liveCount bookkeeping, but an
+			// infinite loop would be worse than a conservative freeze.
+			for f := 0; f < numFlows; f++ {
+				if !frozen[f] {
+					rates[f] = weights[f] * lambda
+					frozen[f] = true
+					active--
+				}
+			}
+		}
+	}
+	return rates
+}

@@ -1,0 +1,450 @@
+package netsim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func approx(t *testing.T, got, want, tol float64, msg string) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Fatalf("%s: got %g, want %g (±%g)", msg, got, want, tol)
+	}
+}
+
+func TestPlatformSpeedAndK(t *testing.T) {
+	// The paper's §2.1 worked example: n1=200, n2=100, t1=10 Mbit/s,
+	// t2=100 Mbit/s, T=1 Gbit/s -> k=100, t=10 Mbit/s.
+	p := Platform{N1: 200, N2: 100, T1: 10 * Mbit, T2: 100 * Mbit, Backbone: 1 * Gbit}
+	if p.Speed() != 10*Mbit {
+		t.Fatalf("Speed = %g, want 10 Mbit", p.Speed())
+	}
+	if p.K() != 100 {
+		t.Fatalf("K = %d, want 100", p.K())
+	}
+}
+
+func TestPlatformKClampedByNodes(t *testing.T) {
+	p := Platform{N1: 3, N2: 8, T1: 10 * Mbit, T2: 10 * Mbit, Backbone: 1 * Gbit}
+	if p.K() != 3 {
+		t.Fatalf("K = %d, want 3 (node-limited)", p.K())
+	}
+}
+
+func TestPlatformKAtLeastOne(t *testing.T) {
+	// Backbone slower than a single NIC: still one communication at a time.
+	p := Platform{N1: 4, N2: 4, T1: 100 * Mbit, T2: 100 * Mbit, Backbone: 10 * Mbit}
+	if p.K() != 1 {
+		t.Fatalf("K = %d, want 1", p.K())
+	}
+	if p.Speed() != 10*Mbit {
+		t.Fatalf("Speed = %g, want backbone-limited 10 Mbit", p.Speed())
+	}
+}
+
+func TestPaperTestbed(t *testing.T) {
+	p := PaperTestbed(5)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if p.K() != 5 {
+		t.Fatalf("K = %d, want 5 (rshaper-shaped NICs)", p.K())
+	}
+	if PaperTestbed(0).K() != 1 {
+		t.Fatal("PaperTestbed should clamp k to 1")
+	}
+}
+
+func TestPlatformValidate(t *testing.T) {
+	bad := []Platform{
+		{N1: 0, N2: 1, T1: 1, T2: 1, Backbone: 1},
+		{N1: 1, N2: 0, T1: 1, T2: 1, Backbone: 1},
+		{N1: 1, N2: 1, T1: 0, T2: 1, Backbone: 1},
+		{N1: 1, N2: 1, T1: 1, T2: -1, Backbone: 1},
+		{N1: 1, N2: 1, T1: 1, T2: 1, Backbone: 0},
+	}
+	for i, p := range bad {
+		if p.Validate() == nil {
+			t.Fatalf("case %d: invalid platform accepted", i)
+		}
+	}
+}
+
+func ideal(p Platform) Config { return Config{Platform: p} }
+
+func TestSingleFlowRate(t *testing.T) {
+	p := Platform{N1: 1, N2: 1, T1: 80 * Mbit, T2: 100 * Mbit, Backbone: 1 * Gbit}
+	sim, err := New(ideal(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 10 MB over min(80 Mbit/s)=10 MB/s -> 1 s.
+	res, err := sim.BruteForce([]Flow{{Src: 0, Dst: 0, Bytes: 10 * MB}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, res.Time, 1.0, 1e-9, "single flow time")
+}
+
+func TestDisjointFlowsRunInParallel(t *testing.T) {
+	p := Platform{N1: 4, N2: 4, T1: 8 * Mbit, T2: 8 * Mbit, Backbone: 1 * Gbit}
+	sim, err := New(ideal(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	flows := []Flow{
+		{0, 0, 1 * MB}, {1, 1, 1 * MB}, {2, 2, 1 * MB}, {3, 3, 1 * MB},
+	}
+	res, err := sim.BruteForce(flows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each NIC does 1 MB/s; disjoint pairs, huge backbone -> 1 s total.
+	approx(t, res.Time, 1.0, 1e-9, "disjoint flows")
+}
+
+func TestSharedSenderHalvesRates(t *testing.T) {
+	p := Platform{N1: 1, N2: 2, T1: 8 * Mbit, T2: 8 * Mbit, Backbone: 1 * Gbit}
+	sim, err := New(ideal(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.BruteForce([]Flow{{0, 0, 1 * MB}, {0, 1, 1 * MB}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sender NIC 1 MB/s shared by two flows: 0.5 MB/s each -> 2 s.
+	approx(t, res.Time, 2.0, 1e-9, "shared sender")
+}
+
+func TestBackboneBottleneckSharing(t *testing.T) {
+	p := Platform{N1: 2, N2: 2, T1: 80 * Mbit, T2: 80 * Mbit, Backbone: 80 * Mbit}
+	sim, err := New(ideal(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two disjoint flows of 10 MB share an 10 MB/s backbone: 5 MB/s each.
+	res, err := sim.BruteForce([]Flow{{0, 0, 10 * MB}, {1, 1, 10 * MB}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, res.Time, 2.0, 1e-9, "backbone shared")
+}
+
+func TestUnequalFlowsFreeCapacityWhenDone(t *testing.T) {
+	// Two flows share the backbone; when the short one finishes, the long
+	// one speeds up to NIC rate.
+	p := Platform{N1: 2, N2: 2, T1: 80 * Mbit, T2: 80 * Mbit, Backbone: 80 * Mbit}
+	sim, err := New(ideal(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.BruteForce([]Flow{{0, 0, 5 * MB}, {1, 1, 15 * MB}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Phase 1: both at 5 MB/s until the 5 MB flow ends (t=1 s, long flow
+	// has 10 MB left). Phase 2: long flow alone at 10 MB/s -> 1 more s.
+	approx(t, res.Time, 2.0, 1e-9, "two-phase completion")
+}
+
+func TestZeroByteFlowsIgnored(t *testing.T) {
+	p := PaperTestbed(1)
+	sim, err := New(ideal(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.BruteForce([]Flow{{0, 0, 0}, {1, 1, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, res.Time, 0, 1e-12, "all-zero flows")
+}
+
+func TestFlowValidation(t *testing.T) {
+	sim, err := New(ideal(PaperTestbed(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := [][]Flow{
+		{{Src: -1, Dst: 0, Bytes: 1}},
+		{{Src: 10, Dst: 0, Bytes: 1}},
+		{{Src: 0, Dst: -1, Bytes: 1}},
+		{{Src: 0, Dst: 10, Bytes: 1}},
+		{{Src: 0, Dst: 0, Bytes: -5}},
+		{{Src: 0, Dst: 0, Bytes: math.NaN()}},
+		{{Src: 0, Dst: 0, Bytes: math.Inf(1)}},
+	}
+	for i, flows := range bad {
+		if _, err := sim.BruteForce(flows); err == nil {
+			t.Fatalf("case %d: invalid flow accepted", i)
+		}
+		if _, err := sim.RunSteps([][]Flow{flows}, 0); err == nil {
+			t.Fatalf("case %d: invalid step flow accepted", i)
+		}
+	}
+}
+
+func TestNewRejectsBadConfig(t *testing.T) {
+	if _, err := New(Config{Platform: Platform{}}); err == nil {
+		t.Fatal("zero platform accepted")
+	}
+	cfg := ideal(PaperTestbed(3))
+	cfg.CongestionAlpha = -1
+	if _, err := New(cfg); err == nil {
+		t.Fatal("negative alpha accepted")
+	}
+	cfg = ideal(PaperTestbed(3))
+	cfg.JitterSigma = -1
+	if _, err := New(cfg); err == nil {
+		t.Fatal("negative sigma accepted")
+	}
+}
+
+func TestRunStepsAddsBarriers(t *testing.T) {
+	p := Platform{N1: 2, N2: 2, T1: 8 * Mbit, T2: 8 * Mbit, Backbone: 1 * Gbit}
+	sim, err := New(ideal(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	steps := [][]Flow{
+		{{0, 0, 1 * MB}, {1, 1, 1 * MB}}, // 1 s
+		{{0, 1, 2 * MB}},                 // 2 s
+	}
+	res, err := sim.RunSteps(steps, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Steps != 2 || len(res.StepTimes) != 2 {
+		t.Fatalf("steps = %d, StepTimes = %v", res.Steps, res.StepTimes)
+	}
+	approx(t, res.StepTimes[0], 1.0, 1e-9, "step 1")
+	approx(t, res.StepTimes[1], 2.0, 1e-9, "step 2")
+	approx(t, res.Time, 4.0, 1e-9, "total with two 0.5s barriers")
+	if _, err := sim.RunSteps(steps, -1); err == nil {
+		t.Fatal("negative beta accepted")
+	}
+}
+
+func TestCongestionDeratingSlowsBruteForce(t *testing.T) {
+	// k=3 testbed: 10x10 all-pairs traffic oversubscribes the backbone
+	// 10/3 times. With the TCP model the brute force must be slower than
+	// the ideal fluid bound; without it, not.
+	p := PaperTestbed(3)
+	flows := make([]Flow, 0, 100)
+	for i := 0; i < 10; i++ {
+		for j := 0; j < 10; j++ {
+			flows = append(flows, Flow{Src: i, Dst: j, Bytes: 1 * MB})
+		}
+	}
+	idealSim, err := New(ideal(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	idealRes, err := idealSim.BruteForce(flows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tcpSim, err := New(DefaultConfig(p, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tcpRes, err := tcpSim.BruteForce(flows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tcpRes.Time <= idealRes.Time {
+		t.Fatalf("TCP model %.3fs not slower than ideal %.3fs", tcpRes.Time, idealRes.Time)
+	}
+	// Ideal aggregate is backbone-limited: 100 MB over 12.5 MB/s = 8 s.
+	approx(t, idealRes.Time, 8.0, 1e-6, "ideal backbone-limited time")
+}
+
+func TestBruteForceNondeterministicAcrossSeeds(t *testing.T) {
+	// The paper reports up to ~10% run-to-run variation for brute-force
+	// TCP and exact determinism for the scheduled approach.
+	p := PaperTestbed(3)
+	flows := make([]Flow, 0, 100)
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 10; i++ {
+		for j := 0; j < 10; j++ {
+			flows = append(flows, Flow{Src: i, Dst: j, Bytes: float64(10+rng.Intn(30)) * MB})
+		}
+	}
+	times := map[float64]bool{}
+	for seed := int64(0); seed < 5; seed++ {
+		sim, err := New(DefaultConfig(p, seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sim.BruteForce(flows)
+		if err != nil {
+			t.Fatal(err)
+		}
+		times[res.Time] = true
+	}
+	if len(times) < 2 {
+		t.Fatal("brute force produced identical times across seeds; jitter model inactive")
+	}
+	// Same seed must reproduce exactly.
+	a, _ := New(DefaultConfig(p, 7))
+	b, _ := New(DefaultConfig(p, 7))
+	ra, err := a.BruteForce(flows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := b.BruteForce(flows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ra.Time != rb.Time {
+		t.Fatalf("same seed diverged: %g vs %g", ra.Time, rb.Time)
+	}
+}
+
+func TestQuickFluidConservation(t *testing.T) {
+	// Completion time must always lie between the single-flow optimum and
+	// the fully serialized bound, and never be slower than total bytes at
+	// the slowest-resource rate.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := Platform{
+			N1: 1 + rng.Intn(6), N2: 1 + rng.Intn(6),
+			T1:       float64(1+rng.Intn(100)) * Mbit,
+			T2:       float64(1+rng.Intn(100)) * Mbit,
+			Backbone: float64(1+rng.Intn(1000)) * Mbit,
+		}
+		sim, err := New(ideal(p))
+		if err != nil {
+			return false
+		}
+		n := 1 + rng.Intn(12)
+		flows := make([]Flow, n)
+		var total float64
+		for i := range flows {
+			flows[i] = Flow{
+				Src:   rng.Intn(p.N1),
+				Dst:   rng.Intn(p.N2),
+				Bytes: float64(1+rng.Intn(50)) * MB,
+			}
+			total += flows[i].Bytes
+		}
+		res, err := sim.BruteForce(flows)
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		// Lower bound: all bytes through the backbone at full speed, and
+		// every flow alone at single-communication speed.
+		lower := total / (p.Backbone / 8)
+		if alt := maxFlowLower(flows, p); alt > lower {
+			lower = alt
+		}
+		// Upper bound: strictly serial at single-communication speed.
+		upper := total/(p.Speed()/8) + 1e-6
+		return res.Time >= lower-1e-6 && res.Time <= upper
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// maxFlowLower returns the largest per-flow lower bound: a flow can never
+// finish faster than alone at the single-communication speed.
+func maxFlowLower(flows []Flow, p Platform) float64 {
+	speed := p.Speed() / 8
+	best := 0.0
+	for _, f := range flows {
+		if t := f.Bytes / speed; t > best {
+			best = t
+		}
+	}
+	return best
+}
+
+func TestMaxMinRatesHandCase(t *testing.T) {
+	// Three flows: 0 and 1 share resource A (cap 10); 1 and 2 share
+	// resource B (cap 30). Max-min: flow 0 and 1 get 5 (A saturates);
+	// flow 2 then gets 25 from B.
+	rates := maxMinRates(3, []float64{1, 1, 1}, []resource{
+		{capacity: 10, flows: []int{0, 1}},
+		{capacity: 30, flows: []int{1, 2}},
+	})
+	approx(t, rates[0], 5, 1e-9, "flow 0")
+	approx(t, rates[1], 5, 1e-9, "flow 1")
+	approx(t, rates[2], 25, 1e-9, "flow 2")
+}
+
+func TestMaxMinRatesWeighted(t *testing.T) {
+	// One resource of cap 12 shared by weights 1 and 2: rates 4 and 8.
+	rates := maxMinRates(2, []float64{1, 2}, []resource{
+		{capacity: 12, flows: []int{0, 1}},
+	})
+	approx(t, rates[0], 4, 1e-9, "weight-1 flow")
+	approx(t, rates[1], 8, 1e-9, "weight-2 flow")
+}
+
+func TestQuickMaxMinFeasibleAndSaturating(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(10)
+		weights := make([]float64, n)
+		for i := range weights {
+			weights[i] = 0.1 + rng.Float64()*3
+		}
+		nr := 1 + rng.Intn(5)
+		resources := make([]resource, nr)
+		covered := make([]bool, n)
+		for r := range resources {
+			resources[r].capacity = 1 + rng.Float64()*100
+			for f := 0; f < n; f++ {
+				if rng.Intn(2) == 0 {
+					resources[r].flows = append(resources[r].flows, f)
+					covered[f] = true
+				}
+			}
+		}
+		// Ensure every flow is covered by at least one resource (the
+		// simulator always includes the backbone over all flows).
+		last := resource{capacity: 50}
+		for f := 0; f < n; f++ {
+			last.flows = append(last.flows, f)
+		}
+		resources = append(resources, last)
+
+		rates := maxMinRates(n, weights, resources)
+		// Feasibility.
+		for _, r := range resources {
+			sum := 0.0
+			for _, f := range r.flows {
+				sum += rates[f]
+			}
+			if sum > r.capacity*(1+1e-9)+1e-9 {
+				return false
+			}
+		}
+		// Every flow has positive rate, and at least one resource is
+		// saturated (no capacity left on the table globally).
+		for _, rt := range rates {
+			if rt <= 0 {
+				return false
+			}
+		}
+		saturated := false
+		for _, r := range resources {
+			sum := 0.0
+			for _, f := range r.flows {
+				sum += rates[f]
+			}
+			if sum >= r.capacity*(1-1e-9) {
+				saturated = true
+			}
+		}
+		return saturated
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,98 @@
+// Package netsim is a fluid-flow discrete-event simulator of the paper's
+// experimental platform (§2.1, Figure 1): two clusters whose nodes have
+// rate-limited network cards, interconnected by a backbone of finite
+// throughput. It substitutes for the paper's real testbed (two 10-node
+// Linux clusters, MPICH, and the rshaper kernel module) — see DESIGN.md §5
+// for the substitution argument.
+//
+// Each transfer is modeled as a fluid flow traversing three capacitated
+// resources — the sender's NIC, the backbone, and the receiver's NIC —
+// with instantaneous (weighted) max-min fair rate allocation. The event
+// loop advances to the next flow completion and re-allocates.
+//
+// Two execution modes mirror the paper's §5.2 comparison:
+//
+//   - BruteForce: all flows start simultaneously and TCP is left to manage
+//     congestion. A documented congestion model derates the backbone when
+//     it is oversubscribed and applies seeded per-flow unfairness jitter,
+//     reproducing TCP's loss/backoff cost and its run-to-run variance.
+//   - RunSteps: the schedule's steps run one after another, separated by
+//     barriers costing β seconds each. A step never oversubscribes the
+//     backbone (at most k flows), so no congestion model applies.
+package netsim
+
+import (
+	"fmt"
+	"math"
+)
+
+// Convenient unit multipliers. Throughputs are bits per second; data sizes
+// are bytes.
+const (
+	Kbit = 1e3
+	Mbit = 1e6
+	Gbit = 1e9
+
+	KB = 1e3
+	MB = 1e6
+	GB = 1e9
+)
+
+// Platform describes the redistribution architecture of paper Figure 1.
+type Platform struct {
+	// N1, N2 are the node counts of clusters C1 (senders) and C2
+	// (receivers).
+	N1, N2 int
+	// T1, T2 are the effective per-node NIC throughputs in bits/s.
+	T1, T2 float64
+	// Backbone is the backbone throughput T in bits/s.
+	Backbone float64
+}
+
+// Validate reports whether the platform parameters are usable.
+func (p Platform) Validate() error {
+	if p.N1 <= 0 || p.N2 <= 0 {
+		return fmt.Errorf("netsim: node counts must be positive, got %d and %d", p.N1, p.N2)
+	}
+	if p.T1 <= 0 || p.T2 <= 0 || p.Backbone <= 0 {
+		return fmt.Errorf("netsim: throughputs must be positive, got t1=%g t2=%g T=%g", p.T1, p.T2, p.Backbone)
+	}
+	return nil
+}
+
+// Speed returns t, the bits/s achieved by a single communication: the
+// minimum of the two NIC rates and the backbone rate (paper §2.1).
+func (p Platform) Speed() float64 {
+	return math.Min(math.Min(p.T1, p.T2), p.Backbone)
+}
+
+// K returns the maximum number of simultaneous communications that avoid
+// congestion (paper §2.1): the largest k with k·t ≤ T, k ≤ n1 and k ≤ n2,
+// where t is the per-communication speed. It is at least 1. For the
+// paper's example (n1=200, n2=100, t1=10 Mbit/s, t2=100 Mbit/s, T=1
+// Gbit/s) it returns 100.
+func (p Platform) K() int {
+	k := int(p.Backbone / p.Speed())
+	if k > p.N1 {
+		k = p.N1
+	}
+	if k > p.N2 {
+		k = p.N2
+	}
+	if k < 1 {
+		k = 1
+	}
+	return k
+}
+
+// PaperTestbed returns the platform of the paper's real-world experiments
+// (§5.2): two clusters of ten nodes with 100 Mbit Ethernet, NICs shaped to
+// 100/k Mbit/s with rshaper so that k communications exactly fill the
+// 100 Mbit backbone.
+func PaperTestbed(k int) Platform {
+	if k < 1 {
+		k = 1
+	}
+	shaped := 100 * Mbit / float64(k)
+	return Platform{N1: 10, N2: 10, T1: shaped, T2: shaped, Backbone: 100 * Mbit}
+}

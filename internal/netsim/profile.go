@@ -1,0 +1,66 @@
+package netsim
+
+import (
+	"fmt"
+	"math"
+)
+
+// ProfileSegment is one piece of a piecewise-constant backbone
+// throughput profile: the backbone runs at Backbone bits/s for Duration
+// seconds before the next segment starts. The last segment's capacity
+// extends forever regardless of its duration.
+type ProfileSegment struct {
+	Duration float64 // seconds; must be positive
+	Backbone float64 // bits/s; must be positive
+}
+
+// Profile is a piecewise-constant backbone capacity over time — the
+// paper's §6 "throughput of the backbone varies dynamically" scenario.
+// An empty profile means the platform's constant Backbone value.
+type Profile []ProfileSegment
+
+// Validate reports whether every segment is well-formed.
+func (p Profile) Validate() error {
+	for i, seg := range p {
+		if seg.Duration <= 0 {
+			return fmt.Errorf("netsim: profile segment %d has non-positive duration %g", i, seg.Duration)
+		}
+		if seg.Backbone <= 0 {
+			return fmt.Errorf("netsim: profile segment %d has non-positive capacity %g", i, seg.Backbone)
+		}
+	}
+	return nil
+}
+
+// CapacityAt returns the backbone capacity in bits/s at absolute time t,
+// falling back to def when the profile is empty. Past the last segment
+// the last capacity persists.
+func (p Profile) CapacityAt(t, def float64) float64 {
+	if len(p) == 0 {
+		return def
+	}
+	elapsed := 0.0
+	for _, seg := range p {
+		elapsed += seg.Duration
+		if t < elapsed {
+			return seg.Backbone
+		}
+	}
+	return p[len(p)-1].Backbone
+}
+
+// NextChangeAfter returns the absolute time of the first capacity change
+// strictly after t, or +Inf if none remains.
+func (p Profile) NextChangeAfter(t float64) float64 {
+	elapsed := 0.0
+	for i, seg := range p {
+		elapsed += seg.Duration
+		if i == len(p)-1 {
+			break // last segment extends forever: no change at its end
+		}
+		if elapsed > t {
+			return elapsed
+		}
+	}
+	return math.Inf(1)
+}

@@ -1,0 +1,184 @@
+package netsim
+
+import (
+	"math"
+	"testing"
+)
+
+func TestProfileValidate(t *testing.T) {
+	if err := (Profile{}).Validate(); err != nil {
+		t.Fatal("empty profile should validate")
+	}
+	if err := (Profile{{Duration: 1, Backbone: 1}}).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if (Profile{{Duration: 0, Backbone: 1}}).Validate() == nil {
+		t.Fatal("zero duration accepted")
+	}
+	if (Profile{{Duration: 1, Backbone: 0}}).Validate() == nil {
+		t.Fatal("zero capacity accepted")
+	}
+}
+
+func TestProfileCapacityAt(t *testing.T) {
+	p := Profile{
+		{Duration: 10, Backbone: 100},
+		{Duration: 5, Backbone: 40},
+		{Duration: 1, Backbone: 70},
+	}
+	cases := []struct {
+		t    float64
+		want float64
+	}{
+		{0, 100}, {9.99, 100}, {10, 40}, {14.9, 40}, {15, 70}, {16, 70}, {1000, 70},
+	}
+	for _, tc := range cases {
+		if got := p.CapacityAt(tc.t, 1); got != tc.want {
+			t.Fatalf("CapacityAt(%g) = %g, want %g", tc.t, got, tc.want)
+		}
+	}
+	if got := (Profile{}).CapacityAt(5, 123); got != 123 {
+		t.Fatalf("empty profile should fall back to default, got %g", got)
+	}
+}
+
+func TestProfileNextChangeAfter(t *testing.T) {
+	p := Profile{
+		{Duration: 10, Backbone: 100},
+		{Duration: 5, Backbone: 40},
+		{Duration: 1, Backbone: 70},
+	}
+	if got := p.NextChangeAfter(0); got != 10 {
+		t.Fatalf("next after 0 = %g, want 10", got)
+	}
+	if got := p.NextChangeAfter(10); got != 15 {
+		t.Fatalf("next after 10 = %g, want 15", got)
+	}
+	if got := p.NextChangeAfter(15); !math.IsInf(got, 1) {
+		t.Fatalf("next after last boundary = %g, want +Inf", got)
+	}
+	if got := (Profile{}).NextChangeAfter(0); !math.IsInf(got, 1) {
+		t.Fatalf("empty profile next = %g, want +Inf", got)
+	}
+}
+
+func TestSimulatorRejectsBadProfile(t *testing.T) {
+	cfg := Config{Platform: PaperTestbed(3), BackboneProfile: Profile{{Duration: -1, Backbone: 1}}}
+	if _, err := New(cfg); err == nil {
+		t.Fatal("bad profile accepted")
+	}
+}
+
+func TestDrainAcrossCapacityDrop(t *testing.T) {
+	// One flow of 15 MB; backbone 80 Mbit (10 MB/s) for 1 s, then
+	// 40 Mbit (5 MB/s). NICs are faster. Expected: 10 MB in the first
+	// second, the remaining 5 MB at 5 MB/s -> total 2 s.
+	p := Platform{N1: 1, N2: 1, T1: 800 * Mbit, T2: 800 * Mbit, Backbone: 80 * Mbit}
+	sim, err := New(Config{
+		Platform: p,
+		BackboneProfile: Profile{
+			{Duration: 1, Backbone: 80 * Mbit},
+			{Duration: 1000, Backbone: 40 * Mbit},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.BruteForce([]Flow{{Src: 0, Dst: 0, Bytes: 15 * MB}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, res.Time, 2.0, 1e-9, "capacity drop mid-flow")
+}
+
+func TestDrainAcrossCapacityRise(t *testing.T) {
+	// 15 MB at 5 MB/s for 1 s (5 MB), then 10 MB/s for the last 10 MB.
+	p := Platform{N1: 1, N2: 1, T1: 800 * Mbit, T2: 800 * Mbit, Backbone: 80 * Mbit}
+	sim, err := New(Config{
+		Platform: p,
+		BackboneProfile: Profile{
+			{Duration: 1, Backbone: 40 * Mbit},
+			{Duration: 1000, Backbone: 80 * Mbit},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.BruteForce([]Flow{{Src: 0, Dst: 0, Bytes: 15 * MB}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, res.Time, 2.0, 1e-9, "capacity rise mid-flow")
+}
+
+func TestRunStepsFromOffsetsProfile(t *testing.T) {
+	// The same step executed before and after a capacity drop must take
+	// different times.
+	p := Platform{N1: 2, N2: 2, T1: 800 * Mbit, T2: 800 * Mbit, Backbone: 80 * Mbit}
+	sim, err := New(Config{
+		Platform: p,
+		BackboneProfile: Profile{
+			{Duration: 100, Backbone: 80 * Mbit},
+			{Duration: 1000, Backbone: 20 * Mbit},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	step := [][]Flow{{{Src: 0, Dst: 0, Bytes: 10 * MB}}}
+	early, err := sim.RunStepsFrom(step, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	late, err := sim.RunStepsFrom(step, 0, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, early.Time, 1.0, 1e-9, "step at full capacity")
+	approx(t, late.Time, 4.0, 1e-9, "step at quarter capacity")
+	if _, err := sim.RunStepsFrom(step, 0, -1); err == nil {
+		t.Fatal("negative start accepted")
+	}
+}
+
+func TestRunStepsCongestedPaysForOversubscription(t *testing.T) {
+	// Four disjoint flows in one step against a backbone that only fits
+	// two: the congested run must be slower than the ideal fluid run.
+	p := PaperTestbed(2) // NICs 50 Mbit, backbone 100 Mbit
+	step := [][]Flow{{
+		{Src: 0, Dst: 0, Bytes: 10 * MB},
+		{Src: 1, Dst: 1, Bytes: 10 * MB},
+		{Src: 2, Dst: 2, Bytes: 10 * MB},
+		{Src: 3, Dst: 3, Bytes: 10 * MB},
+	}}
+	idealSim, err := New(Config{Platform: p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	congSim, err := New(Config{Platform: p, CongestionAlpha: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ideal, err := idealSim.RunSteps(step, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cong, err := congSim.RunStepsCongested(step, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cong.Time <= ideal.Time {
+		t.Fatalf("congested %g not slower than ideal %g", cong.Time, ideal.Time)
+	}
+	// A step within capacity pays nothing.
+	small := [][]Flow{{{Src: 0, Dst: 0, Bytes: 10 * MB}, {Src: 1, Dst: 1, Bytes: 10 * MB}}}
+	a, err := idealSim.RunSteps(small, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := congSim.RunStepsCongested(small, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, b.Time, a.Time, 1e-9, "non-oversubscribed step")
+}

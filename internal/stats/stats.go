@@ -1,0 +1,123 @@
+// Package stats provides the streaming statistics used by the experiment
+// harnesses: Welford-style running mean/variance, extrema, and percentile
+// helpers for the Monte-Carlo sweeps of the paper's §5.1 figures.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary accumulates a stream of observations. The zero value is ready
+// to use.
+type Summary struct {
+	n    int
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+	sum  float64
+}
+
+// Add records one observation.
+func (s *Summary) Add(x float64) {
+	s.n++
+	s.sum += x
+	if s.n == 1 {
+		s.min, s.max = x, x
+	} else {
+		if x < s.min {
+			s.min = x
+		}
+		if x > s.max {
+			s.max = x
+		}
+	}
+	// Welford's online update keeps the variance numerically stable.
+	delta := x - s.mean
+	s.mean += delta / float64(s.n)
+	s.m2 += delta * (x - s.mean)
+}
+
+// Count returns the number of observations.
+func (s *Summary) Count() int { return s.n }
+
+// Sum returns the total of all observations.
+func (s *Summary) Sum() float64 { return s.sum }
+
+// Mean returns the arithmetic mean, or NaN with no observations.
+func (s *Summary) Mean() float64 {
+	if s.n == 0 {
+		return math.NaN()
+	}
+	return s.mean
+}
+
+// Min returns the smallest observation, or NaN with no observations.
+func (s *Summary) Min() float64 {
+	if s.n == 0 {
+		return math.NaN()
+	}
+	return s.min
+}
+
+// Max returns the largest observation, or NaN with no observations.
+func (s *Summary) Max() float64 {
+	if s.n == 0 {
+		return math.NaN()
+	}
+	return s.max
+}
+
+// Variance returns the sample variance (n−1 denominator), or NaN with
+// fewer than two observations.
+func (s *Summary) Variance() float64 {
+	if s.n < 2 {
+		return math.NaN()
+	}
+	return s.m2 / float64(s.n-1)
+}
+
+// Stddev returns the sample standard deviation.
+func (s *Summary) Stddev() float64 {
+	return math.Sqrt(s.Variance())
+}
+
+// RelSpread returns (max−min)/mean — the paper's "time variation of up to
+// 10 percents" metric for brute-force nondeterminism. NaN without
+// observations or with zero mean.
+func (s *Summary) RelSpread() float64 {
+	m := s.Mean()
+	if math.IsNaN(m) || m == 0 {
+		return math.NaN()
+	}
+	return (s.max - s.min) / m
+}
+
+// String renders "n=… mean=… min=… max=…".
+func (s *Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.6g min=%.6g max=%.6g", s.n, s.Mean(), s.Min(), s.Max())
+}
+
+// Percentile returns the p-th percentile (0 ≤ p ≤ 100) of xs using linear
+// interpolation between closest ranks. It copies and sorts xs. NaN for an
+// empty slice or out-of-range p.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 || p < 0 || p > 100 {
+		return math.NaN()
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}

@@ -1,0 +1,135 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummaryEmpty(t *testing.T) {
+	var s Summary
+	if s.Count() != 0 || s.Sum() != 0 {
+		t.Fatal("zero value not empty")
+	}
+	for name, v := range map[string]float64{
+		"mean": s.Mean(), "min": s.Min(), "max": s.Max(),
+		"variance": s.Variance(), "spread": s.RelSpread(),
+	} {
+		if !math.IsNaN(v) {
+			t.Fatalf("%s of empty summary = %g, want NaN", name, v)
+		}
+	}
+}
+
+func TestSummaryBasic(t *testing.T) {
+	var s Summary
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(x)
+	}
+	if s.Count() != 8 {
+		t.Fatalf("count = %d", s.Count())
+	}
+	if s.Mean() != 5 {
+		t.Fatalf("mean = %g, want 5", s.Mean())
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Fatalf("min/max = %g/%g", s.Min(), s.Max())
+	}
+	if s.Sum() != 40 {
+		t.Fatalf("sum = %g", s.Sum())
+	}
+	// Sample variance of the classic dataset is 32/7.
+	if math.Abs(s.Variance()-32.0/7.0) > 1e-12 {
+		t.Fatalf("variance = %g, want %g", s.Variance(), 32.0/7.0)
+	}
+	if math.Abs(s.Stddev()-math.Sqrt(32.0/7.0)) > 1e-12 {
+		t.Fatalf("stddev = %g", s.Stddev())
+	}
+	if math.Abs(s.RelSpread()-7.0/5.0) > 1e-12 {
+		t.Fatalf("rel spread = %g, want 1.4", s.RelSpread())
+	}
+	if !strings.Contains(s.String(), "n=8") {
+		t.Fatalf("String = %q", s.String())
+	}
+}
+
+func TestSummarySingleObservation(t *testing.T) {
+	var s Summary
+	s.Add(3)
+	if s.Mean() != 3 || s.Min() != 3 || s.Max() != 3 {
+		t.Fatal("single observation stats wrong")
+	}
+	if !math.IsNaN(s.Variance()) {
+		t.Fatal("variance of one observation should be NaN")
+	}
+}
+
+func TestRelSpreadZeroMean(t *testing.T) {
+	var s Summary
+	s.Add(-1)
+	s.Add(1)
+	if !math.IsNaN(s.RelSpread()) {
+		t.Fatal("zero-mean spread should be NaN")
+	}
+}
+
+func TestQuickSummaryMatchesNaive(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(100)
+		xs := make([]float64, n)
+		var s Summary
+		var sum float64
+		for i := range xs {
+			xs[i] = rng.NormFloat64() * 100
+			s.Add(xs[i])
+			sum += xs[i]
+		}
+		mean := sum / float64(n)
+		if math.Abs(s.Mean()-mean) > 1e-9*math.Max(1, math.Abs(mean)) {
+			return false
+		}
+		if n >= 2 {
+			var ss float64
+			for _, x := range xs {
+				ss += (x - mean) * (x - mean)
+			}
+			want := ss / float64(n-1)
+			if math.Abs(s.Variance()-want) > 1e-7*math.Max(1, want) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{4, 1, 3, 2}
+	if got := Percentile(xs, 0); got != 1 {
+		t.Fatalf("p0 = %g", got)
+	}
+	if got := Percentile(xs, 100); got != 4 {
+		t.Fatalf("p100 = %g", got)
+	}
+	if got := Percentile(xs, 50); got != 2.5 {
+		t.Fatalf("p50 = %g, want 2.5", got)
+	}
+	// Input must not be reordered.
+	if xs[0] != 4 {
+		t.Fatal("Percentile mutated its input")
+	}
+	if got := Percentile([]float64{7}, 30); got != 7 {
+		t.Fatalf("single-element percentile = %g", got)
+	}
+	if !math.IsNaN(Percentile(nil, 50)) {
+		t.Fatal("empty percentile should be NaN")
+	}
+	if !math.IsNaN(Percentile(xs, -1)) || !math.IsNaN(Percentile(xs, 101)) {
+		t.Fatal("out-of-range p should be NaN")
+	}
+}

@@ -1,0 +1,125 @@
+// Package tokenbucket implements a byte-rate limiter equivalent to the
+// software token bucket filter of the rshaper Linux kernel module the
+// paper used to shape NIC bandwidth to 100/k Mbit/s (§5.2). The cluster
+// runtime attaches one bucket per NIC and one to the backbone.
+package tokenbucket
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Limiter is a thread-safe token bucket: tokens are bytes, refilled at a
+// constant rate up to a burst capacity. A nil *Limiter imposes no limit,
+// so optional shaping needs no branching at call sites.
+type Limiter struct {
+	mu     sync.Mutex
+	rate   float64 // bytes per second
+	burst  float64 // bucket capacity in bytes
+	tokens float64
+	last   time.Time
+
+	// injectable clock for tests
+	now   func() time.Time
+	sleep func(time.Duration)
+}
+
+// New returns a limiter of rate bytes/s with the given burst capacity in
+// bytes. The bucket starts full. Rate and burst must be positive.
+func New(rate, burst float64) (*Limiter, error) {
+	if rate <= 0 {
+		return nil, fmt.Errorf("tokenbucket: rate must be positive, got %g", rate)
+	}
+	if burst <= 0 {
+		return nil, fmt.Errorf("tokenbucket: burst must be positive, got %g", burst)
+	}
+	l := &Limiter{
+		rate:   rate,
+		burst:  burst,
+		tokens: burst,
+		now:    time.Now,
+		sleep:  time.Sleep,
+	}
+	l.last = l.now()
+	return l, nil
+}
+
+// NewWithClock is New with an injected clock, for deterministic tests.
+func NewWithClock(rate, burst float64, now func() time.Time, sleep func(time.Duration)) (*Limiter, error) {
+	l, err := New(rate, burst)
+	if err != nil {
+		return nil, err
+	}
+	l.now = now
+	l.sleep = sleep
+	l.last = now()
+	l.tokens = burst
+	return l, nil
+}
+
+// Rate returns the configured rate in bytes/s, or 0 for a nil limiter.
+func (l *Limiter) Rate() float64 {
+	if l == nil {
+		return 0
+	}
+	return l.rate
+}
+
+// refill credits tokens for the time elapsed since the last refill.
+// Callers must hold l.mu.
+func (l *Limiter) refill() {
+	now := l.now()
+	dt := now.Sub(l.last).Seconds()
+	if dt > 0 {
+		l.tokens += dt * l.rate
+		if l.tokens > l.burst {
+			l.tokens = l.burst
+		}
+		l.last = now
+	}
+}
+
+// Allow consumes n bytes if available without blocking and reports
+// whether it did. n larger than the burst can never succeed.
+func (l *Limiter) Allow(n int) bool {
+	if l == nil {
+		return true
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.refill()
+	if float64(n) > l.tokens {
+		return false
+	}
+	l.tokens -= float64(n)
+	return true
+}
+
+// Wait blocks until n bytes of budget are available and consumes them.
+// Requests larger than the burst are split internally, so any n ≥ 0 is
+// valid. Waiting goroutines are serviced in lock-acquisition order.
+func (l *Limiter) Wait(n int) {
+	if l == nil || n <= 0 {
+		return
+	}
+	remaining := float64(n)
+	for remaining > 0 {
+		l.mu.Lock()
+		l.refill()
+		chunk := remaining
+		if chunk > l.burst {
+			chunk = l.burst
+		}
+		if l.tokens >= chunk {
+			l.tokens -= chunk
+			remaining -= chunk
+			l.mu.Unlock()
+			continue
+		}
+		// Sleep just long enough for the deficit to refill.
+		deficit := chunk - l.tokens
+		l.mu.Unlock()
+		l.sleep(time.Duration(deficit / l.rate * float64(time.Second)))
+	}
+}

@@ -1,0 +1,174 @@
+package tokenbucket
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock provides a deterministic clock whose Sleep advances time.
+type fakeClock struct {
+	mu  sync.Mutex
+	t   time.Time
+	nap time.Duration // total slept
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Unix(0, 0)}
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) sleep(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if d > 0 {
+		c.t = c.t.Add(d)
+		c.nap += d
+	}
+}
+
+func TestNewRejectsBadParameters(t *testing.T) {
+	if _, err := New(0, 1); err == nil {
+		t.Fatal("zero rate accepted")
+	}
+	if _, err := New(-5, 1); err == nil {
+		t.Fatal("negative rate accepted")
+	}
+	if _, err := New(1, 0); err == nil {
+		t.Fatal("zero burst accepted")
+	}
+}
+
+func TestNilLimiterIsUnlimited(t *testing.T) {
+	var l *Limiter
+	if !l.Allow(1 << 30) {
+		t.Fatal("nil limiter refused")
+	}
+	l.Wait(1 << 30) // must not block or panic
+	if l.Rate() != 0 {
+		t.Fatal("nil limiter rate should be 0")
+	}
+}
+
+func TestAllowConsumesBurst(t *testing.T) {
+	clk := newFakeClock()
+	l, err := NewWithClock(1000, 100, clk.now, clk.sleep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !l.Allow(60) {
+		t.Fatal("first 60 bytes refused with full bucket")
+	}
+	if !l.Allow(40) {
+		t.Fatal("remaining 40 bytes refused")
+	}
+	if l.Allow(1) {
+		t.Fatal("empty bucket allowed a byte")
+	}
+	// After 50 ms at 1000 B/s, 50 tokens refill.
+	clk.sleep(50 * time.Millisecond)
+	if !l.Allow(50) {
+		t.Fatal("refilled tokens refused")
+	}
+	if l.Allow(1) {
+		t.Fatal("bucket should be empty again")
+	}
+}
+
+func TestAllowNeverExceedsBurst(t *testing.T) {
+	clk := newFakeClock()
+	l, err := NewWithClock(1e6, 100, clk.now, clk.sleep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clk.sleep(10 * time.Second) // refill far beyond burst
+	if l.Allow(101) {
+		t.Fatal("allowed more than burst")
+	}
+	if !l.Allow(100) {
+		t.Fatal("full burst refused")
+	}
+}
+
+func TestWaitPacesToRate(t *testing.T) {
+	clk := newFakeClock()
+	// 1000 B/s, burst 100 B, bucket starts full.
+	l, err := NewWithClock(1000, 100, clk.now, clk.sleep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1100 bytes = 100 burst + 1000 refilled over exactly 1 s.
+	l.Wait(1100)
+	if got := clk.nap; got != time.Second {
+		t.Fatalf("slept %v, want exactly 1s", got)
+	}
+}
+
+func TestWaitLargerThanBurstSplits(t *testing.T) {
+	clk := newFakeClock()
+	l, err := NewWithClock(100, 10, clk.now, clk.sleep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Wait(55) // 10 burst + 45 refill at 100 B/s = 450 ms
+	if got := clk.nap; got != 450*time.Millisecond {
+		t.Fatalf("slept %v, want 450ms", got)
+	}
+}
+
+func TestWaitZeroAndNegative(t *testing.T) {
+	clk := newFakeClock()
+	l, err := NewWithClock(100, 10, clk.now, clk.sleep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Wait(0)
+	l.Wait(-5)
+	if clk.nap != 0 {
+		t.Fatal("zero/negative Wait slept")
+	}
+}
+
+func TestRate(t *testing.T) {
+	l, err := New(12345, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Rate() != 12345 {
+		t.Fatalf("Rate = %g", l.Rate())
+	}
+}
+
+func TestConcurrentWaitTotalThroughput(t *testing.T) {
+	// Real-clock smoke test: 4 goroutines pushing 25 KB each through a
+	// 1 MB/s limiter with 10 KB burst must take roughly
+	// (100KB - 10KB burst)/1MB/s ≈ 90 ms.
+	l, err := New(1e6, 1e4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for sent := 0; sent < 25000; sent += 1000 {
+				l.Wait(1000)
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if elapsed < 60*time.Millisecond {
+		t.Fatalf("finished in %v; limiter not limiting", elapsed)
+	}
+	if elapsed > 500*time.Millisecond {
+		t.Fatalf("took %v; limiter far too slow", elapsed)
+	}
+}

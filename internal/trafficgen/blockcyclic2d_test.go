@@ -1,0 +1,149 @@
+package trafficgen
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBlockCyclic2DAgainstBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rows := int64(rng.Intn(80))
+		cols := int64(rng.Intn(80))
+		from := Grid2DSpec{
+			ProcRows: 1 + rng.Intn(4), ProcCols: 1 + rng.Intn(4),
+			BlockRows: 1 + rng.Intn(5), BlockCols: 1 + rng.Intn(5),
+		}
+		to := Grid2DSpec{
+			ProcRows: 1 + rng.Intn(4), ProcCols: 1 + rng.Intn(4),
+			BlockRows: 1 + rng.Intn(5), BlockCols: 1 + rng.Intn(5),
+		}
+		elem := int64(1 + rng.Intn(3))
+		got, err := BlockCyclic2D(rows, cols, elem, from, to)
+		if err != nil {
+			return false
+		}
+		want := make([][]int64, from.Procs())
+		for p := range want {
+			want[p] = make([]int64, to.Procs())
+		}
+		for i := int64(0); i < rows; i++ {
+			for j := int64(0); j < cols; j++ {
+				want[from.Owner(i, j)][to.Owner(i, j)] += elem
+			}
+		}
+		for p := range want {
+			for q := range want[p] {
+				if got[p][q] != want[p][q] {
+					t.Logf("seed %d: (%d,%d) got %d want %d", seed, p, q, got[p][q], want[p][q])
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBlockCyclic2DConservation(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rows := int64(rng.Intn(5000))
+		cols := int64(rng.Intn(5000))
+		from := Grid2DSpec{
+			ProcRows: 1 + rng.Intn(6), ProcCols: 1 + rng.Intn(6),
+			BlockRows: 1 + rng.Intn(32), BlockCols: 1 + rng.Intn(32),
+		}
+		to := Grid2DSpec{
+			ProcRows: 1 + rng.Intn(6), ProcCols: 1 + rng.Intn(6),
+			BlockRows: 1 + rng.Intn(32), BlockCols: 1 + rng.Intn(32),
+		}
+		m, err := BlockCyclic2D(rows, cols, 4, from, to)
+		if err != nil {
+			return false
+		}
+		return MatrixTotal(m) == rows*cols*4
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBlockCyclic2DIdentity(t *testing.T) {
+	spec := Grid2DSpec{ProcRows: 2, ProcCols: 3, BlockRows: 8, BlockCols: 4}
+	m, err := BlockCyclic2D(100, 90, 1, spec, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p := range m {
+		for q := range m[p] {
+			if p != q && m[p][q] != 0 {
+				t.Fatalf("off-diagonal traffic [%d][%d] = %d", p, q, m[p][q])
+			}
+		}
+	}
+	if MatrixTotal(m) != 100*90 {
+		t.Fatalf("total = %d", MatrixTotal(m))
+	}
+}
+
+func TestBlockCyclic2DMatchesTwo1DProblems(t *testing.T) {
+	// A 1-column matrix redistributed over Nx1 grids degenerates to the
+	// 1D case.
+	from1 := BlockCyclicSpec{Procs: 3, Block: 5}
+	to1 := BlockCyclicSpec{Procs: 4, Block: 7}
+	want, err := BlockCyclic(500, 8, from1, to1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := BlockCyclic2D(500, 1, 8,
+		Grid2DSpec{ProcRows: 3, ProcCols: 1, BlockRows: 5, BlockCols: 1},
+		Grid2DSpec{ProcRows: 4, ProcCols: 1, BlockRows: 7, BlockCols: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		for j := range want[i] {
+			if got[i][j] != want[i][j] {
+				t.Fatalf("(%d,%d): 2D %d != 1D %d", i, j, got[i][j], want[i][j])
+			}
+		}
+	}
+}
+
+func TestBlockCyclic2DErrors(t *testing.T) {
+	ok := Grid2DSpec{ProcRows: 2, ProcCols: 2, BlockRows: 2, BlockCols: 2}
+	cases := []struct {
+		rows, cols, elem int64
+		from, to         Grid2DSpec
+	}{
+		{-1, 10, 1, ok, ok},
+		{10, -1, 1, ok, ok},
+		{10, 10, 0, ok, ok},
+		{10, 10, 1, Grid2DSpec{ProcRows: 0, ProcCols: 2, BlockRows: 2, BlockCols: 2}, ok},
+		{10, 10, 1, ok, Grid2DSpec{ProcRows: 2, ProcCols: 2, BlockRows: 0, BlockCols: 2}},
+	}
+	for i, tc := range cases {
+		if _, err := BlockCyclic2D(tc.rows, tc.cols, tc.elem, tc.from, tc.to); err == nil {
+			t.Fatalf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestGrid2DSpecHelpers(t *testing.T) {
+	s := Grid2DSpec{ProcRows: 2, ProcCols: 3, BlockRows: 4, BlockCols: 5}
+	if s.Procs() != 6 {
+		t.Fatalf("Procs = %d", s.Procs())
+	}
+	// Element (4,5): row block 1 -> proc row 1; col block 1 -> proc col 1.
+	if got := s.Owner(4, 5); got != 1*3+1 {
+		t.Fatalf("Owner(4,5) = %d, want 4", got)
+	}
+	// Wrap-around: row block 2 -> proc row 0.
+	if got := s.Owner(8, 0); got != 0 {
+		t.Fatalf("Owner(8,0) = %d, want 0", got)
+	}
+}

@@ -1,0 +1,44 @@
+package trafficgen
+
+import "testing"
+
+// FuzzBlockCyclic cross-checks the periodic interval computation against
+// the per-element definition for fuzzer-chosen layouts.
+func FuzzBlockCyclic(f *testing.F) {
+	f.Add(int64(100), 3, 5, 4, 7)
+	f.Add(int64(0), 1, 1, 1, 1)
+	f.Add(int64(4096), 16, 64, 24, 96)
+
+	f.Fuzz(func(t *testing.T, n int64, p1, b1, p2, b2 int) {
+		if n < 0 || n > 20000 {
+			return
+		}
+		from := BlockCyclicSpec{Procs: p1, Block: b1}
+		to := BlockCyclicSpec{Procs: p2, Block: b2}
+		got, err := BlockCyclic(n, 1, from, to)
+		if p1 <= 0 || b1 <= 0 || p2 <= 0 || b2 <= 0 {
+			if err == nil {
+				t.Fatal("invalid spec accepted")
+			}
+			return
+		}
+		if err != nil {
+			t.Fatalf("valid spec rejected: %v", err)
+		}
+		want := make([][]int64, p1)
+		for i := range want {
+			want[i] = make([]int64, p2)
+		}
+		for x := int64(0); x < n; x++ {
+			want[from.Owner(x)][to.Owner(x)]++
+		}
+		for i := range want {
+			for j := range want[i] {
+				if got[i][j] != want[i][j] {
+					t.Fatalf("(%d,%d): got %d want %d (n=%d %v -> %v)",
+						i, j, got[i][j], want[i][j], n, from, to)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,128 @@
+package trafficgen
+
+import "fmt"
+
+// Classic structured redistribution patterns, useful as benchmarks and
+// worst/best cases for the schedulers. All return an n×n traffic matrix
+// with the given bytes per message.
+
+// Permutation builds a pattern where sender i talks only to receiver
+// perm[i]. perm must be a permutation of 0..n-1. A permutation pattern is
+// the scheduler's best case: one step when k ≥ n.
+func Permutation(perm []int, bytes int64) ([][]int64, error) {
+	if bytes <= 0 {
+		return nil, fmt.Errorf("trafficgen: message size must be positive, got %d", bytes)
+	}
+	n := len(perm)
+	seen := make([]bool, n)
+	for _, p := range perm {
+		if p < 0 || p >= n || seen[p] {
+			return nil, fmt.Errorf("trafficgen: not a permutation: %v", perm)
+		}
+		seen[p] = true
+	}
+	m := make([][]int64, n)
+	for i := range m {
+		m[i] = make([]int64, n)
+		m[i][perm[i]] = bytes
+	}
+	return m, nil
+}
+
+// Shift builds the cyclic-shift permutation pattern: sender i sends to
+// receiver (i + offset) mod n.
+func Shift(n int, offset int, bytes int64) ([][]int64, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("trafficgen: need positive size, got %d", n)
+	}
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = ((i+offset)%n + n) % n
+	}
+	return Permutation(perm, bytes)
+}
+
+// Transpose builds the matrix-transpose exchange on a √n × √n grid of
+// processors: processor (r, c) sends its tile to processor (c, r).
+// n must be a perfect square. Diagonal processors keep their data (no
+// traffic).
+func Transpose(n int, bytes int64) ([][]int64, error) {
+	side := isqrt(n)
+	if side*side != n {
+		return nil, fmt.Errorf("trafficgen: transpose needs a square processor count, got %d", n)
+	}
+	if bytes <= 0 {
+		return nil, fmt.Errorf("trafficgen: message size must be positive, got %d", bytes)
+	}
+	m := make([][]int64, n)
+	for i := range m {
+		m[i] = make([]int64, n)
+	}
+	for r := 0; r < side; r++ {
+		for c := 0; c < side; c++ {
+			if r == c {
+				continue
+			}
+			m[r*side+c][c*side+r] = bytes
+		}
+	}
+	return m, nil
+}
+
+// BitReversal builds the bit-reversal permutation on n = 2^b processors:
+// sender i sends to the processor whose index is i with its b bits
+// reversed — the classic FFT data exchange.
+func BitReversal(n int, bytes int64) ([][]int64, error) {
+	if n <= 0 || n&(n-1) != 0 {
+		return nil, fmt.Errorf("trafficgen: bit reversal needs a power-of-two size, got %d", n)
+	}
+	bits := 0
+	for 1<<bits < n {
+		bits++
+	}
+	perm := make([]int, n)
+	for i := range perm {
+		r := 0
+		for b := 0; b < bits; b++ {
+			if i&(1<<b) != 0 {
+				r |= 1 << (bits - 1 - b)
+			}
+		}
+		perm[i] = r
+	}
+	return Permutation(perm, bytes)
+}
+
+// AllToAll builds the personalized all-to-all exchange: every sender
+// sends bytes to every receiver (self included when selfTraffic).
+// It is the scheduler's densest case: n steps at k = n.
+func AllToAll(n int, bytes int64, selfTraffic bool) ([][]int64, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("trafficgen: need positive size, got %d", n)
+	}
+	if bytes <= 0 {
+		return nil, fmt.Errorf("trafficgen: message size must be positive, got %d", bytes)
+	}
+	m := make([][]int64, n)
+	for i := range m {
+		m[i] = make([]int64, n)
+		for j := range m[i] {
+			if i == j && !selfTraffic {
+				continue
+			}
+			m[i][j] = bytes
+		}
+	}
+	return m, nil
+}
+
+func isqrt(n int) int {
+	if n < 0 {
+		return 0
+	}
+	x := 0
+	for (x+1)*(x+1) <= n {
+		x++
+	}
+	return x
+}

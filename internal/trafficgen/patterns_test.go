@@ -1,0 +1,189 @@
+package trafficgen
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"redistgo/internal/bipartite"
+	"redistgo/internal/kpbs"
+)
+
+func TestPermutationBasics(t *testing.T) {
+	m, err := Permutation([]int{2, 0, 1}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m[0][2] != 5 || m[1][0] != 5 || m[2][1] != 5 {
+		t.Fatalf("wrong pattern: %v", m)
+	}
+	if MatrixTotal(m) != 15 {
+		t.Fatalf("total = %d", MatrixTotal(m))
+	}
+}
+
+func TestPermutationRejectsBadInput(t *testing.T) {
+	if _, err := Permutation([]int{0, 0}, 1); err == nil {
+		t.Fatal("duplicate accepted")
+	}
+	if _, err := Permutation([]int{0, 5}, 1); err == nil {
+		t.Fatal("out of range accepted")
+	}
+	if _, err := Permutation([]int{0}, 0); err == nil {
+		t.Fatal("zero bytes accepted")
+	}
+}
+
+func TestPermutationSchedulesInOneStep(t *testing.T) {
+	// The scheduler's best case: a permutation with k = n is one step.
+	rng := rand.New(rand.NewSource(1))
+	m, err := Permutation(rng.Perm(8), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := bipartite.FromMatrix(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := kpbs.Solve(g, 8, 1, kpbs.Options{Algorithm: kpbs.OGGP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumSteps() != 1 {
+		t.Fatalf("permutation took %d steps, want 1", s.NumSteps())
+	}
+}
+
+func TestShift(t *testing.T) {
+	m, err := Shift(4, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m[3][0] != 3 || m[0][1] != 3 {
+		t.Fatalf("wrong shift: %v", m)
+	}
+	neg, err := Shift(4, -1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if neg[0][3] != 3 {
+		t.Fatalf("negative shift wrong: %v", neg)
+	}
+	if _, err := Shift(0, 1, 1); err == nil {
+		t.Fatal("zero size accepted")
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	m, err := Transpose(9, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Processor (0,1) = index 1 sends to (1,0) = index 3.
+	if m[1][3] != 7 || m[3][1] != 7 {
+		t.Fatalf("transpose pairs wrong: %v", m)
+	}
+	// Diagonal processors send nothing.
+	for d := 0; d < 3; d++ {
+		idx := d*3 + d
+		for j := range m[idx] {
+			if m[idx][j] != 0 {
+				t.Fatalf("diagonal processor %d sends", idx)
+			}
+		}
+	}
+	if _, err := Transpose(8, 7); err == nil {
+		t.Fatal("non-square count accepted")
+	}
+}
+
+func TestBitReversal(t *testing.T) {
+	m, err := BitReversal(8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 001 -> 100 (1 -> 4), 011 -> 110 (3 -> 6).
+	if m[1][4] != 2 || m[3][6] != 2 {
+		t.Fatalf("bit reversal wrong: %v", m)
+	}
+	// 000 and 111 are fixed points.
+	if m[0][0] != 2 || m[7][7] != 2 {
+		t.Fatalf("fixed points wrong: %v", m)
+	}
+	if _, err := BitReversal(6, 2); err == nil {
+		t.Fatal("non-power-of-two accepted")
+	}
+}
+
+func TestAllToAll(t *testing.T) {
+	m, err := AllToAll(4, 10, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if MatrixTotal(m) != 4*3*10 {
+		t.Fatalf("total = %d", MatrixTotal(m))
+	}
+	if m[2][2] != 0 {
+		t.Fatal("self traffic present")
+	}
+	withSelf, err := AllToAll(4, 10, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if MatrixTotal(withSelf) != 160 {
+		t.Fatalf("total with self = %d", MatrixTotal(withSelf))
+	}
+	if _, err := AllToAll(0, 1, true); err == nil {
+		t.Fatal("zero size accepted")
+	}
+	if _, err := AllToAll(2, 0, true); err == nil {
+		t.Fatal("zero bytes accepted")
+	}
+}
+
+func TestAllToAllSchedulesInMinimumSteps(t *testing.T) {
+	// All-to-all without self traffic on n nodes with k = n needs exactly
+	// n-1 steps (a round-robin tournament); the scheduler must find it.
+	m, err := AllToAll(6, 50, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := bipartite.FromMatrix(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := kpbs.Solve(g, 6, 1, kpbs.Options{Algorithm: kpbs.OGGP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumSteps() != 5 {
+		t.Fatalf("all-to-all took %d steps, want 5", s.NumSteps())
+	}
+	if s.TotalDuration() != 5*50 {
+		t.Fatalf("duration = %d, want 250", s.TotalDuration())
+	}
+}
+
+func TestQuickPermutationPatternsScheduleOptimally(t *testing.T) {
+	// Every permutation pattern with k ≥ n schedules at the lower bound.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(10)
+		m, err := Permutation(rng.Perm(n), 1+rng.Int63n(100))
+		if err != nil {
+			return false
+		}
+		g, err := bipartite.FromMatrix(m)
+		if err != nil {
+			return false
+		}
+		s, err := kpbs.Solve(g, n, 1, kpbs.Options{Algorithm: kpbs.OGGP})
+		if err != nil {
+			return false
+		}
+		return s.Cost() == kpbs.LowerBound(g, n, 1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,144 @@
+// Package trafficgen builds redistribution traffic patterns: the random
+// bipartite instances used by the paper's simulations (§5.1), the dense
+// uniform matrices of the real-world experiments (§5.2), and exact
+// block-cyclic redistribution patterns for the local-redistribution case
+// the paper discusses in §2.4.
+//
+// All generators take an explicit *rand.Rand so experiments are
+// reproducible bit-for-bit from a seed.
+package trafficgen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"redistgo/internal/bipartite"
+)
+
+// RandomBipartite generates a graph with exactly nLeft × nRight nodes and
+// up to maxEdges edges over distinct node pairs, each with a weight drawn
+// uniformly from [minW, maxW]. The number of edges is capped at
+// nLeft·nRight; duplicate pairs are re-drawn, so the edge count is exact.
+func RandomBipartite(rng *rand.Rand, nLeft, nRight, edges int, minW, maxW int64) *bipartite.Graph {
+	if nLeft <= 0 || nRight <= 0 {
+		panic(fmt.Sprintf("trafficgen: node counts must be positive, got %dx%d", nLeft, nRight))
+	}
+	if minW <= 0 || maxW < minW {
+		panic(fmt.Sprintf("trafficgen: bad weight range [%d,%d]", minW, maxW))
+	}
+	if max := nLeft * nRight; edges > max {
+		edges = max
+	}
+	g := bipartite.New(nLeft, nRight)
+	if edges <= 0 {
+		return g
+	}
+	// For dense requests, sample pairs without replacement via a partial
+	// Fisher-Yates over the pair space; for sparse requests, rejection
+	// sampling is cheaper.
+	if edges*2 >= nLeft*nRight {
+		pairs := make([]int, nLeft*nRight)
+		for i := range pairs {
+			pairs[i] = i
+		}
+		for i := 0; i < edges; i++ {
+			j := i + rng.Intn(len(pairs)-i)
+			pairs[i], pairs[j] = pairs[j], pairs[i]
+			p := pairs[i]
+			g.AddEdge(p/nRight, p%nRight, uniform(rng, minW, maxW))
+		}
+		return g
+	}
+	seen := make(map[int]bool, edges)
+	for len(seen) < edges {
+		p := rng.Intn(nLeft * nRight)
+		if seen[p] {
+			continue
+		}
+		seen[p] = true
+		g.AddEdge(p/nRight, p%nRight, uniform(rng, minW, maxW))
+	}
+	return g
+}
+
+// PaperRandom draws an instance exactly the way the paper's simulations
+// do (§5.1): a random number of nodes on each side up to maxNodes, a
+// random number of edges up to maxEdges, uniform weights in [minW, maxW].
+func PaperRandom(rng *rand.Rand, maxNodes, maxEdges int, minW, maxW int64) *bipartite.Graph {
+	nLeft := 1 + rng.Intn(maxNodes)
+	nRight := 1 + rng.Intn(maxNodes)
+	edges := 1 + rng.Intn(maxEdges)
+	return RandomBipartite(rng, nLeft, nRight, edges, minW, maxW)
+}
+
+// DenseUniform generates the full nLeft × nRight traffic matrix of the
+// paper's real-world experiment (§5.2): every pair communicates, with an
+// amount drawn uniformly from [minW, maxW].
+func DenseUniform(rng *rand.Rand, nLeft, nRight int, minW, maxW int64) [][]int64 {
+	m := make([][]int64, nLeft)
+	for i := range m {
+		m[i] = make([]int64, nRight)
+		for j := range m[i] {
+			m[i][j] = uniform(rng, minW, maxW)
+		}
+	}
+	return m
+}
+
+// SparseUniform generates an nLeft × nRight matrix in which each pair
+// communicates with probability density, with uniform amounts.
+func SparseUniform(rng *rand.Rand, nLeft, nRight int, density float64, minW, maxW int64) [][]int64 {
+	m := make([][]int64, nLeft)
+	for i := range m {
+		m[i] = make([]int64, nRight)
+		for j := range m[i] {
+			if rng.Float64() < density {
+				m[i][j] = uniform(rng, minW, maxW)
+			}
+		}
+	}
+	return m
+}
+
+// Skewed generates a hotspot pattern: hot senders/receivers (a fraction
+// hotFrac of each side, at least one) exchange amounts scaled by
+// hotFactor. Such skew maximizes W(G) relative to P(G)/k and stresses the
+// 1-port constraint rather than the backbone.
+func Skewed(rng *rand.Rand, nLeft, nRight int, hotFrac float64, hotFactor, minW, maxW int64) [][]int64 {
+	hotL := int(float64(nLeft) * hotFrac)
+	if hotL < 1 {
+		hotL = 1
+	}
+	hotR := int(float64(nRight) * hotFrac)
+	if hotR < 1 {
+		hotR = 1
+	}
+	m := make([][]int64, nLeft)
+	for i := range m {
+		m[i] = make([]int64, nRight)
+		for j := range m[i] {
+			w := uniform(rng, minW, maxW)
+			if i < hotL || j < hotR {
+				w *= hotFactor
+			}
+			m[i][j] = w
+		}
+	}
+	return m
+}
+
+// uniform draws an integer uniformly from [lo, hi].
+func uniform(rng *rand.Rand, lo, hi int64) int64 {
+	return lo + rng.Int63n(hi-lo+1)
+}
+
+// MatrixTotal returns the sum of all entries.
+func MatrixTotal(m [][]int64) int64 {
+	var t int64
+	for _, row := range m {
+		for _, v := range row {
+			t += v
+		}
+	}
+	return t
+}

@@ -1,0 +1,275 @@
+package trafficgen
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRandomBipartiteExactEdgeCount(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := RandomBipartite(rng, 5, 7, 20, 1, 10)
+	if g.EdgeCount() != 20 {
+		t.Fatalf("edges = %d, want 20", g.EdgeCount())
+	}
+	if g.LeftCount() != 5 || g.RightCount() != 7 {
+		t.Fatalf("size = %dx%d, want 5x7", g.LeftCount(), g.RightCount())
+	}
+}
+
+func TestRandomBipartiteCapsAtPairSpace(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := RandomBipartite(rng, 3, 3, 100, 1, 5)
+	if g.EdgeCount() != 9 {
+		t.Fatalf("edges = %d, want 9 (capped)", g.EdgeCount())
+	}
+}
+
+func TestRandomBipartiteDistinctPairs(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nl, nr := 1+rng.Intn(8), 1+rng.Intn(8)
+		e := rng.Intn(nl*nr + 5)
+		g := RandomBipartite(rng, nl, nr, e, 1, 20)
+		seen := map[[2]int]bool{}
+		for _, edge := range g.Edges() {
+			p := [2]int{edge.L, edge.R}
+			if seen[p] {
+				return false
+			}
+			seen[p] = true
+			if edge.Weight < 1 || edge.Weight > 20 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandomBipartiteDeterministic(t *testing.T) {
+	a := RandomBipartite(rand.New(rand.NewSource(99)), 6, 6, 15, 1, 50)
+	b := RandomBipartite(rand.New(rand.NewSource(99)), 6, 6, 15, 1, 50)
+	if !a.Equal(b) {
+		t.Fatal("same seed produced different graphs")
+	}
+}
+
+func TestRandomBipartitePanicsOnBadInput(t *testing.T) {
+	cases := []func(){
+		func() { RandomBipartite(rand.New(rand.NewSource(1)), 0, 3, 1, 1, 2) },
+		func() { RandomBipartite(rand.New(rand.NewSource(1)), 3, 3, 1, 0, 2) },
+		func() { RandomBipartite(rand.New(rand.NewSource(1)), 3, 3, 1, 5, 2) },
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("case %d: expected panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestPaperRandomWithinBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := PaperRandom(rng, 40, 400, 1, 20)
+		return g.LeftCount() >= 1 && g.LeftCount() <= 40 &&
+			g.RightCount() >= 1 && g.RightCount() <= 40 &&
+			g.EdgeCount() >= 1 && g.EdgeCount() <= 400 &&
+			g.MinWeight() >= 1 && g.MaxWeight() <= 20
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDenseUniform(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	m := DenseUniform(rng, 10, 10, 10, 50)
+	if len(m) != 10 {
+		t.Fatalf("rows = %d", len(m))
+	}
+	for _, row := range m {
+		for _, v := range row {
+			if v < 10 || v > 50 {
+				t.Fatalf("entry %d out of [10,50]", v)
+			}
+		}
+	}
+}
+
+func TestSparseUniformDensityBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	zero := SparseUniform(rng, 10, 10, 0, 1, 5)
+	if MatrixTotal(zero) != 0 {
+		t.Fatal("density 0 should generate nothing")
+	}
+	full := SparseUniform(rng, 10, 10, 1, 1, 5)
+	for _, row := range full {
+		for _, v := range row {
+			if v == 0 {
+				t.Fatal("density 1 should fill every entry")
+			}
+		}
+	}
+}
+
+func TestSkewedHotRows(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	m := Skewed(rng, 10, 10, 0.1, 100, 1, 5)
+	var hotMin int64 = 1 << 62
+	var coldMax int64
+	for i, row := range m {
+		for j, v := range row {
+			if i == 0 || j == 0 {
+				if v < hotMin {
+					hotMin = v
+				}
+			} else if v > coldMax {
+				coldMax = v
+			}
+		}
+	}
+	if hotMin < coldMax {
+		t.Fatalf("hot minimum %d below cold maximum %d", hotMin, coldMax)
+	}
+}
+
+func TestBlockCyclicAgainstBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int64(rng.Intn(5000))
+		from := BlockCyclicSpec{Procs: 1 + rng.Intn(6), Block: 1 + rng.Intn(7)}
+		to := BlockCyclicSpec{Procs: 1 + rng.Intn(6), Block: 1 + rng.Intn(7)}
+		elem := int64(1 + rng.Intn(4))
+		got, err := BlockCyclic(n, elem, from, to)
+		if err != nil {
+			return false
+		}
+		want := make([][]int64, from.Procs)
+		for i := range want {
+			want[i] = make([]int64, to.Procs)
+		}
+		for x := int64(0); x < n; x++ {
+			want[from.Owner(x)][to.Owner(x)] += elem
+		}
+		for i := range want {
+			for j := range want[i] {
+				if got[i][j] != want[i][j] {
+					t.Logf("seed %d: (%d,%d) got %d want %d", seed, i, j, got[i][j], want[i][j])
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBlockCyclicConservation(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int64(rng.Intn(100000))
+		from := BlockCyclicSpec{Procs: 1 + rng.Intn(16), Block: 1 + rng.Intn(64)}
+		to := BlockCyclicSpec{Procs: 1 + rng.Intn(16), Block: 1 + rng.Intn(64)}
+		m, err := BlockCyclic(n, 8, from, to)
+		if err != nil {
+			return false
+		}
+		return MatrixTotal(m) == n*8
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBlockCyclicIdentityStaysLocal(t *testing.T) {
+	// Same layout on both sides: everything stays on the diagonal.
+	spec := BlockCyclicSpec{Procs: 4, Block: 16}
+	m, err := BlockCyclic(1000, 1, spec, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range m {
+		for j := range m[i] {
+			if i != j && m[i][j] != 0 {
+				t.Fatalf("off-diagonal traffic [%d][%d] = %d", i, j, m[i][j])
+			}
+		}
+	}
+}
+
+func TestBlockCyclicLargeNUsesPeriodicity(t *testing.T) {
+	// n large enough that a per-element loop would be noticeable; the
+	// periodic path must stay exact. Compare two sizes differing by one
+	// full period.
+	from := BlockCyclicSpec{Procs: 3, Block: 5}
+	to := BlockCyclicSpec{Procs: 4, Block: 7}
+	period := int64(3*5) * int64(4*7) / gcd(15, 28)
+	a, err := BlockCyclic(10_000_000, 1, from, to)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BlockCyclic(10_000_000+period, 1, from, to)
+	if err != nil {
+		t.Fatal(err)
+	}
+	onePeriod, err := BlockCyclic(period, 1, from, to)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		for j := range a[i] {
+			if b[i][j]-a[i][j] != onePeriod[i][j] {
+				t.Fatalf("periodicity violated at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestBlockCyclicErrors(t *testing.T) {
+	ok := BlockCyclicSpec{Procs: 2, Block: 2}
+	cases := []struct {
+		n    int64
+		e    int64
+		from BlockCyclicSpec
+		to   BlockCyclicSpec
+	}{
+		{-1, 1, ok, ok},
+		{10, 0, ok, ok},
+		{10, 1, BlockCyclicSpec{Procs: 0, Block: 2}, ok},
+		{10, 1, ok, BlockCyclicSpec{Procs: 2, Block: 0}},
+	}
+	for i, tc := range cases {
+		if _, err := BlockCyclic(tc.n, tc.e, tc.from, tc.to); err == nil {
+			t.Fatalf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestBlockCyclicZeroElements(t *testing.T) {
+	m, err := BlockCyclic(0, 4, BlockCyclicSpec{2, 3}, BlockCyclicSpec{3, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if MatrixTotal(m) != 0 {
+		t.Fatal("zero elements should produce zero traffic")
+	}
+}
+
+func TestMatrixTotal(t *testing.T) {
+	if MatrixTotal([][]int64{{1, 2}, {3, 4}}) != 10 {
+		t.Fatal("MatrixTotal wrong")
+	}
+	if MatrixTotal(nil) != 0 {
+		t.Fatal("MatrixTotal(nil) should be 0")
+	}
+}

@@ -1,0 +1,144 @@
+package viz
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"redistgo/internal/bipartite"
+	"redistgo/internal/kpbs"
+)
+
+func sampleSchedule(t *testing.T) (*kpbs.Schedule, *bipartite.Graph) {
+	t.Helper()
+	g, err := bipartite.FromMatrix([][]int64{
+		{8, 3, 0},
+		{4, 5, 0},
+		{0, 0, 6},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := kpbs.Solve(g, 2, 1, kpbs.Options{Algorithm: kpbs.OGGP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, g
+}
+
+func TestSVGBasicStructure(t *testing.T) {
+	s, g := sampleSchedule(t)
+	var buf bytes.Buffer
+	if err := SVG(&buf, s, g.LeftCount(), Options{Title: "demo <schedule>"}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"<svg", "</svg>", // document
+		">L0<", ">L1<", ">L2<", // row labels
+		"demo &lt;schedule&gt;", // escaped title
+		"(cost)",                // axis label
+		"<title>step 1:",        // tooltips
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in SVG:\n%s", want, out[:min(len(out), 600)])
+		}
+	}
+	// One rect per communication.
+	comms := 0
+	for _, st := range s.Steps {
+		comms += len(st.Comms)
+	}
+	if got := strings.Count(out, "<title>"); got != comms {
+		t.Fatalf("comm rects = %d, want %d", got, comms)
+	}
+}
+
+func TestSVGBetaGapsShaded(t *testing.T) {
+	s, g := sampleSchedule(t)
+	var buf bytes.Buffer
+	if err := SVG(&buf, s, g.LeftCount(), Options{}); err != nil {
+		t.Fatal(err)
+	}
+	// One shaded β gap per step.
+	if got := strings.Count(buf.String(), `opacity="0.7"`); got != s.NumSteps() {
+		t.Fatalf("beta gaps = %d, want %d", got, s.NumSteps())
+	}
+}
+
+func TestSVGZeroBetaNoGaps(t *testing.T) {
+	g, err := bipartite.FromMatrix([][]int64{{5, 3}, {2, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := kpbs.Solve(g, 2, 0, kpbs.Options{Algorithm: kpbs.GGP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := SVG(&buf, s, 2, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), `opacity="0.7"`) {
+		t.Fatal("zero-beta schedule should have no shaded gaps")
+	}
+}
+
+func TestSVGRejectsBadRowCount(t *testing.T) {
+	s, _ := sampleSchedule(t)
+	if err := SVG(&bytes.Buffer{}, s, 0, Options{}); err == nil {
+		t.Fatal("zero rows accepted")
+	}
+}
+
+func TestSVGEmptySchedule(t *testing.T) {
+	var buf bytes.Buffer
+	if err := SVG(&buf, &kpbs.Schedule{}, 2, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "<svg") {
+		t.Fatal("no SVG produced for empty schedule")
+	}
+}
+
+func TestSVGPropagatesWriterErrors(t *testing.T) {
+	s, g := sampleSchedule(t)
+	if err := SVG(failingWriter{}, s, g.LeftCount(), Options{}); err == nil {
+		t.Fatal("writer error swallowed")
+	}
+}
+
+type failingWriter struct{}
+
+func (failingWriter) Write([]byte) (int, error) { return 0, errors.New("boom") }
+
+func TestSVGDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	g := bipartite.New(6, 6)
+	for i := 0; i < 20; i++ {
+		g.AddEdge(rng.Intn(6), rng.Intn(6), 1+rng.Int63n(9))
+	}
+	s, err := kpbs.Solve(g, 3, 1, kpbs.Options{Algorithm: kpbs.OGGP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a, b bytes.Buffer
+	if err := SVG(&a, s, 6, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := SVG(&b, s, 6, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("SVG output nondeterministic")
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

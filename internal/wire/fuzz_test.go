@@ -1,0 +1,66 @@
+package wire
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+// FuzzRead feeds arbitrary bytes to the frame decoder: it must never
+// panic, never allocate beyond MaxPayload, and any frame it accepts must
+// re-encode to bytes that decode identically.
+func FuzzRead(f *testing.F) {
+	// Seeds: a valid frame, a truncated one, a hostile length field.
+	var valid bytes.Buffer
+	if err := Write(&valid, Frame{Type: MsgData, Src: 1, Dst: 2, Payload: []byte("payload")}); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid.Bytes())
+	f.Add(valid.Bytes()[:5])
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 2, 0, 0, 0, 0, 0, 0, 0, 0})
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		frame, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return // malformed input rejected: fine
+		}
+		if len(frame.Payload) > MaxPayload {
+			t.Fatalf("accepted oversized payload %d", len(frame.Payload))
+		}
+		var out bytes.Buffer
+		if err := Write(&out, frame); err != nil {
+			t.Fatalf("re-encoding accepted frame failed: %v", err)
+		}
+		again, err := Read(&out)
+		if err != nil {
+			t.Fatalf("re-decoding failed: %v", err)
+		}
+		if again.Type != frame.Type || again.Src != frame.Src || again.Dst != frame.Dst ||
+			!bytes.Equal(again.Payload, frame.Payload) {
+			t.Fatal("re-decoded frame differs")
+		}
+	})
+}
+
+// FuzzReadStream decodes a stream of frames until error: must terminate
+// and never panic.
+func FuzzReadStream(f *testing.F) {
+	var two bytes.Buffer
+	_ = Write(&two, Frame{Type: MsgBarrier, Src: 0})
+	_ = Write(&two, Frame{Type: MsgDone, Src: 0})
+	f.Add(two.Bytes())
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := bytes.NewReader(data)
+		for i := 0; i < 1000; i++ {
+			if _, err := Read(r); err != nil {
+				if err != io.EOF && r.Len() == len(data) {
+					// Error without consuming anything is fine too.
+					_ = err
+				}
+				return
+			}
+		}
+	})
+}

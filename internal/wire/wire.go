@@ -1,0 +1,125 @@
+// Package wire implements the framing protocol of the cluster runtime: a
+// minimal length-prefixed binary format carrying transfer announcements,
+// data chunks, acknowledgements and barrier traffic over TCP. It plays
+// the role MPICH's wire protocol played in the paper's experiments.
+//
+// Frame layout (big-endian):
+//
+//	uint32  payload length (bytes that follow the 13-byte header)
+//	uint8   message type
+//	int32   src node id
+//	int32   dst node id
+//	[]byte  payload
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// MsgType identifies the kind of a frame.
+type MsgType uint8
+
+const (
+	// MsgXfer announces a transfer: payload is a uint64 total byte count.
+	MsgXfer MsgType = iota + 1
+	// MsgData carries a chunk of transfer payload.
+	MsgData
+	// MsgAck acknowledges a completed transfer: payload is the uint64
+	// byte count received.
+	MsgAck
+	// MsgBarrier is a barrier arrival/release token.
+	MsgBarrier
+	// MsgDone tells a peer the session is over.
+	MsgDone
+)
+
+// String names the message type.
+func (t MsgType) String() string {
+	switch t {
+	case MsgXfer:
+		return "XFER"
+	case MsgData:
+		return "DATA"
+	case MsgAck:
+		return "ACK"
+	case MsgBarrier:
+		return "BARRIER"
+	case MsgDone:
+		return "DONE"
+	}
+	return fmt.Sprintf("MsgType(%d)", uint8(t))
+}
+
+// MaxPayload bounds a frame's payload; larger transfers are chunked.
+const MaxPayload = 1 << 20
+
+const headerLen = 4 + 1 + 4 + 4
+
+// Frame is one protocol message.
+type Frame struct {
+	Type     MsgType
+	Src, Dst int32
+	Payload  []byte
+}
+
+// Write encodes f to w. It fails if the payload exceeds MaxPayload.
+func Write(w io.Writer, f Frame) error {
+	if len(f.Payload) > MaxPayload {
+		return fmt.Errorf("wire: payload %d exceeds maximum %d", len(f.Payload), MaxPayload)
+	}
+	var hdr [headerLen]byte
+	binary.BigEndian.PutUint32(hdr[0:4], uint32(len(f.Payload)))
+	hdr[4] = byte(f.Type)
+	binary.BigEndian.PutUint32(hdr[5:9], uint32(f.Src))
+	binary.BigEndian.PutUint32(hdr[9:13], uint32(f.Dst))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("wire: writing header: %w", err)
+	}
+	if len(f.Payload) > 0 {
+		if _, err := w.Write(f.Payload); err != nil {
+			return fmt.Errorf("wire: writing payload: %w", err)
+		}
+	}
+	return nil
+}
+
+// Read decodes one frame from r.
+func Read(r io.Reader) (Frame, error) {
+	var hdr [headerLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return Frame{}, err
+	}
+	n := binary.BigEndian.Uint32(hdr[0:4])
+	if n > MaxPayload {
+		return Frame{}, fmt.Errorf("wire: declared payload %d exceeds maximum %d", n, MaxPayload)
+	}
+	f := Frame{
+		Type: MsgType(hdr[4]),
+		Src:  int32(binary.BigEndian.Uint32(hdr[5:9])),
+		Dst:  int32(binary.BigEndian.Uint32(hdr[9:13])),
+	}
+	if n > 0 {
+		f.Payload = make([]byte, n)
+		if _, err := io.ReadFull(r, f.Payload); err != nil {
+			return Frame{}, fmt.Errorf("wire: reading payload: %w", err)
+		}
+	}
+	return f, nil
+}
+
+// PutUint64 encodes v as an 8-byte payload.
+func PutUint64(v uint64) []byte {
+	b := make([]byte, 8)
+	binary.BigEndian.PutUint64(b, v)
+	return b
+}
+
+// Uint64 decodes an 8-byte payload written by PutUint64.
+func Uint64(p []byte) (uint64, error) {
+	if len(p) != 8 {
+		return 0, fmt.Errorf("wire: uint64 payload has %d bytes, want 8", len(p))
+	}
+	return binary.BigEndian.Uint64(p), nil
+}

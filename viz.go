@@ -1,0 +1,17 @@
+package redistgo
+
+import (
+	"io"
+
+	"redistgo/internal/viz"
+)
+
+// SVGOptions style WriteScheduleSVG output.
+type SVGOptions = viz.Options
+
+// WriteScheduleSVG renders the schedule as an SVG Gantt chart — one lane
+// per sending node, colored blocks per communication, β gaps shaded —
+// in the style of the paper's Figure 2.
+func WriteScheduleSVG(w io.Writer, s *Schedule, nLeft int, opts SVGOptions) error {
+	return viz.SVG(w, s, nLeft, opts)
+}
