@@ -1,0 +1,42 @@
+# Standard verification gate for redistgo. `make check` is what CI (and
+# any pre-merge hook) should run: vet, build, the full test suite under
+# the race detector, and a one-iteration benchmark smoke of the batch
+# engine so a scaling regression cannot land silently.
+
+GO ?= go
+
+.PHONY: check vet build test race bench-smoke bench fuzz-smoke
+
+check: vet build race bench-smoke
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+# Plain tier-1 suite (matches ROADMAP.md).
+test:
+	$(GO) test ./...
+
+# Tier-1 under the race detector; also replays the fuzz seed corpora
+# (FuzzSolve, FuzzSolveBatchDifferential) as regular tests, so the
+# differential batch-vs-serial check runs race-instrumented on every gate.
+race:
+	$(GO) test -race ./...
+
+# One benchmark iteration of the batch engine: proves the serial and
+# pooled paths still run and agree (the benchmark re-verifies
+# byte-identical schedules before timing anything).
+bench-smoke:
+	$(GO) test ./internal/engine -run='^$$' -bench=SolveBatch -benchtime=1x
+
+# Full benchmark comparison, serial loop vs worker pool.
+bench:
+	$(GO) test ./internal/engine -run='^$$' -bench=SolveBatch -benchtime=2s
+
+# Short actual fuzzing session of the solver pipeline and the batch
+# engine differential (seed corpora are always replayed by `make race`).
+fuzz-smoke:
+	$(GO) test ./internal/kpbs -run='^$$' -fuzz=FuzzSolve$$ -fuzztime=10s
+	$(GO) test ./internal/kpbs -run='^$$' -fuzz=FuzzSolveBatchDifferential -fuzztime=10s

@@ -1,0 +1,40 @@
+package redistgo
+
+import (
+	"context"
+
+	"redistgo/internal/engine"
+)
+
+// BatchInstance is one K-PBS problem inside a batch: schedule the
+// communications of G under at most K simultaneous transfers with
+// per-step setup delay Beta, using the algorithm selected by Opts.
+type BatchInstance = engine.Instance
+
+// BatchResult is the outcome for the batch instance at the same index:
+// exactly one of Schedule and Err is non-nil.
+type BatchResult = engine.Result
+
+// BatchOptions configure SolveBatch: Workers bounds the concurrent
+// solver goroutines (≤ 0 selects GOMAXPROCS) and Ctx cancels the
+// remainder of the batch.
+type BatchOptions = engine.Options
+
+// SolveBatch solves many independent K-PBS instances concurrently on a
+// bounded worker pool and returns one result per instance, in input
+// order. Results are byte-identical to calling Solve in a loop — the
+// pool only changes wall-clock time, never schedules — and one invalid
+// instance errors out alone without affecting the rest of the batch.
+// Use it when scheduling per communication round across many tenants or
+// sweeping parameters; for a handful of instances a plain loop is just
+// as good.
+func SolveBatch(instances []BatchInstance, opts BatchOptions) []BatchResult {
+	return engine.SolveBatch(instances, opts)
+}
+
+// SolveBatchContext is SolveBatch with an explicit cancellation context,
+// overriding opts.Ctx.
+func SolveBatchContext(ctx context.Context, instances []BatchInstance, opts BatchOptions) []BatchResult {
+	opts.Ctx = ctx
+	return engine.SolveBatch(instances, opts)
+}

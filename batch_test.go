@@ -1,0 +1,53 @@
+package redistgo_test
+
+import (
+	"context"
+	"testing"
+
+	"redistgo"
+)
+
+// TestSolveBatchFacade exercises the public batch API end-to-end:
+// per-instance results in input order, equality with serial Solve,
+// error isolation, and context cancellation.
+func TestSolveBatchFacade(t *testing.T) {
+	g, err := redistgo.FromMatrix([][]int64{
+		{40, 0, 12},
+		{0, 30, 7},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	insts := []redistgo.BatchInstance{
+		{G: g, K: 2, Beta: 1, Opts: redistgo.Options{Algorithm: redistgo.OGGP}},
+		{G: g, K: 0, Beta: 1}, // invalid: must fail alone
+		{G: g, K: 3, Beta: 2, Opts: redistgo.Options{Algorithm: redistgo.GGP}},
+	}
+	res := redistgo.SolveBatch(insts, redistgo.BatchOptions{Workers: 2})
+	if len(res) != len(insts) {
+		t.Fatalf("%d results for %d instances", len(res), len(insts))
+	}
+	if res[1].Err == nil {
+		t.Fatal("invalid instance accepted")
+	}
+	for _, i := range []int{0, 2} {
+		if res[i].Err != nil {
+			t.Fatalf("instance %d failed: %v", i, res[i].Err)
+		}
+		want, err := redistgo.Solve(insts[i].G, insts[i].K, insts[i].Beta, insts[i].Opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res[i].Schedule.String() != want.String() {
+			t.Fatalf("instance %d: batch schedule differs from serial Solve", i)
+		}
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for i, r := range redistgo.SolveBatchContext(ctx, insts, redistgo.BatchOptions{}) {
+		if r.Err != context.Canceled {
+			t.Fatalf("instance %d after cancel: err = %v", i, r.Err)
+		}
+	}
+}

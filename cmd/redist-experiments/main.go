@@ -35,6 +35,7 @@ func run(args []string, stdout io.Writer) error {
 	runs := fs.Int("runs", 0, "Monte-Carlo runs per point (0 = figure-specific default)")
 	seed := fs.Int64("seed", 1, "random seed")
 	format := fs.String("format", "csv", "output format: csv or md")
+	workers := fs.Int("workers", 0, "concurrent solver goroutines for the ratio sweeps (0 = GOMAXPROCS, 1 = serial); output is identical for any value")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -52,6 +53,7 @@ func run(args []string, stdout io.Writer) error {
 		} else {
 			cfg = redistgo.Figure8Config(n, *seed)
 		}
+		cfg.Workers = *workers
 		points, err := redistgo.RatioVsK(cfg)
 		if err != nil {
 			return err
@@ -62,7 +64,9 @@ func run(args []string, stdout io.Writer) error {
 		return experiments.WriteRatioCSV(stdout, "k", points)
 	case "9":
 		n := defaultRuns(*runs, 2000)
-		points, err := redistgo.RatioVsBeta(redistgo.Figure9Config(n, *seed))
+		cfg := redistgo.Figure9Config(n, *seed)
+		cfg.Workers = *workers
+		points, err := redistgo.RatioVsBeta(cfg)
 		if err != nil {
 			return err
 		}

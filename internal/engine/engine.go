@@ -1,0 +1,130 @@
+// Package engine provides a concurrent batch-solving front end to the
+// K-PBS schedulers. Production deployments (and the figure harnesses)
+// invoke the solver as a hot batched kernel — thousands of independent
+// instances per communication round — so the engine fans a batch out over
+// a bounded worker pool instead of looping serially.
+//
+// Guarantees:
+//
+//   - Determinism: Result[i] is exactly what kpbs.Solve would return for
+//     Instances[i] — byte-identical schedules regardless of worker count
+//     or scheduling order. Workers share no mutable state; each instance
+//     is solved independently.
+//   - Error isolation: one bad instance (invalid parameters, nil graph,
+//     even a panicking solver) yields an error in its own Result slot and
+//     never affects the rest of the batch.
+//   - Bounded concurrency: at most Options.Workers goroutines (default
+//     GOMAXPROCS) solve simultaneously.
+//   - Cancellation: when Options.Ctx is cancelled, instances not yet
+//     started complete immediately with the context's error; instances
+//     already solving run to completion (the solver is CPU-bound and
+//     finite).
+package engine
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"redistgo/internal/bipartite"
+	"redistgo/internal/kpbs"
+)
+
+// Instance is one K-PBS problem: schedule the communications of G under
+// at most K simultaneous transfers with per-step setup delay Beta, using
+// the algorithm and post-passes selected by Opts.
+type Instance struct {
+	G    *bipartite.Graph
+	K    int
+	Beta int64
+	Opts kpbs.Options
+}
+
+// Result is the outcome for the instance at the same index of the batch:
+// exactly one of Schedule and Err is non-nil.
+type Result struct {
+	Schedule *kpbs.Schedule
+	Err      error
+}
+
+// Options configure SolveBatch.
+type Options struct {
+	// Workers bounds the number of concurrent solver goroutines;
+	// values ≤ 0 select runtime.GOMAXPROCS(0).
+	Workers int
+	// Ctx cancels the remainder of the batch; nil means Background.
+	Ctx context.Context
+}
+
+// SolveBatch solves every instance and returns one Result per instance,
+// in input order. See the package comment for the determinism, isolation,
+// bounding and cancellation guarantees.
+func SolveBatch(instances []Instance, opts Options) []Result {
+	results := make([]Result, len(instances))
+	if len(instances) == 0 {
+		return results
+	}
+	ctx := opts.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(instances) {
+		workers = len(instances)
+	}
+
+	// Work-stealing over an atomic cursor: cheap, order-preserving in the
+	// results slice, and naturally balanced when instance sizes vary.
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(instances) {
+					return
+				}
+				if err := ctx.Err(); err != nil {
+					results[i] = Result{Err: err}
+					continue
+				}
+				results[i] = solveOne(instances[i])
+			}
+		}()
+	}
+	wg.Wait()
+	return results
+}
+
+// solveOne solves a single instance, converting solver panics into
+// errors so a malformed matrix can never take down the whole batch.
+func solveOne(inst Instance) (res Result) {
+	defer func() {
+		if r := recover(); r != nil {
+			res = Result{Err: fmt.Errorf("engine: solver panicked: %v", r)}
+		}
+	}()
+	s, err := kpbs.Solve(inst.G, inst.K, inst.Beta, inst.Opts)
+	if err != nil {
+		return Result{Err: err}
+	}
+	return Result{Schedule: s}
+}
+
+// SolveSerial solves the batch with a plain loop on the calling
+// goroutine. It is the reference implementation SolveBatch must match
+// byte-for-byte; benchmarks and differential tests compare against it.
+func SolveSerial(instances []Instance) []Result {
+	results := make([]Result, len(instances))
+	for i, inst := range instances {
+		results[i] = solveOne(inst)
+	}
+	return results
+}

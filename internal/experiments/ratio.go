@@ -10,6 +10,7 @@ import (
 	"math/rand"
 
 	"redistgo/internal/bipartite"
+	"redistgo/internal/engine"
 	"redistgo/internal/kpbs"
 	"redistgo/internal/stats"
 	"redistgo/internal/trafficgen"
@@ -26,6 +27,7 @@ type RatioConfig struct {
 	Beta     int64 // setup delay (paper: 1)
 	Ks       []int // k values to sweep
 	Seed     int64
+	Workers  int // concurrent solver goroutines (≤ 0: GOMAXPROCS); results are identical for any value
 }
 
 // Validate reports configuration errors.
@@ -75,17 +77,38 @@ type RatioPoint struct {
 	OGGPMax float64
 }
 
-// evaluationRatio computes cost/LB for one algorithm on one instance.
-func evaluationRatio(g *bipartite.Graph, k int, beta int64, alg kpbs.Algorithm) (float64, error) {
-	s, err := kpbs.Solve(g, k, beta, kpbs.Options{Algorithm: alg})
-	if err != nil {
-		return 0, err
+// ratioChunk bounds how many (graph, GGP/OGGP) pairs are in flight per
+// engine batch: instance generation stays serial (so the RNG stream, and
+// hence the figures, are byte-identical to the historical serial loop)
+// while the solving — the hot part — fans out across the worker pool.
+// The cap keeps memory flat for publication-size runs (100000 per point).
+const ratioChunk = 512
+
+// accumulateRatios schedules every graph with GGP and OGGP on the batch
+// engine and folds cost/LB into the two summaries in input order.
+// ks[i] and betas[i] are the parameters of gs[i].
+func accumulateRatios(gs []*bipartite.Graph, ks []int, betas []int64, workers int, ggp, oggp *stats.Summary) error {
+	insts := make([]engine.Instance, 0, 2*len(gs))
+	for i, g := range gs {
+		insts = append(insts,
+			engine.Instance{G: g, K: ks[i], Beta: betas[i], Opts: kpbs.Options{Algorithm: kpbs.GGP}},
+			engine.Instance{G: g, K: ks[i], Beta: betas[i], Opts: kpbs.Options{Algorithm: kpbs.OGGP}})
 	}
-	lb := kpbs.LowerBound(g, k, beta)
-	if lb <= 0 {
-		return 0, fmt.Errorf("experiments: non-positive lower bound %d", lb)
+	res := engine.SolveBatch(insts, engine.Options{Workers: workers})
+	for i := range gs {
+		lb := kpbs.LowerBound(gs[i], ks[i], betas[i])
+		if lb <= 0 {
+			return fmt.Errorf("experiments: non-positive lower bound %d", lb)
+		}
+		for j, sum := range [...]*stats.Summary{ggp, oggp} {
+			r := res[2*i+j]
+			if r.Err != nil {
+				return r.Err
+			}
+			sum.Add(float64(r.Schedule.Cost()) / float64(lb))
+		}
 	}
-	return float64(s.Cost()) / float64(lb), nil
+	return nil
 }
 
 // RatioVsK runs the Figure 7/8 experiment: for every k in cfg.Ks, cfg.Runs
@@ -100,21 +123,28 @@ func RatioVsK(cfg RatioConfig) ([]RatioPoint, error) {
 		if k <= 0 {
 			return nil, fmt.Errorf("experiments: non-positive k %d", k)
 		}
-		// Independent deterministic substream per point.
+		// Independent deterministic substream per point. Graphs are drawn
+		// serially from it, then solved concurrently in chunks; the figures
+		// are identical to the historical serial loop for any worker count.
 		rng := rand.New(rand.NewSource(cfg.Seed + int64(ki)*1_000_003))
 		var ggp, oggp stats.Summary
-		for run := 0; run < cfg.Runs; run++ {
-			g := trafficgen.PaperRandom(rng, cfg.MaxNodes, cfg.MaxEdges, cfg.MinW, cfg.MaxW)
-			rg, err := evaluationRatio(g, k, cfg.Beta, kpbs.GGP)
-			if err != nil {
+		for done := 0; done < cfg.Runs; {
+			n := cfg.Runs - done
+			if n > ratioChunk {
+				n = ratioChunk
+			}
+			gs := make([]*bipartite.Graph, n)
+			ks := make([]int, n)
+			betas := make([]int64, n)
+			for i := range gs {
+				gs[i] = trafficgen.PaperRandom(rng, cfg.MaxNodes, cfg.MaxEdges, cfg.MinW, cfg.MaxW)
+				ks[i] = k
+				betas[i] = cfg.Beta
+			}
+			if err := accumulateRatios(gs, ks, betas, cfg.Workers, &ggp, &oggp); err != nil {
 				return nil, err
 			}
-			ro, err := evaluationRatio(g, k, cfg.Beta, kpbs.OGGP)
-			if err != nil {
-				return nil, err
-			}
-			ggp.Add(rg)
-			oggp.Add(ro)
+			done += n
 		}
 		points = append(points, RatioPoint{
 			X:      float64(k),
@@ -137,6 +167,7 @@ type BetaConfig struct {
 	WeightScale int64 // weights are multiplied by this (β=WeightScale is "β equal to one weight unit")
 	Betas       []int64
 	Seed        int64
+	Workers     int // concurrent solver goroutines (≤ 0: GOMAXPROCS); results are identical for any value
 }
 
 // Figure9Config returns the paper's Figure 9 setup: weights 1..20, β
@@ -182,19 +213,24 @@ func RatioVsBeta(cfg BetaConfig) ([]RatioPoint, error) {
 		}
 		rng := rand.New(rand.NewSource(cfg.Seed + int64(bi)*1_000_003))
 		var ggp, oggp stats.Summary
-		for run := 0; run < cfg.Runs; run++ {
-			g := trafficgen.PaperRandom(rng, cfg.MaxNodes, cfg.MaxEdges, cfg.MinW*cfg.WeightScale, cfg.MaxW*cfg.WeightScale)
-			k := 1 + rng.Intn(cfg.MaxNodes)
-			rg, err := evaluationRatio(g, k, beta, kpbs.GGP)
-			if err != nil {
+		for done := 0; done < cfg.Runs; {
+			n := cfg.Runs - done
+			if n > ratioChunk {
+				n = ratioChunk
+			}
+			gs := make([]*bipartite.Graph, n)
+			ks := make([]int, n)
+			betas := make([]int64, n)
+			for i := range gs {
+				// Keep the historical RNG call order: graph first, then k.
+				gs[i] = trafficgen.PaperRandom(rng, cfg.MaxNodes, cfg.MaxEdges, cfg.MinW*cfg.WeightScale, cfg.MaxW*cfg.WeightScale)
+				ks[i] = 1 + rng.Intn(cfg.MaxNodes)
+				betas[i] = beta
+			}
+			if err := accumulateRatios(gs, ks, betas, cfg.Workers, &ggp, &oggp); err != nil {
 				return nil, err
 			}
-			ro, err := evaluationRatio(g, k, beta, kpbs.OGGP)
-			if err != nil {
-				return nil, err
-			}
-			ggp.Add(rg)
-			oggp.Add(ro)
+			done += n
 		}
 		points = append(points, RatioPoint{
 			X:      float64(beta) / float64(cfg.WeightScale),

@@ -46,13 +46,7 @@ func normalizeWeight(w, beta int64) int64 {
 // GGP into an optimal step-count scheduler (the MinSteps extension).
 // It returns nil (and no error) for an edgeless graph.
 func buildInstance(g *bipartite.Graph, k int, beta int64, unitWeights bool) (*instance, error) {
-	if k <= 0 {
-		return nil, fmt.Errorf("kpbs: k must be positive, got %d", k)
-	}
-	if beta < 0 {
-		return nil, fmt.Errorf("kpbs: beta must be non-negative, got %d", beta)
-	}
-	if err := g.Validate(); err != nil {
+	if err := validateInstance(g, k, beta); err != nil {
 		return nil, err
 	}
 	if g.EdgeCount() == 0 {

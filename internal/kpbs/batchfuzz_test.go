@@ -1,0 +1,77 @@
+// Differential fuzzing of the concurrent batch engine against the serial
+// solver. This lives in the external test package (kpbs_test) so it can
+// import internal/engine, which itself imports kpbs.
+//
+// Tier-1 CI runs the seed corpus of this target under `go test -race
+// ./...` (see the Makefile check target), so every corpus entry also
+// exercises the race-cleanliness of the shared solver core.
+package kpbs_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"redistgo/internal/bipartite"
+	"redistgo/internal/engine"
+	"redistgo/internal/kpbs"
+)
+
+// FuzzSolveBatchDifferential asserts, for fuzzer-chosen batches, that
+// SolveBatch ≡ a serial Solve loop per instance (same errors, byte-
+// identical schedules) and that every produced schedule is feasible with
+// cost ≥ the Cohen–Jeannot–Padoy lower bound.
+func FuzzSolveBatchDifferential(f *testing.F) {
+	f.Add(int64(1), 8, 10, 40, int64(50), 4, int64(1), 3)
+	f.Add(int64(2), 1, 1, 1, int64(1), 1, int64(0), 1)
+	f.Add(int64(3), 20, 16, 120, int64(10000), 7, int64(9), 5)
+	f.Add(int64(4), 5, 30, 80, int64(20), 0, int64(-1), 2) // invalid k/beta in the mix
+
+	f.Fuzz(func(t *testing.T, seed int64, nl, nr, edges int, maxW int64, k int, beta int64, batch int) {
+		if nl < 1 || nr < 1 || nl > 40 || nr > 40 {
+			return
+		}
+		if edges < 0 || edges > 300 {
+			return
+		}
+		if maxW < 1 || maxW > 1_000_000 {
+			return
+		}
+		if batch < 1 || batch > 12 {
+			return
+		}
+		rng := rand.New(rand.NewSource(seed))
+		algs := []kpbs.Algorithm{kpbs.GGP, kpbs.OGGP, kpbs.MinSteps, kpbs.Greedy}
+		insts := make([]engine.Instance, batch)
+		for i := range insts {
+			g := bipartite.New(nl, nr)
+			for e := 0; e < edges; e++ {
+				g.AddEdge(rng.Intn(nl), rng.Intn(nr), 1+rng.Int63n(maxW))
+			}
+			insts[i] = engine.Instance{G: g, K: k, Beta: beta, Opts: kpbs.Options{Algorithm: algs[i%len(algs)]}}
+		}
+
+		batched := engine.SolveBatch(insts, engine.Options{Workers: 1 + int(seed&3)})
+		for i, inst := range insts {
+			serial, serialErr := kpbs.Solve(inst.G, inst.K, inst.Beta, inst.Opts)
+			got := batched[i]
+			if (got.Err == nil) != (serialErr == nil) {
+				t.Fatalf("instance %d: batch err %v, serial err %v", i, got.Err, serialErr)
+			}
+			if serialErr != nil {
+				if got.Err.Error() != serialErr.Error() {
+					t.Fatalf("instance %d: batch err %q, serial err %q", i, got.Err, serialErr)
+				}
+				continue
+			}
+			if got.Schedule.String() != serial.String() {
+				t.Fatalf("instance %d: batch schedule differs from serial:\n%s\nvs\n%s", i, got.Schedule, serial)
+			}
+			if err := got.Schedule.Validate(inst.G, inst.K); err != nil {
+				t.Fatalf("instance %d: infeasible batch schedule: %v", i, err)
+			}
+			if lb := kpbs.LowerBound(inst.G, inst.K, inst.Beta); got.Schedule.Cost() < lb {
+				t.Fatalf("instance %d: cost %d < lower bound %d", i, got.Schedule.Cost(), lb)
+			}
+		}
+	})
+}

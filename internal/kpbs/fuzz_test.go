@@ -5,11 +5,14 @@ import (
 	"testing"
 
 	"redistgo/internal/bipartite"
+	"redistgo/internal/safemath"
 )
 
 // FuzzSolve drives the full pipeline with fuzzer-chosen instance shapes:
 // whatever the inputs, Solve must either reject them or produce a
-// feasible schedule within the approximation envelope.
+// feasible schedule within the approximation envelope. Tier-1 CI runs the
+// seed corpus of this target (and FuzzSolveBatchDifferential) under
+// `go test -race ./...` — see the Makefile check target.
 func FuzzSolve(f *testing.F) {
 	f.Add(int64(1), 5, 5, 10, int64(20), 3, int64(1), 0)
 	f.Add(int64(2), 1, 1, 1, int64(1), 1, int64(0), 1)
@@ -48,10 +51,16 @@ func FuzzSolve(f *testing.F) {
 		if err := s.Validate(g, k); err != nil {
 			t.Fatalf("infeasible schedule: %v", err)
 		}
+		// LB is a true lower bound for every algorithm; a schedule cheaper
+		// than it means broken cost accounting (e.g. wrapped arithmetic).
+		lb := LowerBound(g, k, beta)
+		if s.Cost() < lb {
+			t.Fatalf("%v cost %d < lower bound %d", alg, s.Cost(), lb)
+		}
 		if alg == GGP || alg == OGGP {
-			lb := LowerBound(g, k, beta)
-			if s.Cost() > 2*lb+2*beta {
-				t.Fatalf("%v cost %d > 2·LB+2β = %d", alg, s.Cost(), 2*lb+2*beta)
+			bound := safemath.Add(safemath.Mul(2, lb), safemath.Mul(2, beta))
+			if s.Cost() > bound {
+				t.Fatalf("%v cost %d > 2·LB+2β = %d", alg, s.Cost(), bound)
 			}
 		}
 		// Post-passes must preserve feasibility.

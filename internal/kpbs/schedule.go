@@ -25,6 +25,7 @@ import (
 	"strings"
 
 	"redistgo/internal/bipartite"
+	"redistgo/internal/safemath"
 )
 
 // Comm is one communication inside a step: transfer Amount time units of
@@ -63,17 +64,21 @@ type Schedule struct {
 func (s *Schedule) NumSteps() int { return len(s.Steps) }
 
 // TotalDuration returns Σ_i duration(step i), excluding setup delays.
+// The sum saturates at MaxInt64 so huge schedules report a huge cost
+// rather than a wrapped negative one.
 func (s *Schedule) TotalDuration() int64 {
 	var d int64
 	for _, st := range s.Steps {
-		d += st.Duration
+		d = safemath.Add(d, st.Duration)
 	}
 	return d
 }
 
-// Cost returns the K-PBS objective Σ_i (β + duration(step i)).
+// Cost returns the K-PBS objective Σ_i (β + duration(step i)),
+// saturating at MaxInt64 (β·steps overflows for β near the int64
+// boundary).
 func (s *Schedule) Cost() int64 {
-	return s.TotalDuration() + s.Beta*int64(len(s.Steps))
+	return safemath.Add(s.TotalDuration(), safemath.Mul(s.Beta, int64(len(s.Steps))))
 }
 
 // MaxConcurrency returns the largest number of simultaneous

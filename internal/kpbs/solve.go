@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"redistgo/internal/bipartite"
+	"redistgo/internal/safemath"
 )
 
 // Algorithm selects the scheduling algorithm.
@@ -122,7 +123,12 @@ func denormalize(g *bipartite.Graph, in *instance, steps []normStep, beta int64,
 			if unitWeights {
 				amount = rem[c.orig]
 			} else if beta > 0 {
-				amount = c.alloc * beta
+				// Saturating: alloc·β can exceed MaxInt64 when a weight near
+				// the int64 boundary was rounded up by normalization; the
+				// min(remaining) clamp below then restores the exact amount,
+				// whereas an unchecked product would go negative and emit a
+				// corrupt (or dropped) communication.
+				amount = safemath.Mul(c.alloc, beta)
 			}
 			if amount > rem[c.orig] {
 				amount = rem[c.orig]
@@ -168,13 +174,7 @@ func SolveWRGP(g *bipartite.Graph, bottleneck bool) (*Schedule, error) {
 // in that order. It respects the instance constraints but has no
 // approximation guarantee; it exists to quantify what the peeling buys.
 func solveGreedy(g *bipartite.Graph, k int, beta int64) (*Schedule, error) {
-	if k <= 0 {
-		return nil, fmt.Errorf("kpbs: k must be positive, got %d", k)
-	}
-	if beta < 0 {
-		return nil, fmt.Errorf("kpbs: beta must be non-negative, got %d", beta)
-	}
-	if err := g.Validate(); err != nil {
+	if err := validateInstance(g, k, beta); err != nil {
 		return nil, err
 	}
 	order := make([]int, g.EdgeCount())

@@ -1,0 +1,77 @@
+package kpbs
+
+import (
+	"fmt"
+
+	"redistgo/internal/bipartite"
+	"redistgo/internal/safemath"
+)
+
+// validateInstance is the single validation path shared by every
+// algorithm (GGP, OGGP, MinSteps, Greedy): all of them accept and reject
+// exactly the same (g, k, β) triples, so callers can switch algorithms
+// without changing their error handling. It checks the parameters, the
+// graph invariants, and that the instance's aggregate quantities fit in
+// int64 once normalized — oversized instances are rejected up front
+// instead of overflowing deep inside the augmentation.
+func validateInstance(g *bipartite.Graph, k int, beta int64) error {
+	if k <= 0 {
+		return fmt.Errorf("kpbs: k must be positive, got %d", k)
+	}
+	if beta < 0 {
+		return fmt.Errorf("kpbs: beta must be non-negative, got %d", beta)
+	}
+	if g == nil {
+		return fmt.Errorf("kpbs: nil graph")
+	}
+	if err := g.Validate(); err != nil {
+		return err
+	}
+	// The augmentation needs W(G)·k and the total normalized weight to be
+	// representable (filler phase computes both); reject instances where
+	// they are not rather than wrap around.
+	var total int64
+	var maxNode int64
+	lw := make([]int64, g.LeftCount())
+	rw := make([]int64, g.RightCount())
+	activeL, activeR := 0, 0
+	for _, e := range g.Edges() {
+		w := normalizeWeight(e.Weight, beta)
+		var ok bool
+		if total, ok = safemath.AddChecked(total, w); !ok {
+			return fmt.Errorf("kpbs: total normalized weight overflows int64")
+		}
+		if lw[e.L] == 0 {
+			activeL++
+		}
+		if rw[e.R] == 0 {
+			activeR++
+		}
+		lw[e.L] = safemath.Add(lw[e.L], w)
+		rw[e.R] = safemath.Add(rw[e.R], w)
+	}
+	for _, w := range lw {
+		if w > maxNode {
+			maxNode = w
+		}
+	}
+	for _, w := range rw {
+		if w > maxNode {
+			maxNode = w
+		}
+	}
+	// The augmentation clamps k to the active node counts (larger values
+	// are equivalent, paper §2.4), so the overflow gate uses the same
+	// effective k.
+	kEff := int64(k)
+	if int64(activeL) < kEff {
+		kEff = int64(activeL)
+	}
+	if int64(activeR) < kEff {
+		kEff = int64(activeR)
+	}
+	if _, ok := safemath.MulChecked(maxNode, kEff); !ok {
+		return fmt.Errorf("kpbs: W(G)·k overflows int64 (W=%d, k=%d)", maxNode, kEff)
+	}
+	return nil
+}

@@ -1,0 +1,66 @@
+// Package safemath provides overflow-safe int64 arithmetic for the
+// scheduling core. K-PBS quantities (weights, β, lower bounds, schedule
+// costs) are sums and products of caller-supplied int64 values; near the
+// int64 boundary the naive expressions wrap around to negative numbers and
+// silently corrupt bounds and costs. The helpers here either saturate at
+// math.MaxInt64 — safe for quantities only compared or reported — or
+// report the overflow so callers can reject the instance.
+//
+// All helpers operate on the non-negative domain (a, b ≥ 0, divisors > 0),
+// which is the domain of every K-PBS quantity; negative inputs are the
+// caller's validation bug, not an overflow concern.
+package safemath
+
+import "math"
+
+// CeilDiv returns ⌈a/b⌉ for a ≥ 0, b > 0. Unlike the textbook
+// (a+b-1)/b it cannot overflow: the sum a+b-1 wraps for a near
+// math.MaxInt64, while a/b plus a remainder correction never leaves
+// [0, a].
+func CeilDiv(a, b int64) int64 {
+	q := a / b
+	if a%b != 0 {
+		q++
+	}
+	return q
+}
+
+// Add returns a+b for a, b ≥ 0, saturating at math.MaxInt64.
+func Add(a, b int64) int64 {
+	if a > math.MaxInt64-b {
+		return math.MaxInt64
+	}
+	return a + b
+}
+
+// Mul returns a·b for a, b ≥ 0, saturating at math.MaxInt64.
+func Mul(a, b int64) int64 {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	if a > math.MaxInt64/b {
+		return math.MaxInt64
+	}
+	return a * b
+}
+
+// AddChecked returns a+b for a, b ≥ 0 and whether it fit in int64.
+// On overflow it returns math.MaxInt64, false.
+func AddChecked(a, b int64) (int64, bool) {
+	if a > math.MaxInt64-b {
+		return math.MaxInt64, false
+	}
+	return a + b, true
+}
+
+// MulChecked returns a·b for a, b ≥ 0 and whether it fit in int64.
+// On overflow it returns math.MaxInt64, false.
+func MulChecked(a, b int64) (int64, bool) {
+	if a == 0 || b == 0 {
+		return 0, true
+	}
+	if a > math.MaxInt64/b {
+		return math.MaxInt64, false
+	}
+	return a * b, true
+}

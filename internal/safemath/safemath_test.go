@@ -1,0 +1,93 @@
+package safemath
+
+import (
+	"math"
+	"testing"
+)
+
+func TestCeilDiv(t *testing.T) {
+	cases := []struct{ a, b, want int64 }{
+		{0, 1, 0},
+		{1, 1, 1},
+		{1, 2, 1},
+		{10, 3, 4},
+		{9, 3, 3},
+		{math.MaxInt64, 1, math.MaxInt64},
+		{math.MaxInt64, 2, math.MaxInt64/2 + 1},
+		{math.MaxInt64, math.MaxInt64, 1},
+		{math.MaxInt64 - 1, math.MaxInt64, 1},
+	}
+	for _, c := range cases {
+		if got := CeilDiv(c.a, c.b); got != c.want {
+			t.Errorf("CeilDiv(%d, %d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+		if got := CeilDiv(c.a, c.b); got < 0 {
+			t.Errorf("CeilDiv(%d, %d) overflowed to %d", c.a, c.b, got)
+		}
+	}
+}
+
+// TestCeilDivBoundaryRegression pins the exact case the old (a+b-1)/b
+// formula got wrong: a near MaxInt64 makes a+b-1 wrap negative.
+func TestCeilDivBoundaryRegression(t *testing.T) {
+	naive := func(a, b int64) int64 { return (a + b - 1) / b }
+	a, b := int64(math.MaxInt64), int64(10)
+	if naive(a, b) >= 0 {
+		t.Fatalf("expected the naive formula to overflow; test premise broken")
+	}
+	want := int64(math.MaxInt64/10 + 1) // ⌈(2^63-1)/10⌉
+	if got := CeilDiv(a, b); got != want {
+		t.Fatalf("CeilDiv(MaxInt64, 10) = %d, want %d", got, want)
+	}
+}
+
+func TestAddSaturates(t *testing.T) {
+	if got := Add(1, 2); got != 3 {
+		t.Fatalf("Add(1,2) = %d", got)
+	}
+	if got := Add(math.MaxInt64, 1); got != math.MaxInt64 {
+		t.Fatalf("Add(MaxInt64,1) = %d, want saturation", got)
+	}
+	if got := Add(math.MaxInt64-1, 1); got != math.MaxInt64 {
+		t.Fatalf("Add(MaxInt64-1,1) = %d", got)
+	}
+	if got := Add(math.MaxInt64, math.MaxInt64); got != math.MaxInt64 {
+		t.Fatalf("Add(MaxInt64,MaxInt64) = %d", got)
+	}
+}
+
+func TestMulSaturates(t *testing.T) {
+	if got := Mul(6, 7); got != 42 {
+		t.Fatalf("Mul(6,7) = %d", got)
+	}
+	if got := Mul(0, math.MaxInt64); got != 0 {
+		t.Fatalf("Mul(0,MaxInt64) = %d", got)
+	}
+	if got := Mul(math.MaxInt64, 2); got != math.MaxInt64 {
+		t.Fatalf("Mul(MaxInt64,2) = %d, want saturation", got)
+	}
+	if got := Mul(1<<32, 1<<32); got != math.MaxInt64 {
+		t.Fatalf("Mul(2^32,2^32) = %d, want saturation", got)
+	}
+	if got := Mul(math.MaxInt64, 1); got != math.MaxInt64 {
+		t.Fatalf("Mul(MaxInt64,1) = %d", got)
+	}
+}
+
+func TestCheckedVariants(t *testing.T) {
+	if v, ok := AddChecked(2, 3); !ok || v != 5 {
+		t.Fatalf("AddChecked(2,3) = %d, %v", v, ok)
+	}
+	if v, ok := AddChecked(math.MaxInt64, 1); ok || v != math.MaxInt64 {
+		t.Fatalf("AddChecked(MaxInt64,1) = %d, %v", v, ok)
+	}
+	if v, ok := MulChecked(4, 5); !ok || v != 20 {
+		t.Fatalf("MulChecked(4,5) = %d, %v", v, ok)
+	}
+	if v, ok := MulChecked(math.MaxInt64, 2); ok || v != math.MaxInt64 {
+		t.Fatalf("MulChecked(MaxInt64,2) = %d, %v", v, ok)
+	}
+	if v, ok := MulChecked(0, math.MaxInt64); !ok || v != 0 {
+		t.Fatalf("MulChecked(0,MaxInt64) = %d, %v", v, ok)
+	}
+}

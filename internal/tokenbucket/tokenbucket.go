@@ -10,6 +10,14 @@ import (
 	"time"
 )
 
+// minSleep is the shortest pause Wait ever takes. The deficit-derived
+// duration deficit/rate·1s truncates toward zero nanoseconds for tiny
+// deficits or very high rates; sleeping 0 ns turns the wait loop into a
+// hot spin on the mutex, starving the goroutines it is pacing. One
+// refill's worth of clamping error is absorbed by the bucket (tokens
+// accumulate while oversleeping), so throughput is unaffected.
+const minSleep = 100 * time.Microsecond
+
 // Limiter is a thread-safe token bucket: tokens are bytes, refilled at a
 // constant rate up to a burst capacity. A nil *Limiter imposes no limit,
 // so optional shaping needs no branching at call sites.
@@ -117,9 +125,14 @@ func (l *Limiter) Wait(n int) {
 			l.mu.Unlock()
 			continue
 		}
-		// Sleep just long enough for the deficit to refill.
+		// Sleep just long enough for the deficit to refill, but never a
+		// zero-duration (spinning) sleep: clamp to minSleep.
 		deficit := chunk - l.tokens
 		l.mu.Unlock()
-		l.sleep(time.Duration(deficit / l.rate * float64(time.Second)))
+		d := time.Duration(deficit / l.rate * float64(time.Second))
+		if d < minSleep {
+			d = minSleep
+		}
+		l.sleep(d)
 	}
 }

@@ -134,6 +134,64 @@ func TestWaitZeroAndNegative(t *testing.T) {
 	}
 }
 
+// TestWaitTinyDeficitDoesNotSpin is the regression test for the 0 ns
+// sleep bug: deficit/rate·1s truncates to 0 for tiny deficits at high
+// rates, and a zero sleep never advances an injected clock, so the old
+// code degenerated into a hot spin (here: an unbounded call count; in
+// production: a busy loop hammering the mutex). The clamp must turn this
+// into exactly one bounded sleep.
+func TestWaitTinyDeficitDoesNotSpin(t *testing.T) {
+	clk := newFakeClock()
+	var calls int
+	var min time.Duration
+	sleep := func(d time.Duration) {
+		calls++
+		if calls == 1 || d < min {
+			min = d
+		}
+		if calls > 1000 {
+			t.Fatalf("Wait is spinning: %d sleep calls, shortest %v", calls, min)
+		}
+		clk.sleep(d)
+	}
+	l, err := NewWithClock(1e12, 1000, clk.now, sleep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !l.Allow(1000) {
+		t.Fatal("could not drain full bucket")
+	}
+	l.Wait(1) // deficit of 1 byte at 1 TB/s: raw sleep truncates to 0 ns
+	if calls != 1 {
+		t.Fatalf("Wait slept %d times, want exactly 1", calls)
+	}
+	if min <= 0 {
+		t.Fatalf("Wait slept %v, want a positive clamped duration", min)
+	}
+}
+
+// TestWaitSleepsAreClamped checks every sleep a multi-chunk Wait issues
+// is at least the anti-spin minimum.
+func TestWaitSleepsAreClamped(t *testing.T) {
+	clk := newFakeClock()
+	var calls int
+	sleep := func(d time.Duration) {
+		calls++
+		if d < minSleep {
+			t.Fatalf("sleep %d lasted %v, below the %v clamp", calls, d, minSleep)
+		}
+		clk.sleep(d)
+	}
+	l, err := NewWithClock(1e9, 10, clk.now, sleep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Wait(10_005) // many burst-sized chunks at a rate that out-runs them
+	if calls == 0 {
+		t.Fatal("Wait never slept; test exercised nothing")
+	}
+}
+
 func TestRate(t *testing.T) {
 	l, err := New(12345, 10)
 	if err != nil {
