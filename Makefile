@@ -4,10 +4,11 @@
 # engine so a scaling regression cannot land silently.
 
 GO ?= go
+BENCH_COUNT ?= 5
 
-.PHONY: check vet build test race bench-smoke bench fuzz-smoke
+.PHONY: check vet build test race bench-smoke bench bench-compare bench-compare-smoke fuzz-smoke
 
-check: vet build race bench-smoke
+check: vet build race bench-smoke bench-compare-smoke
 
 vet:
 	$(GO) vet ./...
@@ -34,6 +35,23 @@ bench-smoke:
 # Full benchmark comparison, serial loop vs worker pool.
 bench:
 	$(GO) test ./internal/engine -run='^$$' -bench=SolveBatch -benchtime=2s
+
+# Old-vs-new peeler comparison: runs the PeelSolve benchmarks (retained
+# cold-start reference vs incremental engine) with -count repetitions and
+# pipes them through tools/benchcompare, which enforces the >= 2x speedup
+# acceptance bar and emits the machine-readable BENCH_PR2.json artifact
+# tracking the perf trajectory.
+bench-compare:
+	$(GO) test ./internal/kpbs -run='^$$' -bench=PeelSolve -benchmem -count=$(BENCH_COUNT) -timeout=30m > bench_peel.txt
+	$(GO) run ./tools/benchcompare -min-speedup 2 -json BENCH_PR2.json bench_peel.txt
+
+# One-iteration smoke of the same pipeline for `make check`: proves both
+# peelers and the comparator still run; no speedup assertion (1 iteration
+# is too noisy to gate on).
+bench-compare-smoke:
+	$(GO) test ./internal/kpbs -run='^$$' -bench=PeelSolve -benchmem -benchtime=1x > bench_peel_smoke.txt
+	$(GO) run ./tools/benchcompare bench_peel_smoke.txt
+	rm -f bench_peel_smoke.txt
 
 # Short actual fuzzing session of the solver pipeline and the batch
 # engine differential (seed corpora are always replayed by `make race`).

@@ -134,6 +134,17 @@ func BenchmarkOGGPLarge(b *testing.B)  { benchmarkSolve(b, redistgo.OGGP, 80, 16
 func BenchmarkMinSteps(b *testing.B) { benchmarkSolve(b, redistgo.MinSteps, 40, 400) }
 func BenchmarkGreedy(b *testing.B)   { benchmarkSolve(b, redistgo.Greedy, 40, 400) }
 
+// BenchmarkSolve is the headline end-to-end benchmark of the incremental
+// peeling engine: a fully dense 64x64 instance (4096 edges, every
+// sender/receiver pair active), the worst case for the per-iteration
+// rebuild cost the engine eliminates. internal/kpbs/alloc_test.go holds
+// the matching old-vs-new comparison (BenchmarkPeelSolve ref/inc) that
+// `make bench-compare` gates on.
+func BenchmarkSolve(b *testing.B) {
+	b.Run("GGP64x64dense", func(b *testing.B) { benchmarkSolve(b, redistgo.GGP, 64, 64*64) })
+	b.Run("OGGP64x64dense", func(b *testing.B) { benchmarkSolve(b, redistgo.OGGP, 64, 64*64) })
+}
+
 // --- Ablation benches for the design choices DESIGN.md calls out ---
 
 // BenchmarkAblationCoalesce measures the cost saved by the step-coalescing

@@ -17,6 +17,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"redistgo"
 	"redistgo/internal/experiments"
@@ -36,6 +38,8 @@ func run(args []string, stdout io.Writer) error {
 	seed := fs.Int64("seed", 1, "random seed")
 	format := fs.String("format", "csv", "output format: csv or md")
 	workers := fs.Int("workers", 0, "concurrent solver goroutines for the ratio sweeps (0 = GOMAXPROCS, 1 = serial); output is identical for any value")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
+	memprofile := fs.String("memprofile", "", "write a heap profile taken after the run to this file (go tool pprof)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -43,6 +47,34 @@ func run(args []string, stdout io.Writer) error {
 		return fmt.Errorf("unknown format %q (want csv or md)", *format)
 	}
 	md := *format == "md"
+
+	// Profiling hooks so hot-path work (the peeling engine above all) can
+	// be profiled on any figure workload without editing code.
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "redist-experiments: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialize only live heap objects in the profile
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "redist-experiments: memprofile:", err)
+			}
+		}()
+	}
 
 	switch *fig {
 	case "7", "8":

@@ -3,6 +3,8 @@ package main
 import (
 	"bytes"
 	"encoding/csv"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -95,6 +97,30 @@ func TestBadArguments(t *testing.T) {
 		if _, err := runCLI(t, args...); err == nil {
 			t.Fatalf("args %v accepted", args)
 		}
+	}
+}
+
+func TestProfilingFlags(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	if _, err := runCLI(t, "-fig", "7", "-runs", "2", "-cpuprofile", cpu, "-memprofile", mem); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{cpu, mem} {
+		info, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile not written: %v", err)
+		}
+		if info.Size() == 0 {
+			t.Fatalf("profile %s is empty", p)
+		}
+	}
+}
+
+func TestProfilingFlagBadPath(t *testing.T) {
+	if _, err := runCLI(t, "-fig", "7", "-runs", "1", "-cpuprofile", "/nonexistent-dir/cpu.pprof"); err == nil {
+		t.Fatal("unwritable cpuprofile path accepted")
 	}
 }
 

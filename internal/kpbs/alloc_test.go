@@ -1,0 +1,159 @@
+package kpbs
+
+import (
+	"math/rand"
+	"testing"
+
+	"redistgo/internal/bipartite"
+)
+
+// denseGraph builds an n×n instance with every pair connected, weights
+// U[1,maxW] — the dense workload the acceptance criteria benchmark.
+func denseGraph(rng *rand.Rand, n int, maxW int64) *bipartite.Graph {
+	g := bipartite.New(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			g.AddEdge(i, j, 1+rng.Int63n(maxW))
+		}
+	}
+	return g
+}
+
+// TestPeelSteadyStateAllocs is the benchmark-guard from the issue: once a
+// peeler has warmed up on an instance (sizing its arenas and matcher
+// scratch), reset+run must perform zero allocations for both the GGP and
+// the OGGP/MinSteps matchers.
+func TestPeelSteadyStateAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	g := denseGraph(rng, 16, 20)
+	for _, tc := range []struct {
+		name string
+		kind matcherKind
+	}{
+		{"GGP", matchAny},
+		{"OGGP", matchBottleneck},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			in, err := buildInstance(g, 8, 1, false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			p := newPeeler(in, tc.kind)
+			warm, err := p.run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(warm) == 0 {
+				t.Fatal("warm-up run produced no steps")
+			}
+			var runErr error
+			var steps int
+			avg := testing.AllocsPerRun(20, func() {
+				p.reset()
+				s, err := p.run()
+				if err != nil {
+					runErr = err
+				}
+				steps = len(s)
+			})
+			if runErr != nil {
+				t.Fatal(runErr)
+			}
+			if steps != len(warm) {
+				t.Fatalf("steady-state run produced %d steps, warm-up %d", steps, len(warm))
+			}
+			if avg != 0 {
+				t.Fatalf("peel loop allocates at steady state: %.1f allocs/run, want 0", avg)
+			}
+		})
+	}
+}
+
+// TestPeelerRerunIsReproducible checks that reusing a peeler through reset
+// yields byte-identical step sequences — the property the zero-alloc reuse
+// path must not trade away.
+func TestPeelerRerunIsReproducible(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	g := denseGraph(rng, 12, 9)
+	for _, kind := range []matcherKind{matchAny, matchBottleneck} {
+		in, err := buildInstance(g, 6, 2, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := newPeeler(in, kind)
+		first, err := p.run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Deep-copy: the second run overwrites the arenas.
+		type flatComm struct {
+			orig  int
+			alloc int64
+		}
+		var flatA []flatComm
+		var peelsA []int64
+		for _, st := range first {
+			peelsA = append(peelsA, st.peel)
+			for _, c := range st.comms {
+				flatA = append(flatA, flatComm{c.orig, c.alloc})
+			}
+		}
+		p.reset()
+		second, err := p.run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(second) != len(peelsA) {
+			t.Fatalf("kind %v: rerun produced %d steps, want %d", kind, len(second), len(peelsA))
+		}
+		i := 0
+		for si, st := range second {
+			if st.peel != peelsA[si] {
+				t.Fatalf("kind %v: step %d peel %d, want %d", kind, si, st.peel, peelsA[si])
+			}
+			for _, c := range st.comms {
+				if flatA[i].orig != c.orig || flatA[i].alloc != c.alloc {
+					t.Fatalf("kind %v: comm %d = %+v, want %+v", kind, i, c, flatA[i])
+				}
+				i++
+			}
+		}
+		if i != len(flatA) {
+			t.Fatalf("kind %v: rerun produced %d comms, want %d", kind, i, len(flatA))
+		}
+	}
+}
+
+// --- bench-compare benchmarks: incremental engine vs retained cold-start
+// reference, full Solve pipeline on 64×64 dense instances (acceptance
+// criteria: inc must be ≥ 2× faster than ref; see `make bench-compare`).
+
+func benchmarkPeelSolve(b *testing.B, kind matcherKind, reference bool) {
+	rng := rand.New(rand.NewSource(1))
+	g := denseGraph(rng, 64, 20)
+	const k, beta = 32, 1
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var s *Schedule
+		var err error
+		if reference {
+			s, err = solvePeelingReference(g, k, beta, kind, false)
+		} else {
+			s, err = solvePeeling(g, k, beta, kind, false)
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(s.Steps) == 0 {
+			b.Fatal("empty schedule")
+		}
+	}
+}
+
+func BenchmarkPeelSolve(b *testing.B) {
+	b.Run("GGP/ref", func(b *testing.B) { benchmarkPeelSolve(b, matchAny, true) })
+	b.Run("GGP/inc", func(b *testing.B) { benchmarkPeelSolve(b, matchAny, false) })
+	b.Run("OGGP/ref", func(b *testing.B) { benchmarkPeelSolve(b, matchBottleneck, true) })
+	b.Run("OGGP/inc", func(b *testing.B) { benchmarkPeelSolve(b, matchBottleneck, false) })
+}

@@ -74,3 +74,70 @@ func FuzzSolve(f *testing.F) {
 		}
 	})
 }
+
+// FuzzPeelDifferential pits the incremental peeling engine against the
+// retained cold-start reference peeler (reference.go) on fuzzer-chosen
+// instances. The two may legitimately pick different perfect matchings, so
+// the check is semantic, not byte-for-byte: both schedules must be
+// feasible (Validate also proves the transferred bytes match the instance
+// exactly), both costs must respect the lower bound and the GGP/OGGP
+// approximation envelope, and the incremental engine must be deterministic
+// across runs.
+func FuzzPeelDifferential(f *testing.F) {
+	f.Add(int64(1), 5, 5, 10, int64(20), 3, int64(1), 0)
+	f.Add(int64(2), 1, 1, 1, int64(1), 1, int64(0), 1)
+	f.Add(int64(3), 12, 12, 144, int64(50), 6, int64(2), 1)
+	f.Add(int64(4), 20, 3, 60, int64(9), 4, int64(5), 2)
+
+	f.Fuzz(func(t *testing.T, seed int64, nl, nr, edges int, maxW int64, k int, beta int64, algRaw int) {
+		if nl < 1 || nr < 1 || nl > 24 || nr > 24 {
+			return
+		}
+		if edges < 0 || edges > 250 {
+			return
+		}
+		if maxW < 1 || maxW > 10_000 {
+			return
+		}
+		if k <= 0 || k > 100 || beta < 0 {
+			return
+		}
+		rng := rand.New(rand.NewSource(seed))
+		g := bipartite.New(nl, nr)
+		for i := 0; i < edges; i++ {
+			g.AddEdge(rng.Intn(nl), rng.Intn(nr), 1+rng.Int63n(maxW))
+		}
+		alg := []Algorithm{GGP, OGGP, MinSteps}[((algRaw%3)+3)%3]
+
+		inc, err := Solve(g, k, beta, Options{Algorithm: alg})
+		if err != nil {
+			t.Fatalf("%v incremental: %v", alg, err)
+		}
+		ref, err := solveReference(g, k, beta, alg)
+		if err != nil {
+			t.Fatalf("%v reference: %v", alg, err)
+		}
+		for name, s := range map[string]*Schedule{"incremental": inc, "reference": ref} {
+			if err := s.Validate(g, k); err != nil {
+				t.Fatalf("%v %s: infeasible schedule: %v", alg, name, err)
+			}
+			if lb := LowerBound(g, k, beta); s.Cost() < lb {
+				t.Fatalf("%v %s: cost %d < lower bound %d", alg, name, s.Cost(), lb)
+			}
+			if alg == GGP || alg == OGGP {
+				bound := safemath.Add(safemath.Mul(2, LowerBound(g, k, beta)), safemath.Mul(2, beta))
+				if s.Cost() > bound {
+					t.Fatalf("%v %s: cost %d > 2·LB+2β = %d", alg, name, s.Cost(), bound)
+				}
+			}
+		}
+		// Determinism: the incremental engine must reproduce itself.
+		again, err := Solve(g, k, beta, Options{Algorithm: alg})
+		if err != nil {
+			t.Fatalf("%v rerun: %v", alg, err)
+		}
+		if inc.String() != again.String() {
+			t.Fatalf("%v: nondeterministic incremental schedule:\n%s\nvs\n%s", alg, inc, again)
+		}
+	})
+}

@@ -10,6 +10,11 @@ import (
 // instance: any change to matching order, augmentation packing or
 // de-normalization shows up here first. The instance is the quickstart
 // example's matrix with k=3, β=1 (in the spirit of paper Figure 2).
+//
+// Regenerated for the incremental peeling engine: warm-started matchings
+// legitimately pick different (equally valid) perfect matchings than the
+// cold-start loop, so the step contents shifted while costs, step counts
+// and total durations stayed identical (GGP cost 19, OGGP cost 17).
 
 func goldenGraph(t *testing.T) *bipartite.Graph {
 	t.Helper()
@@ -28,12 +33,12 @@ func TestGoldenGGP(t *testing.T) {
 	}
 	const want = `schedule: 7 steps, total duration 12, beta 1, cost 19
   step 1 (duration 3): 0->0:3 1->1:3 2->2:3
-  step 2 (duration 2): 0->0:2 1->1:2
-  step 3 (duration 2): 0->0:2 3->2:2
-  step 4 (duration 1): 0->1:1 1->0:1
-  step 5 (duration 1): 0->0:1 2->2:1 3->3:1
-  step 6 (duration 2): 0->1:2 1->0:2 3->3:2
-  step 7 (duration 1): 1->0:1 2->2:1 3->3:1
+  step 2 (duration 2): 0->0:2 2->2:2 3->3:2
+  step 3 (duration 1): 0->0:1 3->2:1
+  step 4 (duration 1): 1->0:1 3->2:1
+  step 5 (duration 2): 0->0:2 1->1:2
+  step 6 (duration 1): 0->1:1 1->0:1
+  step 7 (duration 2): 0->1:2 1->0:2 3->3:2
 `
 	if got := s.String(); got != want {
 		t.Fatalf("golden GGP schedule changed:\n--- got ---\n%s--- want ---\n%s", got, want)
@@ -49,8 +54,8 @@ func TestGoldenOGGP(t *testing.T) {
   step 1 (duration 5): 0->0:5 1->1:5
   step 2 (duration 3): 0->0:3 2->2:3 3->3:3
   step 3 (duration 2): 0->1:2 1->0:2 3->2:2
-  step 4 (duration 1): 0->1:1 1->0:1 2->2:1
-  step 5 (duration 1): 1->0:1 2->2:1 3->3:1
+  step 4 (duration 1): 1->0:1 2->2:1 3->3:1
+  step 5 (duration 1): 0->1:1 1->0:1 2->2:1
 `
 	if got := s.String(); got != want {
 		t.Fatalf("golden OGGP schedule changed:\n--- got ---\n%s--- want ---\n%s", got, want)

@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"redistgo/internal/bipartite"
-	"redistgo/internal/matching"
 )
 
 // normComm is one real communication inside a normalized step: allocate
@@ -34,60 +33,12 @@ const (
 )
 
 // peel runs the WRGP loop (paper §4.1, Figure 3) on the augmented
-// weight-regular instance: repeatedly find a perfect matching, cut it to
-// its minimum weight w, emit a step of duration w, subtract w from every
-// matched edge, and drop edges that reach zero. The graph stays
-// weight-regular throughout, so a perfect matching always exists until the
-// graph is empty.
+// weight-regular instance through the incremental engine (see residual.go):
+// the perfect matching is repaired across iterations instead of recomputed,
+// and the residual graph is mutated in place instead of rematerialized. The
+// cold-start loop this replaced is retained as peelReference.
 func (in *instance) peel(kind matcherKind) ([]normStep, error) {
-	var steps []normStep
-	remaining := in.regular
-	// Each iteration removes at least one edge (the minimum-weight matched
-	// edge reaches zero), so the loop bound also caps malfunctions.
-	maxIter := len(in.edges) + 1
-	for iter := 0; remaining > 0; iter++ {
-		if iter > maxIter {
-			return nil, fmt.Errorf("kpbs: peeling did not terminate after %d iterations", maxIter)
-		}
-		g, idx := in.asGraph()
-		var m matching.Matching
-		var ok bool
-		switch kind {
-		case matchBottleneck:
-			m, ok = matching.BottleneckPerfect(g)
-		default:
-			m, ok = matching.Perfect(g)
-		}
-		if !ok {
-			return nil, fmt.Errorf("kpbs: no perfect matching in weight-regular graph (R=%d, remaining=%d); augmentation is broken", in.regular, remaining)
-		}
-		w := m.MinWeight(g)
-		if w <= 0 {
-			return nil, fmt.Errorf("kpbs: matching with non-positive minimum weight %d", w)
-		}
-		step := normStep{peel: w}
-		for _, ge := range m.Edges() {
-			we := idx[ge]
-			in.edges[we].w -= w
-			if orig := in.edges[we].orig; orig >= 0 {
-				step.comms = append(step.comms, normComm{orig: orig, alloc: w})
-			}
-		}
-		// Steps whose matching contains only virtual edges transfer
-		// nothing and are dropped from the output (the paper's "extract R
-		// from the solution" phase); the peel still advances the graph.
-		if len(step.comms) > 0 {
-			steps = append(steps, step)
-		}
-		remaining -= w
-	}
-	// All real edges must be fully consumed.
-	for _, e := range in.edges {
-		if e.w != 0 {
-			return nil, fmt.Errorf("kpbs: edge (%d,%d) has residual weight %d after peeling", e.l, e.r, e.w)
-		}
-	}
-	return steps, nil
+	return newPeeler(in, kind).run()
 }
 
 // wrgpGraph runs plain WRGP on an already weight-regular balanced graph

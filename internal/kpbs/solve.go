@@ -188,12 +188,14 @@ func solveGreedy(g *bipartite.Graph, k int, beta int64) (*Schedule, error) {
 		}
 		return order[a] < order[b]
 	})
-	done := make([]bool, g.EdgeCount())
-	left := g.EdgeCount()
 	out := &Schedule{Beta: beta}
 	usedL := make([]bool, g.LeftCount())
 	usedR := make([]bool, g.RightCount())
-	for left > 0 {
+	// Edges scheduled in a step are compacted out of the scan list, so each
+	// pass only walks the edges still pending — the previous version
+	// rescanned the full sorted list (finished edges included) every step,
+	// going quadratic in the step count on dense instances.
+	for len(order) > 0 {
 		for i := range usedL {
 			usedL[i] = false
 		}
@@ -201,20 +203,18 @@ func solveGreedy(g *bipartite.Graph, k int, beta int64) (*Schedule, error) {
 			usedR[i] = false
 		}
 		var st Step
+		pending := order[:0]
 		for _, ei := range order {
-			if done[ei] || len(st.Comms) == k {
-				continue
-			}
 			e := g.Edge(ei)
-			if usedL[e.L] || usedR[e.R] {
+			if len(st.Comms) == k || usedL[e.L] || usedR[e.R] {
+				pending = append(pending, ei)
 				continue
 			}
 			usedL[e.L] = true
 			usedR[e.R] = true
-			done[ei] = true
-			left--
 			st.Comms = append(st.Comms, Comm{L: e.L, R: e.R, Amount: e.Weight})
 		}
+		order = pending
 		st.recomputeDuration()
 		out.Steps = append(out.Steps, st)
 	}

@@ -372,6 +372,75 @@ func TestSolveDeterministic(t *testing.T) {
 	}
 }
 
+// TestOGGPDeterministicWithEqualWeights is the regression test for the
+// bottleneck sort tiebreak: with many equal-weight edges the decreasing-
+// weight insertion order is decided entirely by the index tiebreak, so the
+// same instance must yield the identical schedule on every solve.
+func TestOGGPDeterministicWithEqualWeights(t *testing.T) {
+	g := bipartite.New(6, 6)
+	rng := rand.New(rand.NewSource(13))
+	for i := 0; i < 40; i++ {
+		g.AddEdge(rng.Intn(6), rng.Intn(6), 5) // all weights tie
+	}
+	first, err := Solve(g, 3, 1, Options{Algorithm: OGGP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		again, err := Solve(g, 3, 1, Options{Algorithm: OGGP})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if first.String() != again.String() {
+			t.Fatalf("run %d: OGGP schedule changed on identical instance:\n%s\nvs\n%s", i, first, again)
+		}
+	}
+}
+
+// TestGreedyStepsAreMaximal locks the semantics of the compacted greedy
+// scan: every step packs edges in decreasing weight order until k is
+// reached or no pending edge is compatible, so a pending edge may only be
+// deferred when the step is full or one of its endpoints is busy.
+func TestGreedyStepsAreMaximal(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	for trial := 0; trial < 50; trial++ {
+		g := randomInstance(rng, 8, 40, 20)
+		k := 1 + rng.Intn(6)
+		s, err := Solve(g, k, 1, Options{Algorithm: Greedy})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Validate(g, k); err != nil {
+			t.Fatal(err)
+		}
+		// Replay: edges scheduled in step j must have been blocked in every
+		// earlier step.
+		type key struct{ l, r int }
+		for j, later := range s.Steps {
+			for _, c := range later.Comms {
+				for i := 0; i < j; i++ {
+					st := &s.Steps[i]
+					if len(st.Comms) == k {
+						continue
+					}
+					usedL, usedR := false, false
+					for _, pc := range st.Comms {
+						if pc.L == c.L {
+							usedL = true
+						}
+						if pc.R == c.R {
+							usedR = true
+						}
+					}
+					if !usedL && !usedR {
+						t.Fatalf("trial %d: step %d left room for %v scheduled in step %d", trial, i, key{c.L, c.R}, j)
+					}
+				}
+			}
+		}
+	}
+}
+
 func TestSolveWithIsolatedNodes(t *testing.T) {
 	g := bipartite.New(10, 10)
 	g.AddEdge(2, 7, 5)

@@ -1,0 +1,314 @@
+package matching
+
+import "sort"
+
+// BottleneckInc is the incremental form of the paper's Figure-6 bottleneck
+// matching procedure, built for the OGGP peeling loop. The cold-start
+// procedure re-sorts every edge and grows a matching from empty at every
+// peel; BottleneckInc instead maintains the decreasing-weight insertion
+// state across peels:
+//
+//   - The active edges are kept sorted by (weight desc, index asc). A peel
+//     subtracts one uniform amount from exactly the matched edges, which
+//     preserves their relative order, so the next Rematch restores
+//     sortedness with a single O(m) merge of two sorted runs instead of an
+//     O(m log m) sort.
+//   - The surviving matched pairs of the previous round seed the next
+//     matching: when a previously-matched edge is inserted and both its
+//     endpoints are still free, it is adopted in O(1). Growth by augmenting
+//     paths then only runs for the few nodes adoption cannot fix. Adoption
+//     never breaks bottleneck optimality: the procedure still stops at the
+//     earliest sorted prefix admitting a matching of the target size, and
+//     growing any valid matching inside that prefix with augmenting paths
+//     reaches that size (Berge), so the minimum matched weight still equals
+//     the optimal bottleneck value.
+//
+// The caller owns the weight slice. Between two Rematch calls it may only
+// (a) subtract one uniform amount from every currently matched edge and
+// (b) deactivate edges via Deactivate; other weights must not change.
+// That is exactly the contract of a peeling iteration.
+//
+// All storage is allocated at construction; Reset, Deactivate and Rematch
+// perform no allocations at steady state.
+type BottleneckInc struct {
+	nL, nR int
+	edgeL  []int
+	edgeR  []int
+	w      []int64 // live weights, shared with the caller
+
+	alive []bool
+
+	// Sorted active edges. orderBuf is the backing array; order is the live
+	// prefix. order0 is the pristine construction-time sort, used by Reset.
+	orderBuf []int
+	order    []int
+	order0   []int
+	tmpA     []int // merge scratch: unchanged-weight run
+	tmpB     []int // merge scratch: previously-matched run
+
+	// CSR adjacency rebuilt per Rematch as edges are inserted: the inserted
+	// edges of left node l are adj[base[l] : base[l]+fill[l]].
+	base []int
+	adj  []int
+	fill []int
+
+	matchL []int
+	matchR []int
+	size   int
+
+	isPrev []bool // marks the surviving previous matching during Rematch
+
+	// Kuhn augmentation scratch.
+	visited []int
+	stamp   int
+
+	// Growth gating: an augmenting path must start at a free left node with
+	// inserted edges and end at a free right node with inserted edges, so
+	// growth is skipped while either count is zero.
+	lTouched   []bool
+	rTouched   []bool
+	freeTouchL int
+	freeTouchR int
+}
+
+// NewBottleneckInc builds the matcher over the edge set (edgeL[i],
+// edgeR[i]) with weights w. All three slices are retained, not copied; w is
+// mutated by the caller under the contract documented on the type.
+func NewBottleneckInc(nL, nR int, edgeL, edgeR []int, w []int64) *BottleneckInc {
+	m := len(edgeL)
+	b := &BottleneckInc{
+		nL:       nL,
+		nR:       nR,
+		edgeL:    edgeL,
+		edgeR:    edgeR,
+		w:        w,
+		alive:    make([]bool, m),
+		orderBuf: make([]int, m),
+		order0:   make([]int, m),
+		tmpA:     make([]int, 0, m),
+		tmpB:     make([]int, 0, m),
+		base:     make([]int, nL+1),
+		adj:      make([]int, m),
+		fill:     make([]int, nL),
+		matchL:   make([]int, nL),
+		matchR:   make([]int, nR),
+		isPrev:   make([]bool, m),
+		visited:  make([]int, nR),
+		lTouched: make([]bool, nL),
+		rTouched: make([]bool, nR),
+	}
+	for _, l := range edgeL {
+		b.base[l+1]++
+	}
+	for i := 0; i < nL; i++ {
+		b.base[i+1] += b.base[i]
+	}
+	for i := range b.order0 {
+		b.order0[i] = i
+	}
+	sort.Slice(b.order0, func(x, y int) bool {
+		a, c := b.order0[x], b.order0[y]
+		if w[a] != w[c] {
+			return w[a] > w[c]
+		}
+		return a < c
+	})
+	b.Reset()
+	return b
+}
+
+// Reset reactivates every edge and clears the matching. The caller must
+// have restored the weight slice to its construction-time values first
+// (the pristine sorted order is reused, not recomputed).
+func (b *BottleneckInc) Reset() {
+	for i := range b.alive {
+		b.alive[i] = true
+	}
+	b.order = b.orderBuf[:copy(b.orderBuf, b.order0)]
+	for i := range b.matchL {
+		b.matchL[i] = -1
+	}
+	for i := range b.matchR {
+		b.matchR[i] = -1
+	}
+	b.size = 0
+}
+
+// Size returns the current matching cardinality.
+func (b *BottleneckInc) Size() int { return b.size }
+
+// MatchedEdge returns the edge matched at left node l, or -1.
+func (b *BottleneckInc) MatchedEdge(l int) int { return b.matchL[l] }
+
+// Deactivate removes edge e from the graph. If e was matched the pair is
+// released. The sorted order is compacted lazily by the next Rematch.
+func (b *BottleneckInc) Deactivate(e int) {
+	if !b.alive[e] {
+		return
+	}
+	b.alive[e] = false
+	l := b.edgeL[e]
+	if b.matchL[l] == e {
+		b.matchL[l] = -1
+		b.matchR[b.edgeR[e]] = -1
+		b.size--
+	}
+}
+
+// Rematch recomputes a bottleneck-optimal matching of the active edges with
+// the given target cardinality, warm-started from the surviving previous
+// matching. It reports whether the target was reached; on success the
+// matching maximizes the minimum matched weight among all matchings of that
+// cardinality.
+func (b *BottleneckInc) Rematch(target int) bool {
+	// Restore sortedness: the previously-matched survivors each had the
+	// same amount subtracted, so they form a sorted run on their own; the
+	// untouched survivors form the other sorted run. Merge, dropping dead
+	// edges.
+	un := b.tmpA[:0]
+	ch := b.tmpB[:0]
+	for _, e := range b.order {
+		if !b.alive[e] {
+			continue
+		}
+		if b.matchL[b.edgeL[e]] == e {
+			ch = append(ch, e)
+			b.isPrev[e] = true
+		} else {
+			un = append(un, e)
+		}
+	}
+	b.tmpA, b.tmpB = un, ch
+	out := b.orderBuf[:0]
+	i, j := 0, 0
+	for i < len(un) && j < len(ch) {
+		a, c := un[i], ch[j]
+		if b.w[a] > b.w[c] || (b.w[a] == b.w[c] && a < c) {
+			out = append(out, a)
+			i++
+		} else {
+			out = append(out, c)
+			j++
+		}
+	}
+	out = append(out, un[i:]...)
+	out = append(out, ch[j:]...)
+	b.order = out
+
+	// Start the insertion from scratch; adoption re-seeds the survivors.
+	for l := 0; l < b.nL; l++ {
+		b.matchL[l] = -1
+		b.fill[l] = 0
+		b.lTouched[l] = false
+	}
+	for r := 0; r < b.nR; r++ {
+		b.matchR[r] = -1
+		b.rTouched[r] = false
+	}
+	b.size = 0
+	b.freeTouchL = 0
+	b.freeTouchR = 0
+
+	// Figure-6 insertion loop: whole equal-weight groups at a time, growing
+	// after each group, stopping at the earliest prefix reaching target.
+	k := 0
+	n := len(b.order)
+	for k < n && b.size < target {
+		group := b.w[b.order[k]]
+		for k < n && b.w[b.order[k]] == group {
+			b.insert(b.order[k])
+			k++
+		}
+		if b.size < target && b.freeTouchL > 0 && b.freeTouchR > 0 {
+			b.grow(target)
+		}
+	}
+	for _, e := range ch {
+		b.isPrev[e] = false
+	}
+	return b.size >= target
+}
+
+// insert adds edge e to the working adjacency, adopting it immediately if
+// it belonged to the previous matching and both endpoints are still free.
+func (b *BottleneckInc) insert(e int) {
+	l, r := b.edgeL[e], b.edgeR[e]
+	b.adj[b.base[l]+b.fill[l]] = e
+	b.fill[l]++
+	if !b.lTouched[l] {
+		b.lTouched[l] = true
+		if b.matchL[l] < 0 {
+			b.freeTouchL++
+		}
+	}
+	if !b.rTouched[r] {
+		b.rTouched[r] = true
+		if b.matchR[r] < 0 {
+			b.freeTouchR++
+		}
+	}
+	if b.isPrev[e] && b.matchL[l] < 0 && b.matchR[r] < 0 {
+		b.matchL[l] = e
+		b.matchR[r] = e
+		b.size++
+		b.freeTouchL--
+		b.freeTouchR--
+	}
+}
+
+// grow runs Kuhn augmentation rounds over the inserted edges until the
+// matching is maximum for the current prefix or reaches target.
+func (b *BottleneckInc) grow(target int) {
+	for b.size < target {
+		progress := false
+		for l := 0; l < b.nL && b.size < target; l++ {
+			if b.matchL[l] >= 0 || b.fill[l] == 0 {
+				continue
+			}
+			b.stamp++
+			if b.augment(l) {
+				b.size++
+				b.freeTouchL-- // l was free and touched (fill[l] > 0)
+				progress = true
+			}
+		}
+		if !progress {
+			return
+		}
+	}
+}
+
+// augment searches an augmenting path from free left node l over the
+// inserted edges (Kuhn DFS with visit stamps).
+func (b *BottleneckInc) augment(l int) bool {
+	end := b.base[l] + b.fill[l]
+	for i := b.base[l]; i < end; i++ {
+		e := b.adj[i]
+		r := b.edgeR[e]
+		if b.visited[r] == b.stamp {
+			continue
+		}
+		b.visited[r] = b.stamp
+		me := b.matchR[r]
+		if me < 0 {
+			if b.rTouched[r] {
+				b.freeTouchR--
+			}
+			b.matchL[l] = e
+			b.matchR[r] = e
+			return true
+		}
+		if b.augment(b.edgeL[me]) {
+			b.matchL[l] = e
+			b.matchR[r] = e
+			return true
+		}
+	}
+	return false
+}
+
+// Matching returns a copy of the current matching in the package's standard
+// representation. It allocates and is meant for tests, not the hot path.
+func (b *BottleneckInc) Matching() Matching {
+	return Matching{EdgeOfLeft: append([]int(nil), b.matchL...), Size: b.size}
+}

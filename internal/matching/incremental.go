@@ -1,0 +1,197 @@
+package matching
+
+// Incremental maintains a maximum matching of a bipartite multigraph whose
+// edge set only shrinks. It is the warm-start engine behind the GGP peeling
+// loop: a peel zeroes a handful of matched edges, so instead of re-running
+// Hopcroft–Karp from an empty matching the peeler deactivates exactly those
+// edges and calls Augment, which repairs the matching by re-augmenting only
+// the exposed nodes (the BFS/DFS phase structure of Hopcroft–Karp applies
+// unchanged to a warm start, and costs nothing when no node is exposed).
+//
+// The edge set is given once, as parallel endpoint arrays; edges are
+// addressed by their index in those arrays. Deactivation is O(1) via
+// swap-delete inside a CSR adjacency. All storage is allocated at
+// construction; Reset, Deactivate and Augment perform no allocations, so a
+// peeling loop built on Incremental runs allocation-free at steady state.
+type Incremental struct {
+	nL, nR int
+	edgeL  []int
+	edgeR  []int
+
+	// CSR adjacency over left nodes with swap-delete: the active edges of
+	// left node l are adj[base[l] : base[l]+deg[l]].
+	base   []int
+	adj    []int
+	pos    []int // position of edge e inside adj
+	deg    []int
+	active []bool
+
+	matchL []int // matched edge index per left node, -1 if exposed
+	matchR []int // matched edge index per right node, -1 if exposed
+	size   int
+
+	// Hopcroft–Karp scratch, sized once.
+	dist  []int
+	queue []int
+}
+
+// NewIncremental builds the matcher over the edge set (edgeL[i], edgeR[i]).
+// The endpoint slices are retained (not copied) and must not be mutated.
+// All edges start active and the matching starts empty.
+func NewIncremental(nL, nR int, edgeL, edgeR []int) *Incremental {
+	m := len(edgeL)
+	inc := &Incremental{
+		nL:     nL,
+		nR:     nR,
+		edgeL:  edgeL,
+		edgeR:  edgeR,
+		base:   make([]int, nL+1),
+		adj:    make([]int, m),
+		pos:    make([]int, m),
+		deg:    make([]int, nL),
+		active: make([]bool, m),
+		matchL: make([]int, nL),
+		matchR: make([]int, nR),
+		dist:   make([]int, nL),
+		queue:  make([]int, 0, nL),
+	}
+	for _, l := range edgeL {
+		inc.base[l+1]++
+	}
+	for i := 0; i < nL; i++ {
+		inc.base[i+1] += inc.base[i]
+	}
+	inc.Reset()
+	return inc
+}
+
+// Reset reactivates every edge and clears the matching, reusing all
+// internal storage (no allocations).
+func (inc *Incremental) Reset() {
+	for i := range inc.deg {
+		inc.deg[i] = 0
+	}
+	for e, l := range inc.edgeL {
+		p := inc.base[l] + inc.deg[l]
+		inc.adj[p] = e
+		inc.pos[e] = p
+		inc.deg[l]++
+		inc.active[e] = true
+	}
+	for i := range inc.matchL {
+		inc.matchL[i] = -1
+	}
+	for i := range inc.matchR {
+		inc.matchR[i] = -1
+	}
+	inc.size = 0
+}
+
+// Size returns the current matching cardinality.
+func (inc *Incremental) Size() int { return inc.size }
+
+// MatchedEdge returns the edge matched at left node l, or -1.
+func (inc *Incremental) MatchedEdge(l int) int { return inc.matchL[l] }
+
+// Deactivate removes edge e from the graph in O(1). If e was matched, its
+// endpoints become exposed; the matching is repaired by the next Augment.
+// Deactivating an already-inactive edge is a no-op.
+func (inc *Incremental) Deactivate(e int) {
+	if !inc.active[e] {
+		return
+	}
+	inc.active[e] = false
+	l := inc.edgeL[e]
+	last := inc.base[l] + inc.deg[l] - 1
+	p := inc.pos[e]
+	other := inc.adj[last]
+	inc.adj[p] = other
+	inc.pos[other] = p
+	inc.adj[last] = e
+	inc.pos[e] = last
+	inc.deg[l]--
+	if inc.matchL[l] == e {
+		inc.matchL[l] = -1
+		inc.matchR[inc.edgeR[e]] = -1
+		inc.size--
+	}
+}
+
+// Augment grows the current matching to maximum cardinality over the active
+// edges (Hopcroft–Karp phases starting from the surviving matching) and
+// returns the resulting size. From an empty matching this is a full
+// Hopcroft–Karp run; after a peel it only re-augments the exposed nodes.
+func (inc *Incremental) Augment() int {
+	for inc.bfs() {
+		for l := 0; l < inc.nL; l++ {
+			if inc.matchL[l] < 0 && inc.dfs(l) {
+				inc.size++
+			}
+		}
+	}
+	return inc.size
+}
+
+// bfs layers the exposed left nodes; reports whether an augmenting path
+// exists under the current matching.
+func (inc *Incremental) bfs() bool {
+	q := inc.queue[:0]
+	for l := 0; l < inc.nL; l++ {
+		if inc.matchL[l] < 0 {
+			inc.dist[l] = 0
+			q = append(q, l)
+		} else {
+			inc.dist[l] = inf
+		}
+	}
+	found := false
+	for qi := 0; qi < len(q); qi++ {
+		l := q[qi]
+		end := inc.base[l] + inc.deg[l]
+		for i := inc.base[l]; i < end; i++ {
+			r := inc.edgeR[inc.adj[i]]
+			me := inc.matchR[r]
+			if me < 0 {
+				found = true
+				continue
+			}
+			nl := inc.edgeL[me]
+			if inc.dist[nl] == inf {
+				inc.dist[nl] = inc.dist[l] + 1
+				q = append(q, nl)
+			}
+		}
+	}
+	inc.queue = q
+	return found
+}
+
+// dfs searches a shortest augmenting path from exposed left node l.
+func (inc *Incremental) dfs(l int) bool {
+	end := inc.base[l] + inc.deg[l]
+	for i := inc.base[l]; i < end; i++ {
+		e := inc.adj[i]
+		r := inc.edgeR[e]
+		me := inc.matchR[r]
+		if me < 0 {
+			inc.matchL[l] = e
+			inc.matchR[r] = e
+			return true
+		}
+		nl := inc.edgeL[me]
+		if inc.dist[nl] == inc.dist[l]+1 && inc.dfs(nl) {
+			inc.matchL[l] = e
+			inc.matchR[r] = e
+			return true
+		}
+	}
+	inc.dist[l] = inf
+	return false
+}
+
+// Matching returns a copy of the current matching in the package's standard
+// representation. It allocates and is meant for tests and validation, not
+// for the hot path.
+func (inc *Incremental) Matching() Matching {
+	return Matching{EdgeOfLeft: append([]int(nil), inc.matchL...), Size: inc.size}
+}

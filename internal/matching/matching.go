@@ -295,7 +295,14 @@ func bottleneck(g *bipartite.Graph, target int) (Matching, bool) {
 		order[i] = i
 	}
 	sort.Slice(order, func(a, b int) bool {
-		return g.Edge(order[a]).Weight > g.Edge(order[b]).Weight
+		// Index tiebreak for equal weights: without it the permutation of a
+		// weight class is at the mercy of the sort implementation, and the
+		// chosen matching (hence OGGP's output schedule) with it.
+		wa, wb := g.Edge(order[a]).Weight, g.Edge(order[b]).Weight
+		if wa != wb {
+			return wa > wb
+		}
+		return order[a] < order[b]
 	})
 	k := newKuhn(g)
 	i := 0

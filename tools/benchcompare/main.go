@@ -1,0 +1,205 @@
+// Command benchcompare turns `go test -bench` output into an old-vs-new
+// comparison without external dependencies (benchstat cannot be vendored
+// here). It pairs benchmarks that differ only in a trailing "/ref" (the
+// retained cold-start peeler) versus "/inc" (the incremental engine)
+// variant, averages the ns/op samples of each across -count repetitions,
+// and reports the speedup ref/inc per pair.
+//
+//	go test ./internal/kpbs -run='^$' -bench=PeelSolve -count=5 > bench.txt
+//	go run ./tools/benchcompare -min-speedup 2 -json BENCH_PR2.json bench.txt
+//
+// The JSON file is the machine-readable perf-trajectory artifact tracked
+// in the repository (BENCH_PR2.json); the exit status enforces the minimum
+// speedup so `make bench-compare` fails when the incremental engine
+// regresses below the acceptance bar.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// benchLine matches e.g.
+//
+//	BenchmarkPeelSolve/GGP/ref-8   9   123878975 ns/op   360175633 B/op   59913 allocs/op
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op(?:\s+([\d.]+) B/op)?(?:\s+([\d.]+) allocs/op)?`)
+
+type sample struct {
+	nsOp     float64
+	bytesOp  float64
+	allocsOp float64
+}
+
+type variant struct {
+	samples []sample
+}
+
+func (v *variant) meanNs() float64 {
+	var s float64
+	for _, x := range v.samples {
+		s += x.nsOp
+	}
+	return s / float64(len(v.samples))
+}
+
+func (v *variant) meanAllocs() float64 {
+	var s float64
+	for _, x := range v.samples {
+		s += x.allocsOp
+	}
+	return s / float64(len(v.samples))
+}
+
+func (v *variant) meanBytes() float64 {
+	var s float64
+	for _, x := range v.samples {
+		s += x.bytesOp
+	}
+	return s / float64(len(v.samples))
+}
+
+// Pair is one ref/inc comparison in the JSON artifact.
+type Pair struct {
+	Name         string  `json:"name"`
+	Samples      int     `json:"samples"`
+	RefNsOp      float64 `json:"ref_ns_op"`
+	IncNsOp      float64 `json:"inc_ns_op"`
+	Speedup      float64 `json:"speedup"`
+	RefBytesOp   float64 `json:"ref_bytes_op,omitempty"`
+	IncBytesOp   float64 `json:"inc_bytes_op,omitempty"`
+	RefAllocsOp  float64 `json:"ref_allocs_op,omitempty"`
+	IncAllocsOp  float64 `json:"inc_allocs_op,omitempty"`
+	AllocsFactor float64 `json:"allocs_factor,omitempty"`
+}
+
+// Report is the top-level JSON artifact.
+type Report struct {
+	MinSpeedup float64 `json:"min_speedup"`
+	Pass       bool    `json:"pass"`
+	Pairs      []Pair  `json:"pairs"`
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchcompare:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("benchcompare", flag.ContinueOnError)
+	minSpeedup := fs.Float64("min-speedup", 0, "fail unless every ref/inc pair reaches this speedup (0 disables)")
+	jsonPath := fs.String("json", "", "write the machine-readable report to this file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var in io.Reader = os.Stdin
+	if fs.NArg() > 0 {
+		f, err := os.Open(fs.Arg(0))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+
+	variants := map[string]*variant{}
+	sc := bufio.NewScanner(in)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		name := strings.TrimPrefix(m[1], "Benchmark")
+		v := variants[name]
+		if v == nil {
+			v = &variant{}
+			variants[name] = v
+		}
+		s := sample{nsOp: atof(m[2]), bytesOp: atof(m[3]), allocsOp: atof(m[4])}
+		v.samples = append(v.samples, s)
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+
+	var names []string
+	for name := range variants {
+		if strings.HasSuffix(name, "/ref") {
+			names = append(names, strings.TrimSuffix(name, "/ref"))
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return fmt.Errorf("no */ref benchmarks found in input")
+	}
+
+	rep := Report{MinSpeedup: *minSpeedup, Pass: true}
+	for _, base := range names {
+		ref := variants[base+"/ref"]
+		inc := variants[base+"/inc"]
+		if inc == nil {
+			return fmt.Errorf("benchmark %s/ref has no matching %s/inc", base, base)
+		}
+		n := len(ref.samples)
+		if len(inc.samples) < n {
+			n = len(inc.samples)
+		}
+		p := Pair{
+			Name:        base,
+			Samples:     n,
+			RefNsOp:     ref.meanNs(),
+			IncNsOp:     inc.meanNs(),
+			RefBytesOp:  ref.meanBytes(),
+			IncBytesOp:  inc.meanBytes(),
+			RefAllocsOp: ref.meanAllocs(),
+			IncAllocsOp: inc.meanAllocs(),
+		}
+		if p.IncNsOp > 0 {
+			p.Speedup = p.RefNsOp / p.IncNsOp
+		}
+		if p.IncAllocsOp > 0 {
+			p.AllocsFactor = p.RefAllocsOp / p.IncAllocsOp
+		}
+		if *minSpeedup > 0 && p.Speedup < *minSpeedup {
+			rep.Pass = false
+		}
+		rep.Pairs = append(rep.Pairs, p)
+		fmt.Fprintf(stdout, "%-24s ref %12.0f ns/op   inc %12.0f ns/op   speedup %5.2fx (%d samples)\n",
+			p.Name, p.RefNsOp, p.IncNsOp, p.Speedup, p.Samples)
+	}
+
+	if *jsonPath != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(*jsonPath, data, 0o644); err != nil {
+			return err
+		}
+	}
+	if !rep.Pass {
+		return fmt.Errorf("speedup below required minimum %.2fx", *minSpeedup)
+	}
+	return nil
+}
+
+func atof(s string) float64 {
+	if s == "" {
+		return 0
+	}
+	f, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0
+	}
+	return f
+}

@@ -1,0 +1,80 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: redistgo/internal/kpbs
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkPeelSolve/GGP/ref-8         	       9	 120000000 ns/op	360175633 B/op	   59913 allocs/op
+BenchmarkPeelSolve/GGP/inc-8         	      81	  15000000 ns/op	 6708960 B/op	    7782 allocs/op
+BenchmarkPeelSolve/GGP/ref-8         	       9	 124000000 ns/op	360175633 B/op	   59913 allocs/op
+BenchmarkPeelSolve/GGP/inc-8         	      81	  14000000 ns/op	 6708960 B/op	    7782 allocs/op
+BenchmarkPeelSolve/OGGP/ref-8        	      13	  90000000 ns/op	66745547 B/op	   84673 allocs/op
+BenchmarkPeelSolve/OGGP/inc-8        	      75	  15000000 ns/op	 2099037 B/op	    1395 allocs/op
+PASS
+`
+
+func TestBenchCompareParsesAndReports(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "bench.txt")
+	if err := os.WriteFile(in, []byte(sampleOutput), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(dir, "report.json")
+	var buf strings.Builder
+	if err := run([]string{"-min-speedup", "2", "-json", out, in}, &buf); err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, buf.String())
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Pass || len(rep.Pairs) != 2 {
+		t.Fatalf("unexpected report: %+v", rep)
+	}
+	ggp := rep.Pairs[0]
+	if ggp.Name != "PeelSolve/GGP" || ggp.Samples != 2 {
+		t.Fatalf("unexpected first pair: %+v", ggp)
+	}
+	if ggp.RefNsOp != 122000000 || ggp.IncNsOp != 14500000 {
+		t.Fatalf("means wrong: %+v", ggp)
+	}
+	if ggp.Speedup < 8.4 || ggp.Speedup > 8.5 {
+		t.Fatalf("speedup wrong: %+v", ggp)
+	}
+}
+
+func TestBenchCompareFailsBelowMinimum(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "bench.txt")
+	if err := os.WriteFile(in, []byte(sampleOutput), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	if err := run([]string{"-min-speedup", "50", in}, &buf); err == nil {
+		t.Fatal("expected failure with unreachable minimum speedup")
+	}
+}
+
+func TestBenchCompareRejectsUnpairedInput(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "bench.txt")
+	if err := os.WriteFile(in, []byte("BenchmarkX/ref-8 1 100 ns/op\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	if err := run([]string{in}, &buf); err == nil {
+		t.Fatal("expected error for /ref without /inc")
+	}
+}
