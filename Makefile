@@ -1,14 +1,23 @@
 # Standard verification gate for redistgo. `make check` is what CI (and
-# any pre-merge hook) should run: vet, build, the full test suite under
-# the race detector, and a one-iteration benchmark smoke of the batch
-# engine so a scaling regression cannot land silently.
+# any pre-merge hook) should run: lint (gofmt, vet, redistlint), build,
+# the full test suite under the race detector, and a one-iteration
+# benchmark smoke of the batch engine so a scaling regression cannot land
+# silently.
 
 GO ?= go
 BENCH_COUNT ?= 5
 
-.PHONY: check vet build test race bench-smoke bench bench-compare bench-compare-smoke fuzz-smoke
+.PHONY: check lint vet build test race bench-smoke bench bench-compare bench-compare-smoke fuzz-smoke
 
-check: vet build race bench-smoke bench-compare-smoke
+check: lint build race bench-smoke bench-compare-smoke
+
+# Static gate: formatting, go vet, and the project linter (see
+# tools/redistlint and the "Enforced invariants" section of DESIGN.md).
+# gofmt -l prints unformatted files; the sh -c wrapper turns any output
+# into a failure.
+lint: vet
+	@sh -c 'out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt: needs formatting:"; echo "$$out"; exit 1; fi'
+	$(GO) run ./tools/redistlint ./...
 
 vet:
 	$(GO) vet ./...

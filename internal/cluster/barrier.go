@@ -113,7 +113,8 @@ func (bc *barrierCoordinator) rounds() {
 func (bc *barrierCoordinator) close() {
 	bc.closeOnce.Do(func() {
 		close(bc.quit)
-		bc.ln.Close()
+		// Best-effort teardown: the listener error has no caller to go to.
+		_ = bc.ln.Close()
 	})
 	bc.wg.Wait()
 }
@@ -147,4 +148,4 @@ func (c *barrierClient) enter() error {
 	return nil
 }
 
-func (c *barrierClient) close() { c.conn.Close() }
+func (c *barrierClient) close() { _ = c.conn.Close() } // best-effort teardown

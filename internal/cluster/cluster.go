@@ -118,7 +118,7 @@ func New(cfg Config) (*Cluster, error) {
 	for r := 0; r < cfg.N2; r++ {
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
-			c.Close()
+			_ = c.Close() // best-effort cleanup; the dial/listen error is what matters
 			return nil, fmt.Errorf("cluster: receiver %d listen: %w", r, err)
 		}
 		c.listeners = append(c.listeners, ln)
@@ -132,14 +132,14 @@ func New(cfg Config) (*Cluster, error) {
 	if cfg.RealBarrier {
 		coord, err := newBarrierCoordinator(cfg.N1)
 		if err != nil {
-			c.Close()
+			_ = c.Close() // best-effort cleanup; the dial/listen error is what matters
 			return nil, err
 		}
 		c.coord = coord
 		for s := 0; s < cfg.N1; s++ {
 			client, err := dialBarrier(coord.ln.Addr().String(), s)
 			if err != nil {
-				c.Close()
+				_ = c.Close() // best-effort cleanup; the dial/listen error is what matters
 				return nil, err
 			}
 			c.barrierClients = append(c.barrierClients, client)
@@ -155,7 +155,7 @@ func New(cfg Config) (*Cluster, error) {
 		for r := 0; r < cfg.N2; r++ {
 			conn, err := net.Dial("tcp", c.listeners[r].Addr().String())
 			if err != nil {
-				c.Close()
+				_ = c.Close() // best-effort cleanup; the dial/listen error is what matters
 				return nil, fmt.Errorf("cluster: dialing receiver %d: %w", r, err)
 			}
 			c.conns[s][r] = conn
@@ -395,12 +395,12 @@ func (c *Cluster) Close() error {
 		for _, conn := range row {
 			if conn != nil {
 				_ = wire.Write(conn, wire.Frame{Type: wire.MsgDone})
-				conn.Close()
+				_ = conn.Close() // best-effort teardown
 			}
 		}
 	}
 	for _, ln := range c.listeners {
-		ln.Close()
+		_ = ln.Close() // best-effort teardown
 	}
 	c.wg.Wait()
 	return nil

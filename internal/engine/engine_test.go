@@ -79,9 +79,9 @@ func TestSolveBatchErrorIsolation(t *testing.T) {
 	good.AddEdge(1, 1, 3)
 	insts := []Instance{
 		{G: good, K: 2, Beta: 1, Opts: kpbs.Options{Algorithm: kpbs.OGGP}},
-		{G: good, K: 0, Beta: 1},                              // invalid k
-		{G: nil, K: 2, Beta: 1},                               // nil graph
-		{G: good, K: 2, Beta: -3},                             // invalid beta
+		{G: good, K: 0, Beta: 1},  // invalid k
+		{G: nil, K: 2, Beta: 1},   // nil graph
+		{G: good, K: 2, Beta: -3}, // invalid beta
 		{G: good, K: 2, Beta: 1, Opts: kpbs.Options{Algorithm: kpbs.Algorithm(99)}}, // unknown algorithm
 		{G: good, K: 2, Beta: 1, Opts: kpbs.Options{Algorithm: kpbs.GGP}},
 	}

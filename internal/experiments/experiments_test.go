@@ -18,13 +18,17 @@ func TestRatioVsKSmoke(t *testing.T) {
 	}
 	for _, p := range points {
 		// Ratios are ≥ 1 by definition of the lower bound, and ≤ 2 plus
-		// the small padding slack (Theorem 1).
-		for name, v := range map[string]float64{
-			"GGP avg": p.GGPAvg, "GGP max": p.GGPMax,
-			"OGGP avg": p.OGGPAvg, "OGGP max": p.OGGPMax,
+		// the small padding slack (Theorem 1). A slice, not a map, so the
+		// first out-of-range ratio reported is deterministic.
+		for _, c := range []struct {
+			name string
+			v    float64
+		}{
+			{"GGP avg", p.GGPAvg}, {"GGP max", p.GGPMax},
+			{"OGGP avg", p.OGGPAvg}, {"OGGP max", p.OGGPMax},
 		} {
-			if v < 1 || v > 2.3 {
-				t.Fatalf("k=%g %s ratio %g outside [1, 2.3]", p.X, name, v)
+			if c.v < 1 || c.v > 2.3 {
+				t.Fatalf("k=%g %s ratio %g outside [1, 2.3]", p.X, c.name, c.v)
 			}
 		}
 		if p.OGGPAvg > p.GGPAvg+1e-9 {

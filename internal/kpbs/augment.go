@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"redistgo/internal/bipartite"
+	"redistgo/internal/safemath"
 )
 
 // workEdge is an edge of the augmented working graph. orig is the index of
@@ -114,8 +115,8 @@ func (in *instance) nodeWeights() (lw, rw []int64) {
 	lw = make([]int64, in.nL)
 	rw = make([]int64, in.nR)
 	for _, e := range in.edges {
-		lw[e.l] += e.w
-		rw[e.r] += e.w
+		lw[e.l] = safemath.Add(lw[e.l], e.w)
+		rw[e.r] = safemath.Add(rw[e.r], e.w)
 	}
 	return lw, rw
 }
@@ -123,7 +124,7 @@ func (in *instance) nodeWeights() (lw, rw []int64) {
 func (in *instance) totalWeight() int64 {
 	var p int64
 	for _, e := range in.edges {
-		p += e.w
+		p = safemath.Add(p, e.w)
 	}
 	return p
 }
@@ -157,9 +158,10 @@ func (in *instance) augment() {
 	// (the only place virtual-virtual edges are allowed). Each filler
 	// weighs at most W(G), so W of the graph is unchanged.
 	var deficit int64
-	if w*k64 > p {
-		// Raise the total so that P' / k = W(G).
-		deficit = w*k64 - p
+	if wk := safemath.Mul(w, k64); wk > p {
+		// Raise the total so that P' / k = W(G). validateInstance proved
+		// W(G)·k representable, so wk is exact here, not saturated.
+		deficit = wk - p
 	} else if p%k64 != 0 {
 		// Pad the total to the next multiple of k.
 		deficit = k64 - p%k64

@@ -117,7 +117,13 @@ func FuzzPeelDifferential(f *testing.F) {
 		if err != nil {
 			t.Fatalf("%v reference: %v", alg, err)
 		}
-		for name, s := range map[string]*Schedule{"incremental": inc, "reference": ref} {
+		// A slice, not a map: corpus replay must check the two engines in
+		// the same order on every run for failures to reproduce identically.
+		for _, sc := range []struct {
+			name string
+			s    *Schedule
+		}{{"incremental", inc}, {"reference", ref}} {
+			name, s := sc.name, sc.s
 			if err := s.Validate(g, k); err != nil {
 				t.Fatalf("%v %s: infeasible schedule: %v", alg, name, err)
 			}

@@ -1,6 +1,10 @@
 package kpbs
 
-import "sort"
+import (
+	"sort"
+
+	"redistgo/internal/safemath"
+)
 
 // Pack is a post-processing extension (not part of the paper's
 // algorithms). The steps of a schedule are independent — each transfers
@@ -81,7 +85,7 @@ func newStepGroup(st Step) *stepGroup {
 	for _, c := range st.Comms {
 		g.partnerOfLeft[c.L] = c.R
 		g.partnerOfRight[c.R] = c.L
-		g.amount[[2]int{c.L, c.R}] += c.Amount
+		g.amount[[2]int{c.L, c.R}] = safemath.Add(g.amount[[2]int{c.L, c.R}], c.Amount)
 	}
 	return g
 }
@@ -90,6 +94,7 @@ func newStepGroup(st Step) *stepGroup {
 // every shared node must be shared through the identical pair.
 func (g *stepGroup) compatible(other *stepGroup, k int) bool {
 	extra := 0
+	//redistlint:allow determinism pure predicate: every iteration only reads and accumulates a count, so the verdict is independent of visit order
 	for l, r := range other.partnerOfLeft {
 		if pr, ok := g.partnerOfLeft[l]; ok {
 			if pr != r {
@@ -110,10 +115,11 @@ func (g *stepGroup) fuse(other *stepGroup, k int) bool {
 	if !g.compatible(other, k) {
 		return false
 	}
+	//redistlint:allow determinism commutative merge: each key is written once from a disjoint source entry, so the final maps are order-independent
 	for pair, amt := range other.amount {
 		g.partnerOfLeft[pair[0]] = pair[1]
 		g.partnerOfRight[pair[1]] = pair[0]
-		g.amount[pair] += amt
+		g.amount[pair] = safemath.Add(g.amount[pair], amt)
 	}
 	return true
 }

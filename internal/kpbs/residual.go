@@ -128,6 +128,8 @@ func (p *peeler) rematch() bool {
 // emit a step of duration w, subtract w from every matched edge and
 // deactivate the ones that reach zero. The returned steps alias the
 // peeler's arenas and are valid until the next reset.
+//
+//redistlint:hotpath
 func (p *peeler) run() ([]normStep, error) {
 	remaining := p.in.regular
 	nL := p.in.nL
@@ -157,6 +159,7 @@ func (p *peeler) run() ([]normStep, error) {
 			e := p.matchedEdge(l)
 			p.w[e] -= w
 			if orig := p.in.edges[e].orig; orig >= 0 {
+				//redistlint:allow hotpath arena append; capacity is retained across runs and TestPeelSteadyStateAllocs asserts zero steady-state allocations
 				p.comms = append(p.comms, normComm{orig: orig, alloc: w})
 			}
 			if p.w[e] == 0 {
@@ -167,7 +170,9 @@ func (p *peeler) run() ([]normStep, error) {
 		// nothing and are dropped from the output (the paper's "extract R
 		// from the solution" phase); the peel still advances the graph.
 		if len(p.comms) > start {
+			//redistlint:allow hotpath arena append; capacity is retained across runs and TestPeelSteadyStateAllocs asserts zero steady-state allocations
 			p.offs = append(p.offs, start)
+			//redistlint:allow hotpath arena append; capacity is retained across runs and TestPeelSteadyStateAllocs asserts zero steady-state allocations
 			p.steps = append(p.steps, normStep{peel: w})
 		}
 		remaining -= w

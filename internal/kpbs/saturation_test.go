@@ -1,0 +1,164 @@
+package kpbs
+
+import (
+	"math"
+	"testing"
+
+	"redistgo/internal/bipartite"
+)
+
+// TestCostSaturatesAtMaxInt64 drives Schedule.Cost through the safemath
+// saturation edges: a duration sum past MaxInt64 and a β·steps product
+// past MaxInt64 must both report MaxInt64, never a wrapped negative cost.
+func TestCostSaturatesAtMaxInt64(t *testing.T) {
+	const max = math.MaxInt64
+	cases := []struct {
+		name string
+		s    Schedule
+		want int64
+	}{
+		{
+			name: "duration sum saturates",
+			s: Schedule{Steps: []Step{
+				{Duration: max - 1},
+				{Duration: max - 1},
+			}},
+			want: max,
+		},
+		{
+			name: "duration sum exactly MaxInt64 does not saturate early",
+			s: Schedule{Steps: []Step{
+				{Duration: max - 1},
+				{Duration: 1},
+			}},
+			want: max,
+		},
+		{
+			name: "beta times steps saturates",
+			s: Schedule{
+				Steps: []Step{{Duration: 1}, {Duration: 1}, {Duration: 1}},
+				Beta:  max / 2,
+			},
+			want: max,
+		},
+		{
+			name: "single max-weight step plus beta saturates",
+			s: Schedule{
+				Steps: []Step{{Duration: max}},
+				Beta:  1,
+			},
+			want: max,
+		},
+		{
+			name: "boundary without overflow stays exact",
+			s: Schedule{
+				Steps: []Step{{Duration: max - 7}},
+				Beta:  7,
+			},
+			want: max,
+		},
+		{
+			name: "one below the boundary stays exact",
+			s: Schedule{
+				Steps: []Step{{Duration: max - 8}},
+				Beta:  7,
+			},
+			want: max - 1,
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			got := c.s.Cost()
+			if got != c.want {
+				t.Fatalf("Cost() = %d, want %d", got, c.want)
+			}
+			if got < 0 {
+				t.Fatalf("Cost() wrapped negative: %d", got)
+			}
+		})
+	}
+}
+
+// TestLowerBoundMaxWeightEdges drives LowerBound (and through it EtaD's
+// saturating P(G) sum and the overflow-free ceil-div) with MaxInt64-scale
+// edge weights at the k=1 boundary, where ⌈P/k⌉ = P and the textbook
+// (a+k-1)/k formula used to wrap.
+func TestLowerBoundMaxWeightEdges(t *testing.T) {
+	const max = math.MaxInt64
+
+	// Two disjoint edges whose weights sum to exactly MaxInt64: the P(G)
+	// accumulation reaches the boundary without saturating, and with k=1
+	// the ceil-div must return it unchanged.
+	g := bipartite.New(2, 2)
+	g.AddEdge(0, 0, max-1)
+	g.AddEdge(1, 1, 1)
+
+	if got := EtaD(g, 1); got != max {
+		t.Fatalf("EtaD(k=1) = %d, want exact MaxInt64", got)
+	}
+	// At k=2 the ceil-div term drops to ⌈MaxInt64/2⌉ but the per-node
+	// work W(G) = MaxInt64-1 still dominates the max.
+	if got := EtaD(g, 2); got != max-1 {
+		t.Fatalf("EtaD(k=2) = %d, want %d (W(G) dominates)", got, int64(max-1))
+	}
+	if got := EtaS(g, 1); got != 2 {
+		t.Fatalf("EtaS(k=1) = %d, want 2", got)
+	}
+
+	// β = 0: the bound is ηd alone and must be exactly MaxInt64.
+	if got := LowerBound(g, 1, 0); got != max {
+		t.Fatalf("LowerBound(beta=0) = %d, want MaxInt64", got)
+	}
+	// β > 0 pushes ηd + β·ηs past the boundary: saturate, don't wrap.
+	if got := LowerBound(g, 1, 1); got != max {
+		t.Fatalf("LowerBound(beta=1) = %d, want saturated MaxInt64", got)
+	}
+	// Huge β alone overflows the β·ηs product before the addition.
+	if got := LowerBound(g, 1, max); got != max {
+		t.Fatalf("LowerBound(beta=MaxInt64) = %d, want saturated MaxInt64", got)
+	}
+
+	// Saturated P(G): three max-weight edges. Still a valid (huge) bound.
+	h := bipartite.New(3, 3)
+	for i := 0; i < 3; i++ {
+		h.AddEdge(i, i, max)
+	}
+	if got := EtaD(h, 1); got != max {
+		t.Fatalf("EtaD(saturated P) = %d, want MaxInt64", got)
+	}
+	if got := LowerBound(h, 3, max); got != max {
+		t.Fatalf("LowerBound(saturated) = %d, want MaxInt64", got)
+	}
+	if got := LowerBound(h, 3, max); got < 0 {
+		t.Fatalf("LowerBound wrapped negative: %d", got)
+	}
+}
+
+// TestLowerBoundCeilDivBoundaries pins the k=1 and exact-divisibility
+// edges of the step bound ηs = max(Δ, ⌈m/k⌉).
+func TestLowerBoundCeilDivBoundaries(t *testing.T) {
+	// 5 disjoint edges: Δ = 1, so ηs is the ceil-div term for small k.
+	g := bipartite.New(5, 5)
+	for i := 0; i < 5; i++ {
+		g.AddEdge(i, i, 10)
+	}
+	cases := []struct {
+		k    int
+		want int64
+	}{
+		{1, 5}, // ⌈5/1⌉
+		{2, 3}, // ⌈5/2⌉
+		{4, 2}, // ⌈5/4⌉
+		{5, 1}, // exact division
+		{6, 1}, // k > m still needs one step
+	}
+	for _, c := range cases {
+		if got := EtaS(g, c.k); got != c.want {
+			t.Errorf("EtaS(k=%d) = %d, want %d", c.k, got, c.want)
+		}
+	}
+	// The full bound at k=1, β=2: ηd = P = 50, ηs = 5, LB = 50 + 2·5.
+	if got := LowerBound(g, 1, 2); got != 60 {
+		t.Errorf("LowerBound(k=1, beta=2) = %d, want 60", got)
+	}
+}

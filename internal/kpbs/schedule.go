@@ -99,6 +99,19 @@ func (s *Schedule) MaxConcurrency() int {
 // totals equal the per-pair weights of g exactly.
 func (s *Schedule) Validate(g *bipartite.Graph, k int) error {
 	type pair struct{ l, r int }
+	sortedPairs := func(m map[pair]int64) []pair {
+		ps := make([]pair, 0, len(m))
+		for p := range m {
+			ps = append(ps, p)
+		}
+		sort.Slice(ps, func(i, j int) bool {
+			if ps[i].l != ps[j].l {
+				return ps[i].l < ps[j].l
+			}
+			return ps[i].r < ps[j].r
+		})
+		return ps
+	}
 	moved := make(map[pair]int64)
 	for i, st := range s.Steps {
 		if len(st.Comms) == 0 {
@@ -125,7 +138,7 @@ func (s *Schedule) Validate(g *bipartite.Graph, k int) error {
 			}
 			seenL[c.L] = true
 			seenR[c.R] = true
-			moved[pair{c.L, c.R}] += c.Amount
+			moved[pair{c.L, c.R}] = safemath.Add(moved[pair{c.L, c.R}], c.Amount)
 			if c.Amount > maxAmount {
 				maxAmount = c.Amount
 			}
@@ -136,16 +149,18 @@ func (s *Schedule) Validate(g *bipartite.Graph, k int) error {
 	}
 	want := make(map[pair]int64)
 	for _, e := range g.Edges() {
-		want[pair{e.L, e.R}] += e.Weight
+		want[pair{e.L, e.R}] = safemath.Add(want[pair{e.L, e.R}], e.Weight)
 	}
-	for p, w := range want {
-		if moved[p] != w {
-			return fmt.Errorf("kpbs: pair (%d,%d) transferred %d, want %d", p.l, p.r, moved[p], w)
+	// Iterate both maps in sorted pair order so that, when several pairs
+	// mismatch, the error reported is the same on every run.
+	for _, p := range sortedPairs(want) {
+		if moved[p] != want[p] {
+			return fmt.Errorf("kpbs: pair (%d,%d) transferred %d, want %d", p.l, p.r, moved[p], want[p])
 		}
 	}
-	for p, w := range moved {
+	for _, p := range sortedPairs(moved) {
 		if want[p] == 0 {
-			return fmt.Errorf("kpbs: pair (%d,%d) transferred %d but has no traffic", p.l, p.r, w)
+			return fmt.Errorf("kpbs: pair (%d,%d) transferred %d but has no traffic", p.l, p.r, moved[p])
 		}
 	}
 	return nil
@@ -177,7 +192,8 @@ func (s *Schedule) Coalesce() int {
 				amt[[2]int{c.L, c.R}] = c.Amount
 			}
 			for i := range last.Comms {
-				last.Comms[i].Amount += amt[[2]int{last.Comms[i].L, last.Comms[i].R}]
+				c := &last.Comms[i]
+				c.Amount = safemath.Add(c.Amount, amt[[2]int{c.L, c.R}])
 			}
 			last.recomputeDuration()
 			merged++

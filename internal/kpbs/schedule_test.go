@@ -329,10 +329,12 @@ func TestLowerBoundComponents(t *testing.T) {
 }
 
 func TestAlgorithmString(t *testing.T) {
-	names := map[Algorithm]string{GGP: "GGP", OGGP: "OGGP", MinSteps: "MinSteps", Greedy: "Greedy"}
-	for a, want := range names {
-		if a.String() != want {
-			t.Fatalf("%d.String() = %q, want %q", int(a), a.String(), want)
+	for _, c := range []struct {
+		a    Algorithm
+		want string
+	}{{GGP, "GGP"}, {OGGP, "OGGP"}, {MinSteps, "MinSteps"}, {Greedy, "Greedy"}} {
+		if c.a.String() != c.want {
+			t.Fatalf("%d.String() = %q, want %q", int(c.a), c.a.String(), c.want)
 		}
 	}
 	if !strings.Contains(Algorithm(42).String(), "42") {

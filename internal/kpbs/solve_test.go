@@ -2,6 +2,7 @@ package kpbs
 
 import (
 	"math/rand"
+	"sort"
 	"testing"
 	"testing/quick"
 
@@ -509,9 +510,19 @@ func TestLargeBetaNeverSplitsShortComms(t *testing.T) {
 			count[[2]int{c.L, c.R}]++
 		}
 	}
-	for p, n := range count {
-		if n != 1 {
-			t.Fatalf("pair %v split into %d chunks despite weight < beta", p, n)
+	pairs := make([][2]int, 0, len(count))
+	for p := range count {
+		pairs = append(pairs, p)
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i][0] != pairs[j][0] {
+			return pairs[i][0] < pairs[j][0]
+		}
+		return pairs[i][1] < pairs[j][1]
+	})
+	for _, p := range pairs {
+		if count[p] != 1 {
+			t.Fatalf("pair %v split into %d chunks despite weight < beta", p, count[p])
 		}
 	}
 }

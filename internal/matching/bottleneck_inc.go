@@ -142,6 +142,8 @@ func (b *BottleneckInc) MatchedEdge(l int) int { return b.matchL[l] }
 
 // Deactivate removes edge e from the graph. If e was matched the pair is
 // released. The sorted order is compacted lazily by the next Rematch.
+//
+//redistlint:hotpath
 func (b *BottleneckInc) Deactivate(e int) {
 	if !b.alive[e] {
 		return
@@ -160,6 +162,8 @@ func (b *BottleneckInc) Deactivate(e int) {
 // matching. It reports whether the target was reached; on success the
 // matching maximizes the minimum matched weight among all matchings of that
 // cardinality.
+//
+//redistlint:hotpath
 func (b *BottleneckInc) Rematch(target int) bool {
 	// Restore sortedness: the previously-matched survivors each had the
 	// same amount subtracted, so they form a sorted run on their own; the
@@ -172,9 +176,11 @@ func (b *BottleneckInc) Rematch(target int) bool {
 			continue
 		}
 		if b.matchL[b.edgeL[e]] == e {
+			//redistlint:allow hotpath append into tmpB scratch preallocated to capacity m; zero steady-state allocs asserted by TestPeelSteadyStateAllocs
 			ch = append(ch, e)
 			b.isPrev[e] = true
 		} else {
+			//redistlint:allow hotpath append into tmpA scratch preallocated to capacity m; zero steady-state allocs asserted by TestPeelSteadyStateAllocs
 			un = append(un, e)
 		}
 	}
@@ -184,14 +190,18 @@ func (b *BottleneckInc) Rematch(target int) bool {
 	for i < len(un) && j < len(ch) {
 		a, c := un[i], ch[j]
 		if b.w[a] > b.w[c] || (b.w[a] == b.w[c] && a < c) {
+			//redistlint:allow hotpath append into orderBuf preallocated to capacity m; zero steady-state allocs asserted by TestPeelSteadyStateAllocs
 			out = append(out, a)
 			i++
 		} else {
+			//redistlint:allow hotpath append into orderBuf preallocated to capacity m; zero steady-state allocs asserted by TestPeelSteadyStateAllocs
 			out = append(out, c)
 			j++
 		}
 	}
+	//redistlint:allow hotpath append into orderBuf preallocated to capacity m; zero steady-state allocs asserted by TestPeelSteadyStateAllocs
 	out = append(out, un[i:]...)
+	//redistlint:allow hotpath append into orderBuf preallocated to capacity m; zero steady-state allocs asserted by TestPeelSteadyStateAllocs
 	out = append(out, ch[j:]...)
 	b.order = out
 
@@ -231,6 +241,8 @@ func (b *BottleneckInc) Rematch(target int) bool {
 
 // insert adds edge e to the working adjacency, adopting it immediately if
 // it belonged to the previous matching and both endpoints are still free.
+//
+//redistlint:hotpath
 func (b *BottleneckInc) insert(e int) {
 	l, r := b.edgeL[e], b.edgeR[e]
 	b.adj[b.base[l]+b.fill[l]] = e
@@ -258,6 +270,8 @@ func (b *BottleneckInc) insert(e int) {
 
 // grow runs Kuhn augmentation rounds over the inserted edges until the
 // matching is maximum for the current prefix or reaches target.
+//
+//redistlint:hotpath
 func (b *BottleneckInc) grow(target int) {
 	for b.size < target {
 		progress := false
@@ -280,6 +294,8 @@ func (b *BottleneckInc) grow(target int) {
 
 // augment searches an augmenting path from free left node l over the
 // inserted edges (Kuhn DFS with visit stamps).
+//
+//redistlint:hotpath
 func (b *BottleneckInc) augment(l int) bool {
 	end := b.base[l] + b.fill[l]
 	for i := b.base[l]; i < end; i++ {

@@ -96,6 +96,8 @@ func (inc *Incremental) MatchedEdge(l int) int { return inc.matchL[l] }
 // Deactivate removes edge e from the graph in O(1). If e was matched, its
 // endpoints become exposed; the matching is repaired by the next Augment.
 // Deactivating an already-inactive edge is a no-op.
+//
+//redistlint:hotpath
 func (inc *Incremental) Deactivate(e int) {
 	if !inc.active[e] {
 		return
@@ -121,6 +123,8 @@ func (inc *Incremental) Deactivate(e int) {
 // edges (Hopcroft–Karp phases starting from the surviving matching) and
 // returns the resulting size. From an empty matching this is a full
 // Hopcroft–Karp run; after a peel it only re-augments the exposed nodes.
+//
+//redistlint:hotpath
 func (inc *Incremental) Augment() int {
 	for inc.bfs() {
 		for l := 0; l < inc.nL; l++ {
@@ -134,11 +138,14 @@ func (inc *Incremental) Augment() int {
 
 // bfs layers the exposed left nodes; reports whether an augmenting path
 // exists under the current matching.
+//
+//redistlint:hotpath
 func (inc *Incremental) bfs() bool {
 	q := inc.queue[:0]
 	for l := 0; l < inc.nL; l++ {
 		if inc.matchL[l] < 0 {
 			inc.dist[l] = 0
+			//redistlint:allow hotpath append into queue scratch preallocated to capacity nL; zero steady-state allocs asserted by TestPeelSteadyStateAllocs
 			q = append(q, l)
 		} else {
 			inc.dist[l] = inf
@@ -158,6 +165,7 @@ func (inc *Incremental) bfs() bool {
 			nl := inc.edgeL[me]
 			if inc.dist[nl] == inf {
 				inc.dist[nl] = inc.dist[l] + 1
+				//redistlint:allow hotpath append into queue scratch preallocated to capacity nL; zero steady-state allocs asserted by TestPeelSteadyStateAllocs
 				q = append(q, nl)
 			}
 		}
@@ -167,6 +175,8 @@ func (inc *Incremental) bfs() bool {
 }
 
 // dfs searches a shortest augmenting path from exposed left node l.
+//
+//redistlint:hotpath
 func (inc *Incremental) dfs(l int) bool {
 	end := inc.base[l] + inc.deg[l]
 	for i := inc.base[l]; i < end; i++ {

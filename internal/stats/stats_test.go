@@ -13,12 +13,17 @@ func TestSummaryEmpty(t *testing.T) {
 	if s.Count() != 0 || s.Sum() != 0 {
 		t.Fatal("zero value not empty")
 	}
-	for name, v := range map[string]float64{
-		"mean": s.Mean(), "min": s.Min(), "max": s.Max(),
-		"variance": s.Variance(), "spread": s.RelSpread(),
+	// A slice, not a map: the first failing statistic reported must be the
+	// same on every run (map iteration order would randomize it).
+	for _, c := range []struct {
+		name string
+		v    float64
+	}{
+		{"mean", s.Mean()}, {"min", s.Min()}, {"max", s.Max()},
+		{"variance", s.Variance()}, {"spread", s.RelSpread()},
 	} {
-		if !math.IsNaN(v) {
-			t.Fatalf("%s of empty summary = %g, want NaN", name, v)
+		if !math.IsNaN(c.v) {
+			t.Fatalf("%s of empty summary = %g, want NaN", c.name, c.v)
 		}
 	}
 }

@@ -1,0 +1,82 @@
+package trafficgen
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"redistgo/internal/bipartite"
+)
+
+// dumpMatrix renders a traffic matrix into a canonical byte form so two
+// generator runs can be compared byte-for-byte.
+func dumpMatrix(m [][]int64) []byte {
+	var buf bytes.Buffer
+	for _, row := range m {
+		fmt.Fprintf(&buf, "%v\n", row)
+	}
+	return buf.Bytes()
+}
+
+// dumpGraph renders a bipartite graph in insertion order, which the
+// generators must also reproduce exactly.
+func dumpGraph(g *bipartite.Graph) []byte {
+	var buf bytes.Buffer
+	fmt.Fprintf(&buf, "%dx%d\n", g.LeftCount(), g.RightCount())
+	for _, e := range g.Edges() {
+		fmt.Fprintf(&buf, "%+v\n", e)
+	}
+	return buf.Bytes()
+}
+
+// TestGeneratorsSeedDeterminism is the regression test backing the
+// determinism lint rule: every generator, run twice from the same seed,
+// must produce byte-identical output. All non-test RNG construction in
+// the repo goes through an explicit rand.New(rand.NewSource(seed)) —
+// cfg.Seed in experiments, the -seed flag in cmd/ — so seed equality is
+// exactly run equality.
+func TestGeneratorsSeedDeterminism(t *testing.T) {
+	const seed = 20040426 // IPPS 2004
+	gens := []struct {
+		name string
+		run  func(rng *rand.Rand) []byte
+	}{
+		{"RandomBipartite/sparse", func(rng *rand.Rand) []byte {
+			return dumpGraph(RandomBipartite(rng, 40, 30, 50, 1, 1<<40))
+		}},
+		{"RandomBipartite/dense", func(rng *rand.Rand) []byte {
+			return dumpGraph(RandomBipartite(rng, 10, 10, 90, 1, 1000))
+		}},
+		{"PaperRandom", func(rng *rand.Rand) []byte {
+			return dumpGraph(PaperRandom(rng, 64, 200, 1, 1<<30))
+		}},
+		{"DenseUniform", func(rng *rand.Rand) []byte {
+			return dumpMatrix(DenseUniform(rng, 16, 24, 1, 1<<50))
+		}},
+		{"SparseUniform", func(rng *rand.Rand) []byte {
+			return dumpMatrix(SparseUniform(rng, 20, 20, 0.3, 1, 1000))
+		}},
+		{"Skewed", func(rng *rand.Rand) []byte {
+			return dumpMatrix(Skewed(rng, 12, 18, 0.25, 1000, 1, 1000))
+		}},
+	}
+	for _, g := range gens {
+		t.Run(g.name, func(t *testing.T) {
+			a := g.run(rand.New(rand.NewSource(seed)))
+			b := g.run(rand.New(rand.NewSource(seed)))
+			if !bytes.Equal(a, b) {
+				t.Fatalf("two runs from seed %d differ:\nrun1:\n%srun2:\n%s", seed, a, b)
+			}
+			if len(a) == 0 {
+				t.Fatal("generator produced empty output")
+			}
+			// A different seed must not silently reproduce the same
+			// stream (a frozen generator would pass the identity check).
+			c := g.run(rand.New(rand.NewSource(seed + 1)))
+			if bytes.Equal(a, c) {
+				t.Fatalf("seeds %d and %d produced identical output", seed, seed+1)
+			}
+		})
+	}
+}

@@ -1,0 +1,136 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// finding is one rule violation at a source position.
+type finding struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (f finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Analyzer, f.Message)
+}
+
+// analyzer is one lint rule: a name (used in findings and in
+// //redistlint:allow comments), a one-line doc string, and the check
+// itself. Scoping — which packages and file kinds a rule applies to — is
+// wired separately in main.go so the fixture tests can run a rule on any
+// package.
+type analyzer struct {
+	name string
+	doc  string
+	run  func(p *lintPackage) []finding
+}
+
+const (
+	allowPrefix   = "//redistlint:allow"
+	hotpathMarker = "//redistlint:hotpath"
+)
+
+// allowDirective is one parsed //redistlint:allow comment.
+type allowDirective struct {
+	analyzer string
+	reason   string
+	line     int
+	used     bool
+}
+
+// collectAllows parses every //redistlint:allow directive of the package,
+// keyed by file and line. A directive suppresses matching findings on its
+// own line (trailing comment) and on the following line (a comment on a
+// line of its own). Directives must carry a reason; malformed ones are
+// returned as findings so suppressions stay auditable.
+func collectAllows(p *lintPackage) (map[string][]*allowDirective, []finding) {
+	byFile := make(map[string][]*allowDirective)
+	var bad []finding
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, allowPrefix) {
+					continue
+				}
+				pos := p.Fset.Position(c.Pos())
+				fields := strings.Fields(strings.TrimPrefix(c.Text, allowPrefix))
+				if len(fields) < 2 {
+					bad = append(bad, finding{
+						Pos:      pos,
+						Analyzer: "redistlint",
+						Message:  "malformed allow directive: want //redistlint:allow <analyzer> <reason>",
+					})
+					continue
+				}
+				byFile[pos.Filename] = append(byFile[pos.Filename], &allowDirective{
+					analyzer: fields[0],
+					reason:   strings.Join(fields[1:], " "),
+					line:     pos.Line,
+				})
+			}
+		}
+	}
+	return byFile, bad
+}
+
+// suppress partitions findings into kept and suppressed using the allow
+// directives. A directive matches a finding of its analyzer on the same
+// line or the next line.
+func suppress(findings []finding, allows map[string][]*allowDirective) (kept, suppressed []finding) {
+	for _, f := range findings {
+		matched := false
+		for _, d := range allows[f.Pos.Filename] {
+			if d.analyzer == f.Analyzer && (d.line == f.Pos.Line || d.line == f.Pos.Line-1) {
+				d.used = true
+				matched = true
+				break
+			}
+		}
+		if matched {
+			suppressed = append(suppressed, f)
+		} else {
+			kept = append(kept, f)
+		}
+	}
+	return kept, suppressed
+}
+
+// sortFindings orders findings by file, line, column, analyzer.
+func sortFindings(fs []finding) {
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+}
+
+// runOn applies an analyzer to a package and filters the result through
+// the package's allow directives. The fixture tests use it directly.
+func runOn(a *analyzer, p *lintPackage) (kept, suppressed []finding, malformed []finding) {
+	allows, bad := collectAllows(p)
+	kept, suppressed = suppress(a.run(p), allows)
+	return kept, suppressed, bad
+}
+
+// fileOf returns the *ast.File containing pos.
+func fileOf(p *lintPackage, pos token.Pos) *ast.File {
+	for _, f := range p.Files {
+		if f.FileStart <= pos && pos <= f.FileEnd {
+			return f
+		}
+	}
+	return nil
+}

@@ -1,0 +1,83 @@
+package main
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ctxpollAnalyzer guards cancellation discipline in the long-running
+// layers (the batch engine's worker loops, cmd/ serving loops): an
+// unbounded loop — `for {}` or `for cond {}` — that never observes a
+// context cannot be cancelled, so one stuck or oversized batch pins a
+// worker forever. Such loops must reference a context.Context somewhere
+// in their condition or body: ctx.Err(), ctx.Done() in a select, or
+// passing ctx to a callee that checks it.
+//
+// Bounded loops (three-clause `for i := 0; ...` and `range`) are exempt:
+// they terminate with their data. Loops whose unboundedness is
+// structurally bounded elsewhere (retry loops with iteration caps) carry
+// a //redistlint:allow ctxpoll comment stating the bound.
+var ctxpollAnalyzer = &analyzer{
+	name: "ctxpoll",
+	doc:  "unbounded loops in engine/cmd long-runners must observe ctx.Err()/ctx.Done()",
+	run:  runCtxpoll,
+}
+
+func runCtxpoll(p *lintPackage) []finding {
+	var out []finding
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			loop, ok := n.(*ast.ForStmt)
+			if !ok {
+				return true
+			}
+			// Only unbounded shapes: `for {}` and `for cond {}`.
+			if loop.Init != nil || loop.Post != nil {
+				return true
+			}
+			if observesContext(p, loop) {
+				return true
+			}
+			out = append(out, finding{
+				Pos:      p.Fset.Position(loop.Pos()),
+				Analyzer: "ctxpoll",
+				Message:  "unbounded loop does not observe a context.Context (ctx.Err/ctx.Done); uncancellable long-runner",
+			})
+			return true
+		})
+	}
+	return out
+}
+
+// observesContext reports whether any expression inside the loop
+// (condition or body) mentions a value of type context.Context.
+func observesContext(p *lintPackage, loop *ast.ForStmt) bool {
+	found := false
+	check := func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if expr, ok := n.(ast.Expr); ok {
+			if tv, ok := p.Info.Types[expr]; ok && isContextType(tv.Type) {
+				found = true
+				return false
+			}
+		}
+		return true
+	}
+	if loop.Cond != nil {
+		ast.Inspect(loop.Cond, check)
+	}
+	ast.Inspect(loop.Body, check)
+	return found
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}

@@ -1,0 +1,140 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// determinismAnalyzer guards the paper's core guarantee: GGP/OGGP are
+// deterministic schedulers, and the repo's differential tests (incremental
+// vs reference, batch vs serial) rely on byte-identical re-runs. Three
+// constructs can silently break that:
+//
+//   - time.Now() — wall-clock values reaching solver state or output;
+//   - the global math/rand functions (rand.Intn, rand.Float64, ...),
+//     which draw from a process-wide, unseeded source, unlike an explicit
+//     rand.New(rand.NewSource(seed));
+//   - ranging over a map, whose iteration order is randomized per run and
+//     leaks into whatever the loop emits (schedule steps, error messages,
+//     subtest order, fuzz corpus replay order).
+//
+// Order-insensitive map loops (pure reductions, membership counting) are
+// fine in principle, but proving insensitivity is exactly the kind of
+// reasoning that rots; such loops carry a //redistlint:allow determinism
+// comment stating the argument instead.
+var determinismAnalyzer = &analyzer{
+	name: "determinism",
+	doc:  "no time.Now, unseeded math/rand, or map iteration in deterministic solver code",
+	run:  runDeterminism,
+}
+
+func runDeterminism(p *lintPackage) []finding {
+	var out []finding
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if obj := calleeObject(p, n); obj != nil && obj.Pkg() != nil {
+					switch obj.Pkg().Path() {
+					case "time":
+						if obj.Name() == "Now" {
+							out = append(out, finding{
+								Pos:      p.Fset.Position(n.Pos()),
+								Analyzer: "determinism",
+								Message:  "time.Now in deterministic solver code",
+							})
+						}
+					case "math/rand", "math/rand/v2":
+						// Methods on an explicit *rand.Rand are the approved
+						// pattern; only the package-level functions draw from
+						// the shared unseeded source.
+						if fn, ok := obj.(*types.Func); ok &&
+							fn.Type().(*types.Signature).Recv() == nil &&
+							!seededRandConstructor(obj.Name()) {
+							out = append(out, finding{
+								Pos:      p.Fset.Position(n.Pos()),
+								Analyzer: "determinism",
+								Message: fmt.Sprintf("global rand.%s draws from the shared unseeded source; use an explicit rand.New(rand.NewSource(seed))",
+									obj.Name()),
+							})
+						}
+					}
+				}
+			case *ast.RangeStmt:
+				if tv, ok := p.Info.Types[n.X]; ok {
+					if _, isMap := tv.Type.Underlying().(*types.Map); isMap && !isKeyCollectLoop(n) {
+						out = append(out, finding{
+							Pos:      p.Fset.Position(n.Pos()),
+							Analyzer: "determinism",
+							Message:  "map iteration order is randomized; iterate sorted keys or justify with an allow comment",
+						})
+					}
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// isKeyCollectLoop recognizes the canonical deterministic-iteration idiom:
+//
+//	for k := range m {
+//		keys = append(keys, k)
+//	}
+//
+// — a loop whose whole body appends the key to a slice (for later
+// sorting). Its result is order-insensitive by construction, so it is
+// exempt rather than forcing an allow comment onto every sorted-keys fix.
+func isKeyCollectLoop(n *ast.RangeStmt) bool {
+	key, ok := n.Key.(*ast.Ident)
+	if !ok || key.Name == "_" {
+		return false
+	}
+	if n.Value != nil {
+		if v, ok := n.Value.(*ast.Ident); !ok || v.Name != "_" {
+			return false
+		}
+	}
+	if len(n.Body.List) != 1 {
+		return false
+	}
+	asg, ok := n.Body.List[0].(*ast.AssignStmt)
+	if !ok || len(asg.Lhs) != 1 || len(asg.Rhs) != 1 {
+		return false
+	}
+	call, ok := asg.Rhs[0].(*ast.CallExpr)
+	if !ok || len(call.Args) != 2 {
+		return false
+	}
+	fn, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || fn.Name != "append" {
+		return false
+	}
+	arg, ok := call.Args[1].(*ast.Ident)
+	return ok && arg.Name == key.Name
+}
+
+// seededRandConstructor reports whether a math/rand package-level function
+// is one of the explicit-source constructors, which are exactly the
+// approved way to obtain randomness.
+func seededRandConstructor(name string) bool {
+	switch name {
+	case "New", "NewSource", "NewZipf", "NewPCG", "NewChaCha8":
+		return true
+	}
+	return false
+}
+
+// calleeObject resolves the object a call expression invokes, if it is a
+// plain identifier or selector (methods included).
+func calleeObject(p *lintPackage, call *ast.CallExpr) types.Object {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return p.Info.Uses[fun]
+	case *ast.SelectorExpr:
+		return p.Info.Uses[fun.Sel]
+	}
+	return nil
+}

@@ -1,0 +1,102 @@
+package main
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// errcheckAnalyzer is the errcheck-lite rule: a call whose error result is
+// silently dropped — a bare expression statement like `f.Close()` or
+// `w.Flush()` — hides I/O and protocol failures that the scheduler's
+// callers need to see. The rule flags call statements whose type includes
+// an error that is not consumed.
+//
+// Deliberately lite:
+//
+//   - explicit discards (`_ = f()`) are accepted — the author decided;
+//   - `defer`/`go` statements are exempt (deferred cleanup errors have no
+//     caller to return to);
+//   - the fmt print family and the never-failing in-memory writers
+//     (*strings.Builder, *bytes.Buffer) are exempt, matching their
+//     documented always-nil or best-effort semantics.
+var errcheckAnalyzer = &analyzer{
+	name: "errcheck",
+	doc:  "no silently discarded error returns outside tests",
+	run:  runErrcheck,
+}
+
+func runErrcheck(p *lintPackage) []finding {
+	var out []finding
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			stmt, ok := n.(*ast.ExprStmt)
+			if !ok {
+				return true
+			}
+			call, ok := stmt.X.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if !returnsError(p, call) || errcheckExempt(p, call) {
+				return true
+			}
+			out = append(out, finding{
+				Pos:      p.Fset.Position(call.Pos()),
+				Analyzer: "errcheck",
+				Message:  "error return discarded; handle it or assign to _ explicitly",
+			})
+			return true
+		})
+	}
+	return out
+}
+
+// returnsError reports whether the call's result type is or contains error.
+func returnsError(p *lintPackage, call *ast.CallExpr) bool {
+	tv, ok := p.Info.Types[call]
+	if !ok {
+		return false
+	}
+	switch t := tv.Type.(type) {
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if isErrorType(t.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	default:
+		return isErrorType(t)
+	}
+}
+
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+// errcheckExempt reports whether the callee is on the lite rule's accept
+// list: fmt's print family, and methods of the never-failing in-memory
+// writers strings.Builder and bytes.Buffer.
+func errcheckExempt(p *lintPackage, call *ast.CallExpr) bool {
+	obj := calleeObject(p, call)
+	if obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	switch obj.Pkg().Path() {
+	case "fmt":
+		switch obj.Name() {
+		case "Print", "Printf", "Println", "Fprint", "Fprintf", "Fprintln":
+			return true
+		}
+	case "strings", "bytes":
+		if fn, ok := obj.(*types.Func); ok {
+			if recv := fn.Type().(*types.Signature).Recv(); recv != nil {
+				switch types.TypeString(recv.Type(), nil) {
+				case "*strings.Builder", "*bytes.Buffer":
+					return true
+				}
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,93 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// hotpathAnalyzer enforces PR 2's zero-steady-state-allocation contract on
+// the functions that declare it. A function whose doc comment contains a
+// line starting with //redistlint:hotpath (the residual-graph peel loop,
+// the warm-started matcher entry points) claims to run allocation-free at
+// steady state, a claim asserted dynamically by testing.AllocsPerRun in
+// alloc_test.go. This analyzer makes the claim reviewable statically: the
+// body may not contain
+//
+//   - make, new, slice/map composite literals, or &T{...} (heap work;
+//     plain value literals like T{...} live on the stack and are exempt),
+//   - function literals (closure environments escape and allocate),
+//   - append (grows its backing array when capacity runs out).
+//
+// Arena-refill appends that are amortized-zero (capacity is retained
+// across runs and AllocsPerRun proves it) carry a
+// //redistlint:allow hotpath comment citing that test.
+var hotpathAnalyzer = &analyzer{
+	name: "hotpath",
+	doc:  "no append/make/new/closures/composite literals in //redistlint:hotpath functions",
+	run:  runHotpath,
+}
+
+func runHotpath(p *lintPackage) []finding {
+	var out []finding
+	report := func(n ast.Node, what string) {
+		out = append(out, finding{
+			Pos:      p.Fset.Position(n.Pos()),
+			Analyzer: "hotpath",
+			Message:  fmt.Sprintf("%s in hotpath-annotated function", what),
+		})
+	}
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !hasHotpathMarker(fn.Doc) {
+				continue
+			}
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.CallExpr:
+					if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok {
+						if b, ok := p.Info.Uses[id].(*types.Builtin); ok {
+							switch b.Name() {
+							case "append", "make", "new":
+								report(n, b.Name())
+							}
+						}
+					}
+				case *ast.UnaryExpr:
+					if _, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok && n.Op.String() == "&" {
+						report(n, "&composite literal (escapes to heap)")
+						return false
+					}
+				case *ast.FuncLit:
+					report(n, "closure")
+					return false // the literal itself is the finding
+				case *ast.CompositeLit:
+					if tv, ok := p.Info.Types[n]; ok {
+						switch tv.Type.Underlying().(type) {
+						case *types.Slice, *types.Map:
+							report(n, "allocating composite literal")
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+	return out
+}
+
+// hasHotpathMarker reports whether a doc comment carries the
+// //redistlint:hotpath annotation.
+func hasHotpathMarker(doc *ast.CommentGroup) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if strings.HasPrefix(c.Text, hotpathMarker) {
+			return true
+		}
+	}
+	return false
+}

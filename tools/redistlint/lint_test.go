@@ -1,0 +1,166 @@
+package main
+
+import (
+	"os"
+	"regexp"
+	"strconv"
+	"testing"
+)
+
+// fixtureAnalyzers maps each testdata/src fixture package to the analyzer
+// it exercises. The allowbad fixture is special-cased below: its findings
+// come from directive parsing, not from any analyzer.
+var fixtureAnalyzers = map[string]*analyzer{
+	"determinism": determinismAnalyzer,
+	"safemath":    safemathAnalyzer,
+	"hotpath":     hotpathAnalyzer,
+	"ctxpoll":     ctxpollAnalyzer,
+	"errcheck":    errcheckAnalyzer,
+}
+
+// expectation is one parsed `// want "regexp"` comment: the fixture's
+// analyzer must report a finding on that line whose message matches.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+// wantRE matches a trailing expectation comment. The payload is a Go
+// string literal (quoted or backquoted) holding a regular expression.
+var wantRE = regexp.MustCompile("^// want (\".*\"|`.*`)$")
+
+// collectWants extracts the expectation comments of a fixture package.
+func collectWants(t *testing.T, p *lintPackage) []*expectation {
+	t.Helper()
+	var out []*expectation
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pat, err := strconv.Unquote(m[1])
+				if err != nil {
+					t.Fatalf("%s: bad want payload %s: %v", p.Fset.Position(c.Pos()), m[1], err)
+				}
+				re, err := regexp.Compile(pat)
+				if err != nil {
+					t.Fatalf("%s: want regexp %q: %v", p.Fset.Position(c.Pos()), pat, err)
+				}
+				pos := p.Fset.Position(c.Pos())
+				out = append(out, &expectation{file: pos.Filename, line: pos.Line, re: re})
+			}
+		}
+	}
+	return out
+}
+
+// loadFixture type-checks one testdata/src fixture package. The test
+// binary runs with the package directory as its working directory, so the
+// relative pattern resolves inside the module even though testdata is
+// excluded from ./... wildcards.
+func loadFixture(t *testing.T, name string) *lintPackage {
+	t.Helper()
+	pkgs, err := load(".", []string{"./testdata/src/" + name})
+	if err != nil {
+		t.Fatalf("load fixture %s: %v", name, err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("fixture %s: got %d packages, want 1", name, len(pkgs))
+	}
+	return pkgs[0]
+}
+
+// TestFixtures runs each analyzer over its fixture package and requires a
+// one-to-one match between kept findings and `// want` expectations: every
+// seeded violation fires, every corrected or allow-suppressed form stays
+// silent.
+func TestFixtures(t *testing.T) {
+	for name, a := range fixtureAnalyzers {
+		t.Run(name, func(t *testing.T) {
+			p := loadFixture(t, name)
+			kept, suppressed, malformed := runOn(a, p)
+			for _, f := range malformed {
+				t.Errorf("unexpected malformed directive: %s", f)
+			}
+			wants := collectWants(t, p)
+			if len(wants) == 0 {
+				t.Fatalf("fixture %s has no want comments", name)
+			}
+			for _, f := range kept {
+				matched := false
+				for _, w := range wants {
+					if !w.hit && w.file == f.Pos.Filename && w.line == f.Pos.Line && w.re.MatchString(f.Message) {
+						w.hit = true
+						matched = true
+						break
+					}
+				}
+				if !matched {
+					t.Errorf("unexpected finding: %s", f)
+				}
+			}
+			for _, w := range wants {
+				if !w.hit {
+					t.Errorf("%s:%d: expected finding matching %q, got none", w.file, w.line, w.re)
+				}
+			}
+			// Every fixture carries exactly one justified allow comment;
+			// its finding must land in suppressed, not kept or dropped.
+			if len(suppressed) != 1 {
+				t.Errorf("fixture %s: got %d suppressed findings, want exactly 1:", name, len(suppressed))
+				for _, f := range suppressed {
+					t.Errorf("  suppressed: %s", f)
+				}
+			}
+		})
+	}
+}
+
+// TestMalformedAllowDirectives checks that reason-less allow directives
+// are reported as findings of the pseudo-analyzer "redistlint", so
+// suppressions cannot silently rot.
+func TestMalformedAllowDirectives(t *testing.T) {
+	p := loadFixture(t, "allowbad")
+	kept, suppressed, malformed := runOn(errcheckAnalyzer, p)
+	if len(kept) != 0 || len(suppressed) != 0 {
+		t.Errorf("allowbad: unexpected analyzer findings: kept=%v suppressed=%v", kept, suppressed)
+	}
+	wantLines := map[int]bool{6: false, 9: false}
+	for _, f := range malformed {
+		if f.Analyzer != "redistlint" {
+			t.Errorf("malformed directive reported under analyzer %q, want \"redistlint\": %s", f.Analyzer, f)
+		}
+		if _, ok := wantLines[f.Pos.Line]; !ok {
+			t.Errorf("unexpected malformed-directive finding: %s", f)
+			continue
+		}
+		wantLines[f.Pos.Line] = true
+	}
+	for line, seen := range wantLines {
+		if !seen {
+			t.Errorf("allowbad:%d: expected a malformed-directive finding, got none", line)
+		}
+	}
+}
+
+// TestFixtureDirsWired fails when a fixture directory exists without a
+// corresponding analyzer mapping, so new fixtures cannot be silently
+// skipped.
+func TestFixtureDirsWired(t *testing.T) {
+	entries, err := os.ReadDir("testdata/src")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		if _, ok := fixtureAnalyzers[e.Name()]; !ok && e.Name() != "allowbad" {
+			t.Errorf("fixture dir testdata/src/%s has no analyzer mapping in fixtureAnalyzers", e.Name())
+		}
+	}
+}

@@ -1,0 +1,177 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// lintPackage is one type-checked package ready for analysis: the parsed
+// files (comments included), the type information, and which files are
+// test files (scoping distinguishes them).
+type lintPackage struct {
+	Path     string // import path; external test packages keep the base path
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Info     *types.Info
+	Types    *types.Package
+	TestFile map[*ast.File]bool
+}
+
+// listedPackage mirrors the `go list -json` fields the loader consumes.
+type listedPackage struct {
+	ImportPath   string
+	Dir          string
+	Export       string
+	Standard     bool
+	ForTest      string
+	GoFiles      []string
+	CgoFiles     []string
+	TestGoFiles  []string
+	XTestGoFiles []string
+}
+
+// load resolves the patterns with the go tool and type-checks every
+// matched module package from source. Dependencies (the standard library
+// included) are satisfied from compiler export data produced by
+// `go list -export`, so the loader needs nothing beyond the go toolchain
+// and the stdlib — no third-party package driver.
+func load(dir string, patterns []string) ([]*lintPackage, error) {
+	targets, err := goList(dir, nil, patterns)
+	if err != nil {
+		return nil, err
+	}
+	wanted := make(map[string]bool)
+	for _, p := range targets {
+		if !p.Standard {
+			wanted[p.ImportPath] = true
+		}
+	}
+	if len(wanted) == 0 {
+		return nil, fmt.Errorf("patterns %v matched no module packages", patterns)
+	}
+
+	// One -deps -test -export walk supplies export data for everything the
+	// targets (and their test files) import.
+	all, err := goList(dir, []string{"-deps", "-test", "-export"}, patterns)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string)
+	full := make(map[string]*listedPackage)
+	for _, p := range all {
+		if p.ForTest != "" || strings.Contains(p.ImportPath, ".test") {
+			continue // test-build variants; the base package's data suffices
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		full[p.ImportPath] = p
+	}
+
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		e, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(e)
+	})
+
+	var out []*lintPackage
+	for path := range wanted {
+		p := full[path]
+		if p == nil {
+			return nil, fmt.Errorf("package %s missing from deps listing", path)
+		}
+		// In-package files: real sources plus in-package test files,
+		// checked together exactly as `go test` compiles them.
+		lp, err := checkPackage(fset, imp, path, p.Dir,
+			append(append(append([]string{}, p.GoFiles...), p.CgoFiles...), p.TestGoFiles...),
+			markFrom(len(p.GoFiles)+len(p.CgoFiles)))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, lp)
+		// External test package (package foo_test), if any.
+		if len(p.XTestGoFiles) > 0 {
+			xp, err := checkPackage(fset, imp, path, p.Dir, p.XTestGoFiles, markFrom(0))
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, xp)
+		}
+	}
+	return out, nil
+}
+
+// markFrom returns a predicate marking files at index >= n as test files.
+func markFrom(n int) func(int) bool {
+	return func(i int) bool { return i >= n }
+}
+
+func checkPackage(fset *token.FileSet, imp types.Importer, path, dir string, files []string, isTest func(int) bool) (*lintPackage, error) {
+	lp := &lintPackage{
+		Path:     path,
+		Fset:     fset,
+		TestFile: make(map[*ast.File]bool),
+		Info: &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		},
+	}
+	for i, name := range files {
+		af, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		lp.Files = append(lp.Files, af)
+		lp.TestFile[af] = isTest(i)
+	}
+	conf := types.Config{Importer: imp}
+	pkg, err := conf.Check(path, fset, lp.Files, lp.Info)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck %s: %w", path, err)
+	}
+	lp.Types = pkg
+	return lp, nil
+}
+
+// goList runs `go list -json <flags> <patterns>` in dir and decodes the
+// package stream.
+func goList(dir string, flags, patterns []string) ([]*listedPackage, error) {
+	args := append([]string{"list", "-json"}, flags...)
+	args = append(args, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list %v: %v\n%s", patterns, err, stderr.String())
+	}
+	var pkgs []*listedPackage
+	dec := json.NewDecoder(&stdout)
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decode: %v", err)
+		}
+		pkgs = append(pkgs, &p)
+	}
+	return pkgs, nil
+}

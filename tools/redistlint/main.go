@@ -1,0 +1,170 @@
+// Command redistlint is redistgo's invariant linter: a dependency-free
+// static-analysis pass (stdlib go/parser + go/ast + go/types, packages
+// loaded via `go list -export`) that makes the repo's scheduling
+// guarantees durable as source-level rules instead of conventions.
+//
+//	go run ./tools/redistlint ./...          # lint the whole module
+//	go run ./tools/redistlint -list          # describe the analyzers
+//	go run ./tools/redistlint -v ./...       # also report suppressed findings
+//
+// Analyzers and their scopes:
+//
+//	determinism  solver + experiment packages (tests included): no
+//	             time.Now, no global math/rand, no map iteration
+//	safemath     internal/kpbs non-test code: int64 +, *, << must go
+//	             through internal/safemath
+//	hotpath      any function annotated //redistlint:hotpath: no
+//	             append/make/new/closures/composite literals
+//	ctxpoll      internal/engine and cmd/ non-test code: unbounded loops
+//	             must observe a context
+//	errcheck     all non-test code: no silently discarded errors
+//
+// A finding is suppressed by a same-line or preceding-line comment
+//
+//	//redistlint:allow <analyzer> <reason>
+//
+// The reason is mandatory; a directive without one is itself a finding.
+// The process exits 1 if any unsuppressed finding remains, so `make lint`
+// (and `make check`, which includes it) fail closed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// scope decides which packages and file kinds an analyzer covers.
+type scope struct {
+	pkgs         func(path string) bool // nil means every package
+	includeTests bool
+}
+
+// deterministicPkgs are the packages whose outputs (schedules, figures,
+// statistics, subtest names, fuzz corpora) must be byte-identical across
+// runs.
+var deterministicPkgs = map[string]bool{
+	"redistgo/internal/kpbs":        true,
+	"redistgo/internal/matching":    true,
+	"redistgo/internal/engine":      true,
+	"redistgo/internal/stats":       true,
+	"redistgo/internal/experiments": true,
+}
+
+// analyzers wires every rule to its scope. Order is the reporting order
+// for findings at identical positions.
+var analyzers = []struct {
+	*analyzer
+	scope scope
+}{
+	{determinismAnalyzer, scope{pkgs: func(p string) bool { return deterministicPkgs[p] }, includeTests: true}},
+	{safemathAnalyzer, scope{pkgs: func(p string) bool { return p == "redistgo/internal/kpbs" }}},
+	{hotpathAnalyzer, scope{includeTests: true}},
+	{ctxpollAnalyzer, scope{pkgs: func(p string) bool {
+		return p == "redistgo/internal/engine" || strings.HasPrefix(p, "redistgo/cmd/")
+	}}},
+	{errcheckAnalyzer, scope{}},
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "redistlint:", err)
+		os.Exit(1)
+	}
+}
+
+type exitError int
+
+func (e exitError) Error() string {
+	return fmt.Sprintf("%d finding(s)", int(e))
+}
+
+func run(args []string, stdout *os.File) error {
+	fs := flag.NewFlagSet("redistlint", flag.ContinueOnError)
+	only := fs.String("analyzers", "", "comma-separated analyzer names to run (default: all)")
+	list := fs.Bool("list", false, "describe the analyzers and exit")
+	verbose := fs.Bool("v", false, "also report suppressed findings and their reasons")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		for _, a := range analyzers {
+			fmt.Fprintf(stdout, "%-12s %s\n", a.name, a.doc)
+		}
+		return nil
+	}
+	enabled := make(map[string]bool)
+	if *only != "" {
+		for _, name := range strings.Split(*only, ",") {
+			name = strings.TrimSpace(name)
+			known := false
+			for _, a := range analyzers {
+				known = known || a.name == name
+			}
+			if !known {
+				return fmt.Errorf("unknown analyzer %q", name)
+			}
+			enabled[name] = true
+		}
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := load(".", patterns)
+	if err != nil {
+		return err
+	}
+
+	var kept, suppressed []finding
+	for _, p := range pkgs {
+		allows, malformed := collectAllows(p)
+		kept = append(kept, malformed...)
+		for _, a := range analyzers {
+			if len(enabled) > 0 && !enabled[a.name] {
+				continue
+			}
+			if a.scope.pkgs != nil && !a.scope.pkgs(p.Path) {
+				continue
+			}
+			findings := a.run(p)
+			if !a.scope.includeTests {
+				findings = dropTestFileFindings(p, findings)
+			}
+			k, s := suppress(findings, allows)
+			kept = append(kept, k...)
+			suppressed = append(suppressed, s...)
+		}
+	}
+	sortFindings(kept)
+	sortFindings(suppressed)
+	for _, f := range kept {
+		fmt.Fprintln(stdout, f)
+	}
+	if *verbose {
+		for _, f := range suppressed {
+			fmt.Fprintf(stdout, "suppressed: %s\n", f)
+		}
+	}
+	if len(kept) > 0 {
+		return exitError(len(kept))
+	}
+	if *verbose {
+		fmt.Fprintf(stdout, "redistlint: clean (%d packages, %d suppressed findings)\n", len(pkgs), len(suppressed))
+	}
+	return nil
+}
+
+// dropTestFileFindings removes findings located in _test.go files, for
+// analyzers scoped to production code.
+func dropTestFileFindings(p *lintPackage, fs []finding) []finding {
+	out := fs[:0]
+	for _, f := range fs {
+		if !strings.HasSuffix(f.Pos.Filename, "_test.go") {
+			out = append(out, f)
+		}
+	}
+	return out
+}

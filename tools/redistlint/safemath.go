@@ -1,0 +1,88 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// safemathAnalyzer guards the overflow discipline introduced in PR 1:
+// K-PBS weights, costs, bounds and β are caller-supplied int64 values, and
+// a single raw `+`, `*` or `<<` near the int64 boundary wraps negative and
+// silently corrupts the 2-approximation invariant (cost ≥ ηd + β·ηs only
+// holds in exact arithmetic). In solver packages every int64 addition,
+// multiplication and left shift must go through internal/safemath
+// (Add/Mul/AddChecked/MulChecked), which saturate or report instead of
+// wrapping.
+//
+// Subtraction and division stay within [0, max(operands)] on the solver's
+// non-negative domain and are exempt. Constant-folded expressions are
+// exempt (the compiler rejects overflowing constants). Loop counters are
+// int, not int64, so they never trip the rule. Sites proven safe by a
+// prior validateInstance gate carry a //redistlint:allow safemath comment
+// citing that gate.
+var safemathAnalyzer = &analyzer{
+	name: "safemath",
+	doc:  "raw +, * or << on int64 weight/cost values in solver packages; use internal/safemath",
+	run:  runSafemath,
+}
+
+func runSafemath(p *lintPackage) []finding {
+	var out []finding
+	report := func(pos token.Pos, op token.Token) {
+		out = append(out, finding{
+			Pos:      p.Fset.Position(pos),
+			Analyzer: "safemath",
+			Message:  fmt.Sprintf("raw int64 %q can overflow; use internal/safemath", op.String()),
+		})
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				switch n.Op {
+				case token.ADD, token.MUL, token.SHL:
+				default:
+					return true
+				}
+				if tv, ok := p.Info.Types[n]; ok && tv.Value == nil && isRawInt64(tv.Type) {
+					report(n.OpPos, n.Op)
+				}
+			case *ast.AssignStmt:
+				var op token.Token
+				switch n.Tok {
+				case token.ADD_ASSIGN:
+					op = token.ADD
+				case token.MUL_ASSIGN:
+					op = token.MUL
+				case token.SHL_ASSIGN:
+					op = token.SHL
+				default:
+					return true
+				}
+				if len(n.Lhs) == 1 {
+					if tv, ok := p.Info.Types[n.Lhs[0]]; ok && isRawInt64(tv.Type) {
+						report(n.TokPos, op)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// isRawInt64 reports whether t is int64 or a named type with underlying
+// int64 — excluding time.Duration, whose arithmetic is interval math, not
+// weight math.
+func isRawInt64(t types.Type) bool {
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if obj.Pkg() != nil && obj.Pkg().Path() == "time" && obj.Name() == "Duration" {
+			return false
+		}
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Int64
+}

@@ -1,0 +1,10 @@
+// Package allowbad is a redistlint self-test fixture: allow directives
+// without a reason are themselves findings, so suppressions stay
+// auditable.
+package allowbad
+
+//redistlint:allow errcheck
+func missingReason() {} // the directive above lacks a reason
+
+//redistlint:allow
+func missingEverything() {} // the directive above lacks analyzer and reason

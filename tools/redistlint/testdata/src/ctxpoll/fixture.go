@@ -1,0 +1,63 @@
+// Package ctxpoll is a redistlint self-test fixture for the
+// unbounded-loop cancellation rule.
+package ctxpoll
+
+import "context"
+
+func spinForever(work func() bool) {
+	for { // want "unbounded loop does not observe a context.Context"
+		if !work() {
+			return
+		}
+	}
+}
+
+func spinWhile(cond func() bool) {
+	for cond() { // want "unbounded loop does not observe a context.Context"
+	}
+}
+
+func pollsErr(ctx context.Context, work func() bool) {
+	for {
+		if ctx.Err() != nil {
+			return
+		}
+		if !work() {
+			return
+		}
+	}
+}
+
+func selectsDone(ctx context.Context, ch <-chan int) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-ch:
+		}
+	}
+}
+
+func passesCtx(ctx context.Context, step func(context.Context) bool) {
+	for step(ctx) {
+	}
+}
+
+// Bounded shapes are exempt: they terminate with their data.
+func bounded(xs []int) int {
+	total := 0
+	for i := 0; i < len(xs); i++ {
+		total += xs[i]
+	}
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}
+
+func justified(tries *int) {
+	//redistlint:allow ctxpoll bounded by the caller-supplied retry budget, not a long-runner
+	for *tries > 0 {
+		*tries--
+	}
+}

@@ -1,0 +1,56 @@
+// Package determinism is a redistlint self-test fixture: each line with a
+// `want` comment must produce exactly that finding, every other line must
+// stay silent.
+package determinism
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func wallClock() int64 {
+	return time.Now().Unix() // want "time.Now in deterministic solver code"
+}
+
+func globalRand() int {
+	return rand.Intn(10) // want "global rand.Intn draws from the shared unseeded source"
+}
+
+func globalShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want "global rand.Shuffle draws from the shared unseeded source"
+}
+
+// seededRand is the approved pattern: explicit source, explicit seed.
+func seededRand(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(10)
+}
+
+func mapOrderLeaks(m map[string]int) int {
+	total := 0
+	for _, v := range m { // want "map iteration order is randomized"
+		total += v
+	}
+	return total
+}
+
+// sortedIteration is the canonical fix: the key-collect loop is exempt,
+// the rest iterates a sorted slice.
+func sortedIteration(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func justifiedMapLoop(m map[string]int) int {
+	n := 0
+	//redistlint:allow determinism pure count: the result does not depend on visit order
+	for range m {
+		n++
+	}
+	return n
+}

@@ -1,0 +1,48 @@
+// Package errcheck is a redistlint self-test fixture for the
+// discarded-error rule.
+package errcheck
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"strings"
+)
+
+func discards(c io.Closer) {
+	c.Close() // want "error return discarded"
+}
+
+func discardsTuple(r io.Reader, buf []byte) {
+	r.Read(buf) // want "error return discarded"
+}
+
+func handled(c io.Closer) error {
+	if err := c.Close(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// explicitDiscard is accepted: the author decided.
+func explicitDiscard(c io.Closer) {
+	_ = c.Close()
+}
+
+// deferredCleanup is exempt: the error has no caller to return to.
+func deferredCleanup(c io.Closer) {
+	defer c.Close()
+}
+
+// The fmt print family and the never-failing in-memory writers are exempt.
+func exemptWriters(b *strings.Builder, buf *bytes.Buffer) {
+	fmt.Println("hello")
+	fmt.Fprintf(b, "x=%d", 1)
+	b.WriteString("tail")
+	buf.WriteByte('\n')
+}
+
+func justified(c io.Closer) {
+	//redistlint:allow errcheck close error is unreachable on this in-memory pipe
+	c.Close()
+}

@@ -1,0 +1,46 @@
+// Package hotpath is a redistlint self-test fixture for the
+// zero-allocation annotation rule.
+package hotpath
+
+type comm struct{ l, r int }
+
+type arena struct {
+	buf   []comm
+	stash *comm
+}
+
+//redistlint:hotpath
+func (a *arena) hotViolations(n int) {
+	a.buf = append(a.buf, comm{l: n}) // want "append in hotpath-annotated function"
+	s := make([]int, n)               // want "make in hotpath-annotated function"
+	_ = s
+	p := new(comm) // want "new in hotpath-annotated function"
+	_ = p
+	a.stash = &comm{l: n}        // want `&composite literal \(escapes to heap\)`
+	f := func() int { return n } // want "closure in hotpath-annotated function"
+	_ = f()
+	xs := []int{1, 2, 3} // want "allocating composite literal"
+	_ = xs
+}
+
+//redistlint:hotpath
+func (a *arena) hotClean(n int) comm {
+	// Value literals stay on the stack and are exempt.
+	c := comm{l: n, r: n}
+	for i := range a.buf {
+		a.buf[i] = c
+	}
+	return c
+}
+
+//redistlint:hotpath
+func (a *arena) hotJustified(c comm) {
+	//redistlint:allow hotpath arena append; capacity retained across runs, asserted by an AllocsPerRun test
+	a.buf = append(a.buf, c)
+}
+
+// coldPath is unannotated: it may allocate freely.
+func coldPath(n int) []comm {
+	out := make([]comm, 0, n)
+	return append(out, comm{})
+}

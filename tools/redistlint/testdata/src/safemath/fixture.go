@@ -1,0 +1,45 @@
+// Package safemath is a redistlint self-test fixture for the raw-int64
+// arithmetic rule.
+package safemath
+
+import "time"
+
+func rawAdd(a, b int64) int64 {
+	return a + b // want `raw int64 "\+" can overflow`
+}
+
+func rawMul(a, b int64) int64 {
+	return a * b // want `raw int64 "\*" can overflow`
+}
+
+func rawShift(a int64) int64 {
+	return a << 3 // want `raw int64 "<<" can overflow`
+}
+
+func rawAddAssign(a, b int64) int64 {
+	a += b // want `raw int64 "\+" can overflow`
+	return a
+}
+
+// intArithmetic is exempt: loop counters and indices are int, not int64.
+func intArithmetic(a, b int) int {
+	return a + b*2
+}
+
+// subtraction cannot overflow on the solver's non-negative domain.
+func subtraction(a, b int64) int64 {
+	return a - b
+}
+
+// constants are folded and checked by the compiler.
+const folded = int64(1) + 2
+
+// durations are interval math, not weight math.
+func durations(a, b time.Duration) time.Duration {
+	return a + b
+}
+
+func justified(a, b int64) int64 {
+	//redistlint:allow safemath operands bounded by caller validation above
+	return a + b
+}
