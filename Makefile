@@ -7,9 +7,9 @@
 GO ?= go
 BENCH_COUNT ?= 5
 
-.PHONY: check lint vet build test race bench-smoke bench bench-compare bench-compare-smoke fuzz-smoke
+.PHONY: check lint vet build test race race-obs bench-smoke bench bench-compare bench-compare-smoke fuzz-smoke trace-demo
 
-check: lint build race bench-smoke bench-compare-smoke
+check: lint build race race-obs bench-smoke bench-compare-smoke
 
 # Static gate: formatting, go vet, and the project linter (see
 # tools/redistlint and the "Enforced invariants" section of DESIGN.md).
@@ -34,6 +34,12 @@ test:
 # differential batch-vs-serial check runs race-instrumented on every gate.
 race:
 	$(GO) test -race ./...
+
+# Focused race pass over the observability layer and the engine that
+# hammers it concurrently — `make race` covers these too, but this target
+# stays cheap enough to run on its own while iterating on obs code.
+race-obs:
+	$(GO) test -race ./internal/obs/... ./internal/engine/...
 
 # One benchmark iteration of the batch engine: proves the serial and
 # pooled paths still run and agree (the benchmark re-verifies
@@ -61,6 +67,14 @@ bench-compare-smoke:
 	$(GO) test ./internal/kpbs -run='^$$' -bench=PeelSolve -benchmem -benchtime=1x > bench_peel_smoke.txt
 	$(GO) run ./tools/benchcompare bench_peel_smoke.txt
 	rm -f bench_peel_smoke.txt
+
+# End-to-end observability demo: run a small scheduled redistribution on
+# the loopback-TCP cluster with tracing on and leave trace.json behind —
+# open it in chrome://tracing (or ui.perfetto.dev) to see solver peels,
+# engine lanes and per-step cluster timing.
+trace-demo:
+	$(GO) run ./cmd/redist-net -engine tcp -nodes 3 -k 2 -min-mb 0.02 -max-mb 0.05 -backbone-mbit 400 -beta-ms 1 -trace trace.json
+	@echo "wrote trace.json — load it in chrome://tracing"
 
 # Short actual fuzzing session of the solver pipeline and the batch
 # engine differential (seed corpora are always replayed by `make race`).

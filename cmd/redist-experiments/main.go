@@ -22,6 +22,7 @@ import (
 
 	"redistgo"
 	"redistgo/internal/experiments"
+	"redistgo/internal/obsflag"
 )
 
 func main() {
@@ -31,7 +32,7 @@ func main() {
 	}
 }
 
-func run(args []string, stdout io.Writer) error {
+func run(args []string, stdout io.Writer) (err error) {
 	fs := flag.NewFlagSet("redist-experiments", flag.ContinueOnError)
 	fig := fs.String("fig", "7", "figure to regenerate: 7, 8, 9, 10, 11, or the extension sweeps agg, adapt")
 	runs := fs.Int("runs", 0, "Monte-Carlo runs per point (0 = figure-specific default)")
@@ -40,9 +41,19 @@ func run(args []string, stdout io.Writer) error {
 	workers := fs.Int("workers", 0, "concurrent solver goroutines for the ratio sweeps (0 = GOMAXPROCS, 1 = serial); output is identical for any value")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
 	memprofile := fs.String("memprofile", "", "write a heap profile taken after the run to this file (go tool pprof)")
+	obsFlags := obsflag.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	observer, obsFinish, err := obsFlags.Start(stdout)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if ferr := obsFinish(); ferr != nil && err == nil {
+			err = ferr
+		}
+	}()
 	if *format != "csv" && *format != "md" {
 		return fmt.Errorf("unknown format %q (want csv or md)", *format)
 	}
@@ -86,6 +97,7 @@ func run(args []string, stdout io.Writer) error {
 			cfg = redistgo.Figure8Config(n, *seed)
 		}
 		cfg.Workers = *workers
+		cfg.Obs = observer
 		points, err := redistgo.RatioVsK(cfg)
 		if err != nil {
 			return err
@@ -98,6 +110,7 @@ func run(args []string, stdout io.Writer) error {
 		n := defaultRuns(*runs, 2000)
 		cfg := redistgo.Figure9Config(n, *seed)
 		cfg.Workers = *workers
+		cfg.Obs = observer
 		points, err := redistgo.RatioVsBeta(cfg)
 		if err != nil {
 			return err

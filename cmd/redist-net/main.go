@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"redistgo"
+	"redistgo/internal/obsflag"
 )
 
 func main() {
@@ -28,7 +29,7 @@ func main() {
 	}
 }
 
-func run(args []string, stdout io.Writer) error {
+func run(args []string, stdout io.Writer) (err error) {
 	fs := flag.NewFlagSet("redist-net", flag.ContinueOnError)
 	engine := fs.String("engine", "sim", "execution engine: sim (fluid simulator) or tcp (loopback sockets)")
 	k := fs.Int("k", 3, "simultaneous communications; NICs are shaped to backbone/k")
@@ -38,9 +39,19 @@ func run(args []string, stdout io.Writer) error {
 	betaMS := fs.Float64("beta-ms", 2, "barrier cost in milliseconds")
 	seed := fs.Int64("seed", 1, "random seed")
 	backboneMbit := fs.Float64("backbone-mbit", 100, "backbone throughput in Mbit/s")
+	obsFlags := obsflag.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	observer, obsFinish, err := obsFlags.Start(stdout)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if ferr := obsFinish(); ferr != nil && err == nil {
+			err = ferr
+		}
+	}()
 	if *minMB <= 0 || *maxMB < *minMB {
 		return fmt.Errorf("bad size range [%g, %g] MB", *minMB, *maxMB)
 	}
@@ -69,7 +80,7 @@ func run(args []string, stdout io.Writer) error {
 
 	schedules := map[string]*redistgo.Schedule{}
 	for name, alg := range map[string]redistgo.Algorithm{"GGP": redistgo.GGP, "OGGP": redistgo.OGGP} {
-		s, err := redistgo.Solve(g, *k, betaUnits, redistgo.Options{Algorithm: alg})
+		s, err := redistgo.Solve(g, *k, betaUnits, redistgo.Options{Algorithm: alg, Obs: observer})
 		if err != nil {
 			return err
 		}
@@ -80,7 +91,7 @@ func run(args []string, stdout io.Writer) error {
 	case "sim":
 		return runSim(stdout, platform, matrix, schedules, *betaMS/1000, *seed)
 	case "tcp":
-		return runTCP(stdout, platform, matrix, schedules, *betaMS)
+		return runTCP(stdout, platform, matrix, schedules, *betaMS, observer)
 	}
 	return fmt.Errorf("unknown engine %q (want sim or tcp)", *engine)
 }
@@ -114,7 +125,7 @@ func runSim(stdout io.Writer, platform redistgo.Platform, matrix [][]int64,
 }
 
 func runTCP(stdout io.Writer, platform redistgo.Platform, matrix [][]int64,
-	schedules map[string]*redistgo.Schedule, betaMS float64) error {
+	schedules map[string]*redistgo.Schedule, betaMS float64, observer *redistgo.Observer) error {
 	c, err := redistgo.NewCluster(redistgo.ClusterConfig{
 		N1: platform.N1, N2: platform.N2,
 		SendRate:     platform.T1 / 8,
@@ -122,6 +133,7 @@ func runTCP(stdout io.Writer, platform redistgo.Platform, matrix [][]int64,
 		BackboneRate: platform.Backbone / 8,
 		BarrierDelay: time.Duration(betaMS * float64(time.Millisecond)),
 		RealBarrier:  true,
+		Obs:          observer,
 	})
 	if err != nil {
 		return err

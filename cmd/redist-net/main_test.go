@@ -2,6 +2,8 @@ package main
 
 import (
 	"bytes"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -53,6 +55,34 @@ func TestBadArguments(t *testing.T) {
 	for _, args := range cases {
 		if _, err := runCLI(t, args...); err == nil {
 			t.Fatalf("args %v accepted", args)
+		}
+	}
+}
+
+// TestTCPEngineObserved: the tcp engine with -obs and -trace serves the
+// endpoint and writes a trace containing both solver peels and cluster
+// step/transfer events.
+func TestTCPEngineObserved(t *testing.T) {
+	tracePath := filepath.Join(t.TempDir(), "trace.json")
+	out, err := runCLI(t,
+		"-engine", "tcp", "-k", "2", "-nodes", "3",
+		"-min-mb", "0.02", "-max-mb", "0.05",
+		"-backbone-mbit", "400", "-beta-ms", "1",
+		"-obs", ":0", "-trace", tracePath,
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "observability endpoint on http://127.0.0.1:") {
+		t.Fatalf("missing endpoint announcement:\n%s", out)
+	}
+	raw, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"traceEvents"`, `"solve GGP"`, `"peel"`, `"step 0"`, `"xfer `} {
+		if !strings.Contains(string(raw), want) {
+			t.Fatalf("trace missing %s", want)
 		}
 	}
 }

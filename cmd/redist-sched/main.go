@@ -23,6 +23,7 @@ import (
 	"strings"
 
 	"redistgo"
+	"redistgo/internal/obsflag"
 )
 
 func main() {
@@ -32,7 +33,7 @@ func main() {
 	}
 }
 
-func run(args []string, stdin io.Reader, stdout io.Writer) error {
+func run(args []string, stdin io.Reader, stdout io.Writer) (err error) {
 	fs := flag.NewFlagSet("redist-sched", flag.ContinueOnError)
 	k := fs.Int("k", 1, "maximum simultaneous communications (backbone constraint)")
 	beta := fs.Int64("beta", 0, "per-step setup delay, in the same unit as the matrix entries")
@@ -42,9 +43,19 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	gantt := fs.Bool("gantt", false, "print an ASCII Gantt chart")
 	svgPath := fs.String("svg", "", "write an SVG Gantt chart to this file")
 	asJSON := fs.Bool("json", false, "print the schedule as JSON instead of text")
+	obsFlags := obsflag.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	observer, obsFinish, err := obsFlags.Start(stdout)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if ferr := obsFinish(); ferr != nil && err == nil {
+			err = ferr
+		}
+	}()
 
 	var in io.Reader = stdin
 	if fs.NArg() > 1 {
@@ -71,7 +82,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
-	sched, err := redistgo.Solve(g, *k, *beta, redistgo.Options{Algorithm: algorithm, Coalesce: *coalesce, Pack: *pack})
+	sched, err := redistgo.Solve(g, *k, *beta, redistgo.Options{Algorithm: algorithm, Coalesce: *coalesce, Pack: *pack, Obs: observer})
 	if err != nil {
 		return err
 	}

@@ -132,3 +132,40 @@ func TestSchedEmptyMatrix(t *testing.T) {
 		t.Fatalf("empty matrix should give empty schedule: %q", out)
 	}
 }
+
+// TestSchedObsFlags: -obs serves the introspection endpoint for the run
+// and -trace leaves a loadable Chrome trace file behind, without changing
+// the schedule output.
+func TestSchedObsFlags(t *testing.T) {
+	tracePath := filepath.Join(t.TempDir(), "trace.json")
+	plain, err := runCLI(t, []string{"-k", "2", "-beta", "1"}, "[[40,0,12],[0,30,7]]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := runCLI(t, []string{"-k", "2", "-beta", "1", "-obs", ":0", "-trace", tracePath}, "[[40,0,12],[0,30,7]]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "observability endpoint on http://127.0.0.1:") {
+		t.Fatalf("missing endpoint announcement: %q", out)
+	}
+	// The schedule body must be unchanged by observation: strip the
+	// announcement line and compare the rest.
+	stripped := out[strings.Index(out, "\n")+1:]
+	if stripped != plain {
+		t.Fatalf("observed output diverged:\n%q\nvs\n%q", stripped, plain)
+	}
+	raw, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("trace file is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("trace file has no events")
+	}
+}

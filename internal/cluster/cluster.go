@@ -14,9 +14,11 @@ package cluster
 import (
 	"fmt"
 	"net"
+	"strconv"
 	"sync"
 	"time"
 
+	"redistgo/internal/obs"
 	"redistgo/internal/tokenbucket"
 	"redistgo/internal/wire"
 )
@@ -44,6 +46,14 @@ type Config struct {
 	// configured sleep. Combine with BarrierDelay to add artificial
 	// slack on top.
 	RealBarrier bool
+
+	// Obs attaches the observability layer: per-transfer timeline events,
+	// per-step wall-clock against the predicted β + W(Mi) at the configured
+	// rates (with the live actual/predicted ratio), and per-bucket shaped-
+	// sleep counters. nil disables all instrumentation. This package is a
+	// measurement harness — it reads the wall clock itself and reports
+	// measured intervals to the observer.
+	Obs *obs.Observer
 }
 
 // Transfer is one point-to-point message: Bytes bytes from sender Src to
@@ -62,6 +72,7 @@ type Cluster struct {
 	sendLim   []*tokenbucket.Limiter
 	recvLim   []*tokenbucket.Limiter
 	backbone  *tokenbucket.Limiter
+	obs       *obs.ClusterObs // nil when unobserved; all methods nil-safe
 
 	coord          *barrierCoordinator
 	barrierClients []*barrierClient
@@ -90,7 +101,7 @@ func New(cfg Config) (*Cluster, error) {
 		return nil, fmt.Errorf("cluster: negative barrier delay %v", cfg.BarrierDelay)
 	}
 
-	c := &Cluster{cfg: cfg}
+	c := &Cluster{cfg: cfg, obs: cfg.Obs.Cluster()}
 	mkLimiter := func(rate float64) (*tokenbucket.Limiter, error) {
 		if rate <= 0 {
 			return nil, nil // nil limiter = unlimited
@@ -98,21 +109,25 @@ func New(cfg Config) (*Cluster, error) {
 		return tokenbucket.New(rate, cfg.Burst)
 	}
 	var err error
+	reg := cfg.Obs.Reg() // nil registry → nil counters → no-op attachment
 	c.sendLim = make([]*tokenbucket.Limiter, cfg.N1)
 	for i := range c.sendLim {
 		if c.sendLim[i], err = mkLimiter(cfg.SendRate); err != nil {
 			return nil, err
 		}
+		c.sendLim[i].SetSleepCounter(reg.Counter("cluster.shaped_sleep_us.send." + strconv.Itoa(i)))
 	}
 	c.recvLim = make([]*tokenbucket.Limiter, cfg.N2)
 	for i := range c.recvLim {
 		if c.recvLim[i], err = mkLimiter(cfg.RecvRate); err != nil {
 			return nil, err
 		}
+		c.recvLim[i].SetSleepCounter(reg.Counter("cluster.shaped_sleep_us.recv." + strconv.Itoa(i)))
 	}
 	if c.backbone, err = mkLimiter(cfg.BackboneRate); err != nil {
 		return nil, err
 	}
+	c.backbone.SetSleepCounter(reg.Counter("cluster.shaped_sleep_us.backbone"))
 
 	// Receivers.
 	for r := 0; r < cfg.N2; r++ {
@@ -224,6 +239,10 @@ func (c *Cluster) transfer(t Transfer) error {
 	if t.Bytes == 0 {
 		return nil
 	}
+	if c.obs != nil {
+		start := time.Now()
+		defer func() { c.obs.Transfer(t.Src, t.Dst, t.Bytes, start, time.Since(start)) }()
+	}
 	mu := c.connMu[t.Src][t.Dst]
 	mu.Lock()
 	defer mu.Unlock()
@@ -332,7 +351,8 @@ func (c *Cluster) RunBruteForce(transfers []Transfer) (time.Duration, error) {
 // RunSchedule executes the steps in order; within a step the transfers
 // run in parallel, and each step ends with a barrier costing
 // Config.BarrierDelay. It returns the total duration and the per-step
-// durations (barrier included).
+// durations (barrier included). With an observer attached, each step is
+// also reported against its model prediction (see predictStep).
 func (c *Cluster) RunSchedule(steps [][]Transfer) (time.Duration, []time.Duration, error) {
 	start := time.Now()
 	perStep := make([]time.Duration, 0, len(steps))
@@ -347,9 +367,40 @@ func (c *Cluster) RunSchedule(steps [][]Transfer) (time.Duration, []time.Duratio
 		if c.cfg.BarrierDelay > 0 {
 			time.Sleep(c.cfg.BarrierDelay)
 		}
-		perStep = append(perStep, time.Since(stepStart))
+		wall := time.Since(stepStart)
+		perStep = append(perStep, wall)
+		c.obs.Step(i, stepStart, wall, c.predictStep(step), len(step))
 	}
 	return time.Since(start), perStep, nil
+}
+
+// predictStep is the cost model's estimate for one schedule step: the
+// barrier cost β plus the time the slowest transfer needs at the
+// effective per-transfer rate — the paper's β + W(Mi) with W expressed in
+// wall-clock at the configured shaping. The effective rate is the
+// tightest of the sender NIC, the receiver NIC, and an equal share of the
+// backbone; an unshaped cluster (no positive rates) predicts only β.
+func (c *Cluster) predictStep(step []Transfer) time.Duration {
+	predicted := c.cfg.BarrierDelay
+	if len(step) == 0 {
+		return predicted
+	}
+	rate := 0.0
+	for _, r := range []float64{c.cfg.SendRate, c.cfg.RecvRate, c.cfg.BackboneRate / float64(len(step))} {
+		if r > 0 && (rate == 0 || r < rate) {
+			rate = r
+		}
+	}
+	if rate <= 0 {
+		return predicted
+	}
+	var maxBytes int64
+	for _, t := range step {
+		if t.Bytes > maxBytes {
+			maxBytes = t.Bytes
+		}
+	}
+	return predicted + time.Duration(float64(maxBytes)/rate*float64(time.Second))
 }
 
 // Barrier synchronizes all sender nodes through the TCP coordinator when

@@ -1,0 +1,111 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"redistgo/internal/obs"
+)
+
+// TestRunScheduleObserved runs a small shaped schedule and checks the
+// cluster view recorded it: step and transfer counts, byte totals, the
+// predicted-vs-actual accounting, shaped-sleep counters, and timeline
+// events in the trace.
+func TestRunScheduleObserved(t *testing.T) {
+	o := obs.New()
+	c, err := New(Config{
+		N1: 2, N2: 2,
+		SendRate:     2 << 20, // 2 MiB/s so shaping actually sleeps
+		ChunkSize:    8 << 10,
+		BarrierDelay: time.Millisecond,
+		Obs:          o,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	steps := [][]Transfer{
+		{{Src: 0, Dst: 0, Bytes: 64 << 10}, {Src: 1, Dst: 1, Bytes: 32 << 10}},
+		{{Src: 0, Dst: 1, Bytes: 16 << 10}},
+	}
+	if _, _, err := c.RunSchedule(steps); err != nil {
+		t.Fatal(err)
+	}
+
+	snap := o.Metrics.Snapshot()
+	if got := snap.Counters["cluster.steps_total"]; got != 2 {
+		t.Errorf("steps_total = %d, want 2", got)
+	}
+	if got := snap.Counters["cluster.transfers_total"]; got != 3 {
+		t.Errorf("transfers_total = %d, want 3", got)
+	}
+	wantBytes := int64(64<<10 + 32<<10 + 16<<10)
+	if got := snap.Counters["cluster.bytes_total"]; got != wantBytes {
+		t.Errorf("bytes_total = %d, want %d", got, wantBytes)
+	}
+	if got := snap.Counters["cluster.step_actual_us_total"]; got <= 0 {
+		t.Errorf("step_actual_us_total = %d, want > 0", got)
+	}
+	// Shaped at 2 MiB/s the prediction is dominated by the transfer time,
+	// so it must be positive and the live ratio gauge populated.
+	if got := snap.Counters["cluster.step_predicted_us_total"]; got <= 0 {
+		t.Errorf("step_predicted_us_total = %d, want > 0", got)
+	}
+	if got := snap.Gauges["cluster.step_ratio_pct_last"]; got <= 0 {
+		t.Errorf("step_ratio_pct_last = %d, want > 0", got)
+	}
+	// 64 KiB at 2 MiB/s with 16 KiB of burst must have slept.
+	if got := snap.Counters["cluster.shaped_sleep_us.send.0"]; got <= 0 {
+		t.Errorf("shaped_sleep_us.send.0 = %d, want > 0", got)
+	}
+	if c.sendLim[0].SleptTotal() <= 0 {
+		t.Error("sender 0 SleptTotal = 0, want > 0")
+	}
+	// 2 step events + 3 transfer events at minimum.
+	if o.Trace.Len() < 5 {
+		t.Errorf("trace has %d events, want >= 5", o.Trace.Len())
+	}
+}
+
+// TestPredictStep pins the cost model: β plus slowest transfer at the
+// tightest positive rate, backbone shared across the step's transfers.
+func TestPredictStep(t *testing.T) {
+	c := &Cluster{cfg: Config{
+		BarrierDelay: 10 * time.Millisecond,
+		SendRate:     1 << 20,
+		BackboneRate: 1 << 20,
+	}}
+	// Two transfers: backbone share is 512 KiB/s < send rate, so the
+	// 256 KiB transfer is predicted at 0.5 s plus the 10 ms barrier.
+	step := []Transfer{{Bytes: 256 << 10}, {Bytes: 1}}
+	got := c.predictStep(step)
+	want := 10*time.Millisecond + 500*time.Millisecond
+	if got < want-time.Millisecond || got > want+time.Millisecond {
+		t.Errorf("predictStep = %v, want ~%v", got, want)
+	}
+	// Unshaped: only the barrier.
+	c.cfg.SendRate, c.cfg.BackboneRate = 0, 0
+	if got := c.predictStep(step); got != 10*time.Millisecond {
+		t.Errorf("unshaped predictStep = %v, want barrier only", got)
+	}
+	// Empty step: barrier only, no division by zero.
+	if got := c.predictStep(nil); got != 10*time.Millisecond {
+		t.Errorf("empty predictStep = %v, want barrier only", got)
+	}
+}
+
+// TestRunScheduleUnobserved pins the nil-observer path end to end.
+func TestRunScheduleUnobserved(t *testing.T) {
+	c, err := New(Config{N1: 1, N2: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, _, err := c.RunSchedule([][]Transfer{{{Src: 0, Dst: 0, Bytes: 4 << 10}}}); err != nil {
+		t.Fatal(err)
+	}
+	if c.sendLim[0].SleptTotal() != 0 {
+		t.Error("unshaped limiter reported sleep")
+	}
+}

@@ -30,6 +30,7 @@ import (
 
 	"redistgo/internal/bipartite"
 	"redistgo/internal/kpbs"
+	"redistgo/internal/obs"
 )
 
 // Instance is one K-PBS problem: schedule the communications of G under
@@ -56,6 +57,15 @@ type Options struct {
 	Workers int
 	// Ctx cancels the remainder of the batch; nil means Background.
 	Ctx context.Context
+	// Obs attaches the observability layer: batch/instance counters, queue
+	// depth and worker-utilization gauges, per-instance latency, and trace
+	// spans per instance solve. It is also handed down to each instance's
+	// solver options unless the instance carries its own observer. nil (the
+	// default) disables all instrumentation. Observation is strictly
+	// passive: results stay byte-identical to SolveSerial (this package
+	// never reads the clock itself — timing lives inside the obs views — so
+	// the determinism lint keeps holding).
+	Obs *obs.Observer
 }
 
 // SolveBatch solves every instance and returns one Result per instance,
@@ -78,6 +88,10 @@ func SolveBatch(instances []Instance, opts Options) []Result {
 		workers = len(instances)
 	}
 
+	// All observation goes through the nil-safe views: with opts.Obs nil,
+	// bo is nil and every call below is a no-op.
+	bo := opts.Obs.Engine().Batch(len(instances), workers)
+
 	// Work-stealing over an atomic cursor: cheap, order-preserving in the
 	// results slice, and naturally balanced when instance sizes vary.
 	var next atomic.Int64
@@ -93,24 +107,33 @@ func SolveBatch(instances []Instance, opts Options) []Result {
 				}
 				if err := ctx.Err(); err != nil {
 					results[i] = Result{Err: err}
+					bo.Skip()
 					continue
 				}
-				results[i] = solveOne(instances[i])
+				sp := bo.Instance(w, i)
+				results[i] = solveOne(instances[i], opts.Obs)
+				sp.Done(results[i].Err)
 			}
 		}()
 	}
 	wg.Wait()
+	bo.Done()
 	return results
 }
 
 // solveOne solves a single instance, converting solver panics into
 // errors so a malformed matrix can never take down the whole batch.
-func solveOne(inst Instance) (res Result) {
+// defObs is the batch-level observer, handed to the solver unless the
+// instance brings its own.
+func solveOne(inst Instance, defObs *obs.Observer) (res Result) {
 	defer func() {
 		if r := recover(); r != nil {
 			res = Result{Err: fmt.Errorf("engine: solver panicked: %v", r)}
 		}
 	}()
+	if inst.Opts.Obs == nil {
+		inst.Opts.Obs = defObs
+	}
 	s, err := kpbs.Solve(inst.G, inst.K, inst.Beta, inst.Opts)
 	if err != nil {
 		return Result{Err: err}
@@ -124,7 +147,7 @@ func solveOne(inst Instance) (res Result) {
 func SolveSerial(instances []Instance) []Result {
 	results := make([]Result, len(instances))
 	for i, inst := range instances {
-		results[i] = solveOne(inst)
+		results[i] = solveOne(inst, nil)
 	}
 	return results
 }

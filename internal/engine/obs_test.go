@@ -1,0 +1,123 @@
+package engine
+
+import (
+	"context"
+	"testing"
+
+	"redistgo/internal/bipartite"
+	"redistgo/internal/kpbs"
+	"redistgo/internal/obs"
+)
+
+// TestSolveBatchObserved checks the engine view records a full batch:
+// instance and error counts, settled gauges, per-instance trace spans, and
+// solver metrics accumulated through the handed-down observer.
+func TestSolveBatchObserved(t *testing.T) {
+	insts := randomBatch(24, 11)
+	// One guaranteed-bad instance for the error counter.
+	bad := bipartite.New(1, 1)
+	bad.AddEdge(0, 0, 1)
+	insts = append(insts, Instance{G: bad, K: 0, Beta: 0})
+
+	o := obs.New()
+	want := SolveSerial(insts)
+	got := SolveBatch(insts, Options{Workers: 4, Obs: o})
+	for i := range got {
+		if (got[i].Err == nil) != (want[i].Err == nil) {
+			t.Fatalf("instance %d: err %v, serial err %v", i, got[i].Err, want[i].Err)
+		}
+		if got[i].Err == nil && got[i].Schedule.String() != want[i].Schedule.String() {
+			t.Fatalf("instance %d: observed batch diverged from serial", i)
+		}
+	}
+
+	snap := o.Metrics.Snapshot()
+	if got := snap.Counters["engine.batches_total"]; got != 1 {
+		t.Errorf("batches_total = %d, want 1", got)
+	}
+	if got := snap.Counters["engine.instances_total"]; got != int64(len(insts)) {
+		t.Errorf("instances_total = %d, want %d", got, len(insts))
+	}
+	if got := snap.Counters["engine.errors_total"]; got != 1 {
+		t.Errorf("errors_total = %d, want 1", got)
+	}
+	if got := snap.Gauges["engine.queue_depth"]; got != 0 {
+		t.Errorf("queue_depth after batch = %d, want 0", got)
+	}
+	if got := snap.Gauges["engine.workers_active"]; got != 0 {
+		t.Errorf("workers_active after batch = %d, want 0", got)
+	}
+	if u := snap.Gauges["engine.worker_utilization_pct"]; u < 0 || u > 100 {
+		t.Errorf("worker_utilization_pct = %d, want within [0,100]", u)
+	}
+	// The batch observer is handed down to each solver, so per-algorithm
+	// solver metrics accumulate too (randomBatch cycles all algorithms).
+	if got := snap.Counters["solver.solves_total.OGGP"]; got <= 0 {
+		t.Errorf("solver.solves_total.OGGP = %d, want > 0 via handed-down observer", got)
+	}
+	// One batch span + one span per solved instance at minimum.
+	if o.Trace.Len() < len(insts) {
+		t.Errorf("trace has %d events, want >= %d", o.Trace.Len(), len(insts))
+	}
+}
+
+// TestSolveBatchObservedInstanceOverride: an instance carrying its own
+// observer keeps it; the batch observer takes the rest.
+func TestSolveBatchObservedInstanceOverride(t *testing.T) {
+	own := obs.New()
+	batch := obs.New()
+	insts := randomBatch(4, 13)
+	insts[2].Opts.Obs = own
+
+	SolveBatch(insts, Options{Workers: 2, Obs: batch})
+	// Sum per-algorithm solve counters over the fixed algorithm cycle
+	// (randomBatch order), keeping the test free of map iteration.
+	sumSolves := func(o *obs.Observer) int64 {
+		snap := o.Metrics.Snapshot()
+		var total int64
+		for _, alg := range []string{"GGP", "OGGP", "MinSteps", "Greedy"} {
+			total += snap.Counters["solver.solves_total."+alg]
+		}
+		return total
+	}
+	ownSolves, batchSolves := sumSolves(own), sumSolves(batch)
+	if ownSolves != 1 {
+		t.Errorf("instance observer saw %d solves, want 1", ownSolves)
+	}
+	if batchSolves != 3 {
+		t.Errorf("batch observer saw %d solves, want 3", batchSolves)
+	}
+}
+
+// TestSolveBatchObservedCancelled: instances skipped by a cancelled
+// context still settle the gauges and count as errors.
+func TestSolveBatchObservedCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	o := obs.New()
+	insts := randomBatch(8, 17)
+	results := SolveBatch(insts, Options{Workers: 2, Ctx: ctx, Obs: o})
+	for i, r := range results {
+		if r.Err == nil {
+			t.Fatalf("instance %d: expected context error", i)
+		}
+	}
+	snap := o.Metrics.Snapshot()
+	if got := snap.Counters["engine.errors_total"]; got != int64(len(insts)) {
+		t.Errorf("errors_total = %d, want %d", got, len(insts))
+	}
+	if got := snap.Gauges["engine.queue_depth"]; got != 0 {
+		t.Errorf("queue_depth = %d, want 0", got)
+	}
+}
+
+// TestSolveBatchNilObs pins the disabled path: no observer, no panic, and
+// the kpbs options stay untouched for the solver.
+func TestSolveBatchNilObs(t *testing.T) {
+	insts := []Instance{{G: bipartite.New(1, 1), K: 1, Beta: 0, Opts: kpbs.Options{Algorithm: kpbs.OGGP}}}
+	insts[0].G.AddEdge(0, 0, 5)
+	res := SolveBatch(insts, Options{})
+	if res[0].Err != nil {
+		t.Fatal(res[0].Err)
+	}
+}

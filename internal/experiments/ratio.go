@@ -12,6 +12,7 @@ import (
 	"redistgo/internal/bipartite"
 	"redistgo/internal/engine"
 	"redistgo/internal/kpbs"
+	"redistgo/internal/obs"
 	"redistgo/internal/stats"
 	"redistgo/internal/trafficgen"
 )
@@ -28,6 +29,10 @@ type RatioConfig struct {
 	Ks       []int // k values to sweep
 	Seed     int64
 	Workers  int // concurrent solver goroutines (≤ 0: GOMAXPROCS); results are identical for any value
+	// Obs observes the sweep through the batch engine (queue depth,
+	// per-instance latency, per-algorithm solver metrics). nil disables;
+	// the figures are identical either way.
+	Obs *obs.Observer
 }
 
 // Validate reports configuration errors.
@@ -87,14 +92,14 @@ const ratioChunk = 512
 // accumulateRatios schedules every graph with GGP and OGGP on the batch
 // engine and folds cost/LB into the two summaries in input order.
 // ks[i] and betas[i] are the parameters of gs[i].
-func accumulateRatios(gs []*bipartite.Graph, ks []int, betas []int64, workers int, ggp, oggp *stats.Summary) error {
+func accumulateRatios(gs []*bipartite.Graph, ks []int, betas []int64, workers int, o *obs.Observer, ggp, oggp *stats.Summary) error {
 	insts := make([]engine.Instance, 0, 2*len(gs))
 	for i, g := range gs {
 		insts = append(insts,
 			engine.Instance{G: g, K: ks[i], Beta: betas[i], Opts: kpbs.Options{Algorithm: kpbs.GGP}},
 			engine.Instance{G: g, K: ks[i], Beta: betas[i], Opts: kpbs.Options{Algorithm: kpbs.OGGP}})
 	}
-	res := engine.SolveBatch(insts, engine.Options{Workers: workers})
+	res := engine.SolveBatch(insts, engine.Options{Workers: workers, Obs: o})
 	for i := range gs {
 		lb := kpbs.LowerBound(gs[i], ks[i], betas[i])
 		if lb <= 0 {
@@ -141,7 +146,7 @@ func RatioVsK(cfg RatioConfig) ([]RatioPoint, error) {
 				ks[i] = k
 				betas[i] = cfg.Beta
 			}
-			if err := accumulateRatios(gs, ks, betas, cfg.Workers, &ggp, &oggp); err != nil {
+			if err := accumulateRatios(gs, ks, betas, cfg.Workers, cfg.Obs, &ggp, &oggp); err != nil {
 				return nil, err
 			}
 			done += n
@@ -168,6 +173,9 @@ type BetaConfig struct {
 	Betas       []int64
 	Seed        int64
 	Workers     int // concurrent solver goroutines (≤ 0: GOMAXPROCS); results are identical for any value
+	// Obs observes the sweep through the batch engine; nil disables. The
+	// figures are identical either way.
+	Obs *obs.Observer
 }
 
 // Figure9Config returns the paper's Figure 9 setup: weights 1..20, β
@@ -227,7 +235,7 @@ func RatioVsBeta(cfg BetaConfig) ([]RatioPoint, error) {
 				ks[i] = 1 + rng.Intn(cfg.MaxNodes)
 				betas[i] = beta
 			}
-			if err := accumulateRatios(gs, ks, betas, cfg.Workers, &ggp, &oggp); err != nil {
+			if err := accumulateRatios(gs, ks, betas, cfg.Workers, cfg.Obs, &ggp, &oggp); err != nil {
 				return nil, err
 			}
 			done += n

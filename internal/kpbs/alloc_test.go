@@ -140,7 +140,7 @@ func benchmarkPeelSolve(b *testing.B, kind matcherKind, reference bool) {
 		if reference {
 			s, err = solvePeelingReference(g, k, beta, kind, false)
 		} else {
-			s, err = solvePeeling(g, k, beta, kind, false)
+			s, err = solvePeeling(g, k, beta, kind, false, nil)
 		}
 		if err != nil {
 			b.Fatal(err)

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"redistgo/internal/bipartite"
+	"redistgo/internal/obs"
 	"redistgo/internal/safemath"
 )
 
@@ -50,6 +51,16 @@ func FuzzSolve(f *testing.F) {
 		}
 		if err := s.Validate(g, k); err != nil {
 			t.Fatalf("infeasible schedule: %v", err)
+		}
+		// Observability differential: an attached Observer must be strictly
+		// passive — the schedule it watches is byte-identical to the
+		// unobserved one on every fuzzed instance.
+		observed, err := Solve(g, k, beta, Options{Algorithm: alg, Obs: obs.New()})
+		if err != nil {
+			t.Fatalf("%v observed solve failed: %v", alg, err)
+		}
+		if s.String() != observed.String() {
+			t.Fatalf("%v: observer perturbed the schedule:\n--- plain ---\n%s--- observed ---\n%s", alg, s, observed)
 		}
 		// LB is a true lower bound for every algorithm; a schedule cheaper
 		// than it means broken cost accounting (e.g. wrapped arithmetic).

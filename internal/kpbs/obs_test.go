@@ -1,0 +1,97 @@
+package kpbs
+
+import (
+	"math/rand"
+	"testing"
+
+	"redistgo/internal/bipartite"
+	"redistgo/internal/obs"
+)
+
+// sparseGraph builds an nl×nr instance with m random edges (duplicates
+// accumulate weight).
+func sparseGraph(rng *rand.Rand, nl, nr, m int, maxW int64) *bipartite.Graph {
+	g := bipartite.New(nl, nr)
+	for i := 0; i < m; i++ {
+		g.AddEdge(rng.Intn(nl), rng.Intn(nr), 1+rng.Int63n(maxW))
+	}
+	return g
+}
+
+// TestSolveObsDeterminism is the determinism guard of the observability
+// layer: attaching an Observer must never perturb the solve. Every
+// algorithm, on dense and sparse instances, must produce a byte-identical
+// schedule with tracing on and off.
+func TestSolveObsDeterminism(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	cases := []struct {
+		name string
+		g    *bipartite.Graph
+		k    int
+		beta int64
+	}{
+		{"dense", denseGraph(rng, 14, 30), 7, 2},
+		{"sparse", sparseGraph(rng, 20, 9, 25, 1000), 3, 5},
+	}
+	for _, tc := range cases {
+		for _, alg := range []Algorithm{GGP, OGGP, MinSteps, Greedy} {
+			plain, err := Solve(tc.g, tc.k, tc.beta, Options{Algorithm: alg})
+			if err != nil {
+				t.Fatalf("%s/%v plain: %v", tc.name, alg, err)
+			}
+			traced, err := Solve(tc.g, tc.k, tc.beta, Options{Algorithm: alg, Obs: obs.New()})
+			if err != nil {
+				t.Fatalf("%s/%v traced: %v", tc.name, alg, err)
+			}
+			if plain.String() != traced.String() {
+				t.Errorf("%s/%v: tracing perturbed the schedule:\n--- plain ---\n%s--- traced ---\n%s",
+					tc.name, alg, plain, traced)
+			}
+		}
+	}
+}
+
+// TestSolveObsMetrics checks the recorded metrics describe the solve: one
+// solve, at least one peel per emitted step, reused pairs bounded by
+// matched pairs, and a per-peel trace event stream.
+func TestSolveObsMetrics(t *testing.T) {
+	rng := rand.New(rand.NewSource(78))
+	g := denseGraph(rng, 12, 20)
+	o := obs.New()
+	s, err := Solve(g, 6, 1, Options{Algorithm: OGGP, Obs: o})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := o.Metrics.Snapshot()
+	if got := snap.Counters["solver.solves_total.OGGP"]; got != 1 {
+		t.Errorf("solves_total = %d, want 1", got)
+	}
+	peels := snap.Counters["solver.peels_total.OGGP"]
+	if peels < int64(len(s.Steps)) {
+		t.Errorf("peels_total = %d, want >= %d steps", peels, len(s.Steps))
+	}
+	if got := snap.Counters["solver.steps_total.OGGP"]; got != int64(len(s.Steps)) {
+		t.Errorf("steps_total = %d, want %d", got, len(s.Steps))
+	}
+	matched := snap.Counters["solver.matched_pairs_total.OGGP"]
+	reused := snap.Counters["solver.warm_reused_pairs_total.OGGP"]
+	if matched <= 0 || reused < 0 || reused > matched {
+		t.Errorf("matched=%d reused=%d: want 0 <= reused <= matched, matched > 0", matched, reused)
+	}
+	// Dense warm-started peeling must actually reuse pairs — a zero here
+	// means the warm-start accounting (or the warm start itself) broke.
+	if reused == 0 {
+		t.Error("warm_reused_pairs_total = 0 on a dense instance")
+	}
+	if o.Trace.Len() < int(peels) {
+		t.Errorf("trace has %d events, want >= %d peel events", o.Trace.Len(), peels)
+	}
+
+	// A second solve through the same observer accumulates.
+	if _, err := Solve(g, 6, 1, Options{Algorithm: OGGP, Obs: o}); err != nil {
+		t.Fatal(err)
+	}
+	if got := o.Metrics.Snapshot().Counters["solver.solves_total.OGGP"]; got != 2 {
+		t.Errorf("solves_total after second solve = %d, want 2", got)
+	}
+}

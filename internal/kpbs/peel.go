@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"redistgo/internal/bipartite"
+	"redistgo/internal/obs"
 )
 
 // normComm is one real communication inside a normalized step: allocate
@@ -36,9 +37,13 @@ const (
 // weight-regular instance through the incremental engine (see residual.go):
 // the perfect matching is repaired across iterations instead of recomputed,
 // and the residual graph is mutated in place instead of rematerialized. The
-// cold-start loop this replaced is retained as peelReference.
-func (in *instance) peel(kind matcherKind) ([]normStep, error) {
-	return newPeeler(in, kind).run()
+// cold-start loop this replaced is retained as peelReference. so — nil to
+// disable — receives one event per peeling iteration; it observes the loop
+// and never steers it.
+func (in *instance) peel(kind matcherKind, so *obs.SolverObs) ([]normStep, error) {
+	p := newPeeler(in, kind)
+	p.so = so
+	return p.run()
 }
 
 // wrgpGraph runs plain WRGP on an already weight-regular balanced graph
@@ -71,6 +76,6 @@ func wrgpGraph(g *bipartite.Graph, kind matcherKind) ([]normStep, *instance, err
 	for i, e := range g.Edges() {
 		in.edges = append(in.edges, workEdge{l: e.L, r: e.R, w: e.Weight, orig: i})
 	}
-	steps, err := in.peel(kind)
+	steps, err := in.peel(kind, nil)
 	return steps, in, err
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"redistgo/internal/matching"
+	"redistgo/internal/obs"
 )
 
 // peeler is the incremental peeling engine behind GGP, OGGP and MinSteps.
@@ -39,6 +40,14 @@ type peeler struct {
 	in   *instance
 	kind matcherKind
 
+	// so observes the loop (per-peel events and counters); nil disables.
+	// The hot path only ever nil-checks it — resolution of metric handles
+	// happened when the view was built, outside this engine, so the
+	// //redistlint:hotpath contract (no map lookups, no allocation when
+	// disabled) is untouched.
+	so     *obs.SolverObs
+	active int // live (non-deactivated) residual edges, virtual included
+
 	el, er []int   // static endpoints of in.edges
 	w0     []int64 // pristine normalized weights, for reset
 	w      []int64 // live residual weights
@@ -61,12 +70,13 @@ type peeler struct {
 func newPeeler(in *instance, kind matcherKind) *peeler {
 	m := len(in.edges)
 	p := &peeler{
-		in:   in,
-		kind: kind,
-		el:   make([]int, m),
-		er:   make([]int, m),
-		w0:   make([]int64, m),
-		w:    make([]int64, m),
+		in:     in,
+		kind:   kind,
+		active: m,
+		el:     make([]int, m),
+		er:     make([]int, m),
+		w0:     make([]int64, m),
+		w:      make([]int64, m),
 	}
 	for i, e := range in.edges {
 		p.el[i] = e.l
@@ -86,6 +96,7 @@ func newPeeler(in *instance, kind matcherKind) *peeler {
 // instance can be peeled again, reusing every buffer.
 func (p *peeler) reset() {
 	copy(p.w, p.w0)
+	p.active = len(p.w)
 	p.steps = p.steps[:0]
 	p.comms = p.comms[:0]
 	p.offs = p.offs[:0]
@@ -106,11 +117,22 @@ func (p *peeler) matchedEdge(l int) int {
 
 // deactivate drops a zero-weight edge from the residual graph.
 func (p *peeler) deactivate(e int) {
+	p.active--
 	if p.bot != nil {
 		p.bot.Deactivate(e)
 	} else {
 		p.inc.Deactivate(e)
 	}
+}
+
+// matchedPairs returns the current matching size. Read before a rematch it
+// is the number of pairs surviving from the previous peel — the
+// warm-start reuse the observability layer reports.
+func (p *peeler) matchedPairs() int {
+	if p.bot != nil {
+		return p.bot.Size()
+	}
+	return p.inc.Size()
 }
 
 // rematch establishes a perfect matching of the residual graph, warm-
@@ -140,6 +162,13 @@ func (p *peeler) run() ([]normStep, error) {
 		if iter > maxIter {
 			return nil, fmt.Errorf("kpbs: peeling did not terminate after %d iterations", maxIter)
 		}
+		// Warm-start reuse: matched pairs surviving from the previous peel,
+		// read before rematch repairs the matching. Only computed when
+		// observed — the guard keeps the disabled path branch-cheap.
+		reused := 0
+		if p.so != nil {
+			reused = p.matchedPairs()
+		}
 		if !p.rematch() {
 			return nil, fmt.Errorf("kpbs: no perfect matching in weight-regular graph (R=%d, remaining=%d); augmentation is broken", p.in.regular, remaining)
 		}
@@ -165,6 +194,13 @@ func (p *peeler) run() ([]normStep, error) {
 			if p.w[e] == 0 {
 				p.deactivate(e)
 			}
+		}
+		if p.so != nil {
+			// Purely observational: records the peel index, perfect-matching
+			// size, warm-start survivors, bottleneck weight and how many
+			// residual edges stay active. Peel is fixed-arity, so the call
+			// itself allocates nothing; event recording inside obs may.
+			p.so.Peel(iter, nL, reused, w, p.active)
 		}
 		// Steps whose matching contains only virtual edges transfer
 		// nothing and are dropped from the output (the paper's "extract R

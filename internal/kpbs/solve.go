@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"redistgo/internal/bipartite"
+	"redistgo/internal/obs"
 	"redistgo/internal/safemath"
 )
 
@@ -53,6 +54,14 @@ type Options struct {
 	// solving, saving β plus the shorter duration per merge (see
 	// Schedule.Pack). Off by default for the same reason.
 	Pack bool
+	// Obs attaches the observability layer: per-solve metrics and per-peel
+	// trace events (step index, matching size, bottleneck weight, residual
+	// edges, warm-start reuse) are recorded through it. nil — the default —
+	// disables all instrumentation; the peeling hot path then takes only
+	// nil-checks and stays allocation-free at steady state. Observation is
+	// strictly passive: the schedule is byte-identical with Obs set or nil
+	// (TestSolveObsDeterminism and FuzzSolve assert this).
+	Obs *obs.Observer
 }
 
 // Solve computes a feasible K-PBS schedule for the instance (g, k, beta)
@@ -60,19 +69,25 @@ type Options struct {
 // the weights of g (amounts are in the same units as the edge weights)
 // and satisfies the 1-port and k constraints.
 func Solve(g *bipartite.Graph, k int, beta int64, opts Options) (*Schedule, error) {
+	switch opts.Algorithm {
+	case GGP, OGGP, MinSteps, Greedy:
+	default:
+		return nil, fmt.Errorf("kpbs: unknown algorithm %v", opts.Algorithm)
+	}
+	// A nil opts.Obs yields a nil view whose methods all no-op; the solve
+	// itself never branches on whether it is being observed.
+	so := opts.Obs.Solver(opts.Algorithm.String())
 	var s *Schedule
 	var err error
 	switch opts.Algorithm {
 	case GGP:
-		s, err = solvePeeling(g, k, beta, matchAny, false)
+		s, err = solvePeeling(g, k, beta, matchAny, false, so)
 	case OGGP:
-		s, err = solvePeeling(g, k, beta, matchBottleneck, false)
+		s, err = solvePeeling(g, k, beta, matchBottleneck, false, so)
 	case MinSteps:
-		s, err = solvePeeling(g, k, beta, matchBottleneck, true)
+		s, err = solvePeeling(g, k, beta, matchBottleneck, true, so)
 	case Greedy:
 		s, err = solveGreedy(g, k, beta)
-	default:
-		return nil, fmt.Errorf("kpbs: unknown algorithm %v", opts.Algorithm)
 	}
 	if err != nil {
 		return nil, err
@@ -83,13 +98,14 @@ func Solve(g *bipartite.Graph, k int, beta int64, opts Options) (*Schedule, erro
 	if opts.Pack {
 		s.Pack(k)
 	}
+	so.Done(len(s.Steps), s.Cost())
 	return s, nil
 }
 
 // solvePeeling is the common GGP/OGGP/MinSteps pipeline: normalize,
 // augment to weight-regular, peel, then convert the normalized steps back
 // to a schedule in original units.
-func solvePeeling(g *bipartite.Graph, k int, beta int64, kind matcherKind, unitWeights bool) (*Schedule, error) {
+func solvePeeling(g *bipartite.Graph, k int, beta int64, kind matcherKind, unitWeights bool, so *obs.SolverObs) (*Schedule, error) {
 	in, err := buildInstance(g, k, beta, unitWeights)
 	if err != nil {
 		return nil, err
@@ -97,7 +113,7 @@ func solvePeeling(g *bipartite.Graph, k int, beta int64, kind matcherKind, unitW
 	if in == nil {
 		return &Schedule{Beta: beta}, nil
 	}
-	steps, err := in.peel(kind)
+	steps, err := in.peel(kind, so)
 	if err != nil {
 		return nil, err
 	}

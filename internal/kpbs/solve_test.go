@@ -195,7 +195,7 @@ func TestAugmentationPropositionOne(t *testing.T) {
 		if err != nil || in == nil {
 			return false
 		}
-		steps, err := in.peel(matchAny)
+		steps, err := in.peel(matchAny, nil)
 		if err != nil {
 			t.Logf("seed %d: %v", seed, err)
 			return false

@@ -1,0 +1,116 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Server is a running introspection endpoint. Close releases the
+// listener; in-flight requests are abandoned (the endpoint is a debug
+// surface, not a service).
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Addr returns the bound address, e.g. "127.0.0.1:6060".
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close shuts the endpoint down. Safe to call twice.
+func (s *Server) Close() error { return s.srv.Close() }
+
+// published is the registry expvar reads from. expvar.Publish is global
+// and panics on re-registration, so the "redistgo" var is published once
+// and indirects through this pointer; the most recent Serve call wins
+// (one endpoint per process is the intended shape, tests spin up more).
+var (
+	published   atomic.Pointer[Registry]
+	publishOnce sync.Once
+)
+
+// Serve starts the introspection endpoint on addr and returns
+// immediately. A bare ":port" binds 127.0.0.1 — the endpoint exposes
+// pprof and internal counters, so reaching it from another host must be
+// an explicit decision (pass a full host:port to opt in).
+//
+// Routes:
+//
+//	/              plain-text index
+//	/metrics       registry snapshot, sorted "name value" lines
+//	/metrics.json  registry snapshot as JSON
+//	/debug/vars    standard expvar (memstats, cmdline) + "redistgo"
+//	/debug/trace   the trace so far, Chrome trace_event JSON
+//	/debug/pprof/  the standard pprof handlers
+func Serve(addr string, o *Observer) (*Server, error) {
+	if o == nil {
+		return nil, fmt.Errorf("obs: cannot serve a nil observer")
+	}
+	if strings.HasPrefix(addr, ":") {
+		addr = "127.0.0.1" + addr
+	}
+	published.Store(o.Metrics)
+	publishOnce.Do(func() {
+		expvar.Publish("redistgo", expvar.Func(func() any {
+			return published.Load().Snapshot()
+		}))
+	})
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		fmt.Fprint(w, "redistgo observability endpoint\n\n"+
+			"/metrics       counters and gauges, plain text\n"+
+			"/metrics.json  full snapshot with histograms, JSON\n"+
+			"/debug/vars    expvar (includes the redistgo snapshot)\n"+
+			"/debug/trace   Chrome trace_event JSON (load in chrome://tracing)\n"+
+			"/debug/pprof/  pprof profiles\n")
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, o.Metrics.Snapshot().String())
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		writeSnapshotJSON(w, o.Metrics.Snapshot())
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/trace", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Content-Disposition", `attachment; filename="trace.json"`)
+		_ = o.Trace.WriteJSON(w) // client went away; nothing to report to
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	s := &Server{ln: ln, srv: &http.Server{Handler: mux}}
+	go func() {
+		_ = s.srv.Serve(ln) // returns http.ErrServerClosed on Close
+	}()
+	return s, nil
+}
+
+// writeSnapshotJSON encodes the snapshot; an encode failure mid-response
+// has no useful recovery, so it is reported as a trailing HTTP error only
+// when nothing was written yet.
+func writeSnapshotJSON(w http.ResponseWriter, s Snapshot) {
+	if err := json.NewEncoder(w).Encode(s); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}

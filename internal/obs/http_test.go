@@ -1,0 +1,119 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// get fetches a path from the test server and returns the body.
+func get(t *testing.T, srv *Server, path string) string {
+	t.Helper()
+	resp, err := http.Get("http://" + srv.Addr() + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: reading body: %v", path, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d\n%s", path, resp.StatusCode, body)
+	}
+	return string(body)
+}
+
+// TestServeEndpoint spins up the endpoint on an ephemeral localhost port
+// and checks each route serves what the acceptance criteria require:
+// solver counters in the snapshot, the expvar envelope, a loadable trace,
+// and pprof.
+func TestServeEndpoint(t *testing.T) {
+	o := New()
+	so := o.Solver("OGGP")
+	so.Peel(0, 4, 0, 7, 12)
+	so.Done(2, 99)
+	o.Engine().Batch(1, 1).Done()
+	o.Cluster().Step(0, time.Now(), 2*time.Millisecond, time.Millisecond, 1)
+
+	srv, err := Serve(":0", o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if !strings.HasPrefix(srv.Addr(), "127.0.0.1:") {
+		t.Fatalf("bare :port must bind localhost, got %s", srv.Addr())
+	}
+
+	metrics := get(t, srv, "/metrics")
+	for _, want := range []string{
+		"solver.peels_total.OGGP 1",
+		"solver.solves_total.OGGP 1",
+		"engine.batches_total 1",
+		"cluster.steps_total 1",
+		"cluster.step_ratio_pct_last 200",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("/metrics missing %q:\n%s", want, metrics)
+		}
+	}
+
+	var snap Snapshot
+	if err := json.Unmarshal([]byte(get(t, srv, "/metrics.json")), &snap); err != nil {
+		t.Fatalf("/metrics.json: %v", err)
+	}
+	if snap.Counters["solver.peels_total.OGGP"] != 1 {
+		t.Errorf("/metrics.json counters = %v", snap.Counters)
+	}
+
+	var vars map[string]json.RawMessage
+	if err := json.Unmarshal([]byte(get(t, srv, "/debug/vars")), &vars); err != nil {
+		t.Fatalf("/debug/vars: %v", err)
+	}
+	if _, ok := vars["redistgo"]; !ok {
+		t.Error("/debug/vars does not publish the redistgo snapshot")
+	}
+
+	if body := get(t, srv, "/debug/trace"); !json.Valid([]byte(body)) || !strings.Contains(body, "traceEvents") {
+		t.Errorf("/debug/trace is not a trace_event document:\n%.200s", body)
+	}
+	if body := get(t, srv, "/debug/pprof/cmdline"); body == "" {
+		t.Error("/debug/pprof/cmdline empty")
+	}
+	if body := get(t, srv, "/"); !strings.Contains(body, "/metrics") {
+		t.Errorf("index page missing route list:\n%s", body)
+	}
+}
+
+// TestServeTwice re-serves with a fresh observer: the expvar publication
+// must follow the most recent registry instead of panicking on duplicate
+// registration.
+func TestServeTwice(t *testing.T) {
+	first := New()
+	srv1, err := Serve(":0", first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv1.Close()
+
+	second := New()
+	second.Reg().Counter("marker").Add(42)
+	srv2, err := Serve(":0", second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.Close()
+	if body := get(t, srv2, "/debug/vars"); !strings.Contains(body, "marker") {
+		t.Error("expvar snapshot did not switch to the new registry")
+	}
+}
+
+// TestServeNilObserver pins the error path.
+func TestServeNilObserver(t *testing.T) {
+	if _, err := Serve(":0", nil); err == nil {
+		t.Fatal("Serve(nil) must fail")
+	}
+}

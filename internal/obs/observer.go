@@ -1,0 +1,351 @@
+package obs
+
+import (
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Observer bundles the two recording surfaces — a metrics registry and an
+// event trace — and hands out nil-safe per-subsystem views. A nil
+// *Observer (the default everywhere) disables all instrumentation: every
+// view constructor returns nil and every method on a nil view is a no-op.
+//
+// Timing happens inside the views, never at the instrumented call site,
+// so packages under the determinism lint (internal/engine above all) stay
+// free of time.Now while still reporting real latencies.
+type Observer struct {
+	Metrics *Registry
+	Trace   *Trace
+
+	mu      sync.Mutex
+	solvers map[string]*solverMetrics
+	engine  *EngineObs
+	cluster *ClusterObs
+	solveID atomic.Int64
+}
+
+// New returns an Observer with a fresh registry and a bounded trace.
+func New() *Observer {
+	return &Observer{Metrics: NewRegistry(), Trace: NewTrace()}
+}
+
+// Reg returns the metrics registry, nil for a nil observer — safe to
+// chain straight into Counter/Gauge/Histogram lookups at optional call
+// sites.
+func (o *Observer) Reg() *Registry {
+	if o == nil {
+		return nil
+	}
+	return o.Metrics
+}
+
+// ---------------------------------------------------------------------------
+// Solver view: per-solve trace span + per-peel events + per-algorithm
+// metrics. See DESIGN.md "Observability" for the metric catalogue.
+
+// solverMetrics are the per-algorithm solver metrics, resolved once and
+// cached so a batch of 100k solves does one map read per solve, not seven
+// registry lookups.
+type solverMetrics struct {
+	solves    *Counter
+	peels     *Counter
+	steps     *Counter
+	matched   *Counter
+	reused    *Counter
+	matchSize *Histogram
+	solveUS   *Histogram
+}
+
+func (o *Observer) solverMetrics(alg string) *solverMetrics {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if m, ok := o.solvers[alg]; ok {
+		return m
+	}
+	if o.solvers == nil {
+		o.solvers = make(map[string]*solverMetrics)
+	}
+	m := &solverMetrics{
+		solves:    o.Metrics.Counter("solver.solves_total." + alg),
+		peels:     o.Metrics.Counter("solver.peels_total." + alg),
+		steps:     o.Metrics.Counter("solver.steps_total." + alg),
+		matched:   o.Metrics.Counter("solver.matched_pairs_total." + alg),
+		reused:    o.Metrics.Counter("solver.warm_reused_pairs_total." + alg),
+		matchSize: o.Metrics.Histogram("solver.peel_matching_size."+alg, SizeBuckets),
+		solveUS:   o.Metrics.Histogram("solver.solve_us."+alg, DurationBuckets),
+	}
+	o.solvers[alg] = m
+	return m
+}
+
+// SolverObs observes one solve: Solver opens it (and its trace span),
+// Peel records each peeling iteration, Done closes it. All methods are
+// no-ops on a nil receiver, and none of them may influence the solve —
+// the byte-identical-with-tracing guarantee rests on that.
+type SolverObs struct {
+	m    *solverMetrics
+	tr   *Trace
+	span Span
+	tid  int
+}
+
+// Solver opens the observation of one solve with the given algorithm
+// name. Nil receiver → nil view. Each solve gets a fresh trace lane (tid)
+// so concurrent batch solves render as parallel rows.
+func (o *Observer) Solver(alg string) *SolverObs {
+	if o == nil {
+		return nil
+	}
+	id := int(o.solveID.Add(1))
+	s := &SolverObs{m: o.solverMetrics(alg), tr: o.Trace, tid: id}
+	s.span = o.Trace.StartSpan("solver", "solve "+alg, PIDSolver, id)
+	return s
+}
+
+// Peel records one peeling iteration: the step index, the size of the
+// perfect matching, how many matched pairs survived from the previous
+// iteration (the warm-start reuse), the bottleneck (minimum matched)
+// weight peeled, and how many residual edges remain active afterwards.
+// Fixed arity keeps the hot-path call site free of variadic slice
+// allocation; the enabled path may allocate (it records an event), the
+// nil path never does.
+func (s *SolverObs) Peel(step, matched, reused int, minWeight int64, residualEdges int) {
+	if s == nil {
+		return
+	}
+	s.m.peels.Inc()
+	s.m.matched.Add(int64(matched))
+	s.m.reused.Add(int64(reused))
+	s.m.matchSize.Observe(int64(matched))
+	s.tr.Instant("solver", "peel", PIDSolver, s.tid, []Arg{
+		{"step", int64(step)},
+		{"matched", int64(matched)},
+		{"reused", int64(reused)},
+		{"min_weight", minWeight},
+		{"residual_edges", int64(residualEdges)},
+	})
+}
+
+// Done closes the solve observation with its outcome.
+func (s *SolverObs) Done(steps int, cost int64) {
+	if s == nil {
+		return
+	}
+	s.m.solves.Inc()
+	s.m.steps.Add(int64(steps))
+	s.m.solveUS.Observe(s.span.Elapsed().Microseconds())
+	s.span.End([]Arg{{"steps", int64(steps)}, {"cost", cost}})
+}
+
+// ---------------------------------------------------------------------------
+// Engine view: batch-level gauges (queue depth, active workers,
+// utilization) and per-instance latency.
+
+// EngineObs is the batch engine's metrics bundle, cached per observer.
+type EngineObs struct {
+	tr                              *Trace
+	batches, instances, errs        *Counter
+	busyUS                          *Counter
+	queueDepth, active, utilization *Gauge
+	latencyUS                       *Histogram
+}
+
+// Engine returns the engine view, resolving its metrics on first use.
+// Nil receiver → nil view.
+func (o *Observer) Engine() *EngineObs {
+	if o == nil {
+		return nil
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.engine == nil {
+		o.engine = &EngineObs{
+			tr:          o.Trace,
+			batches:     o.Metrics.Counter("engine.batches_total"),
+			instances:   o.Metrics.Counter("engine.instances_total"),
+			errs:        o.Metrics.Counter("engine.errors_total"),
+			busyUS:      o.Metrics.Counter("engine.busy_us_total"),
+			queueDepth:  o.Metrics.Gauge("engine.queue_depth"),
+			active:      o.Metrics.Gauge("engine.workers_active"),
+			utilization: o.Metrics.Gauge("engine.worker_utilization_pct"),
+			latencyUS:   o.Metrics.Histogram("engine.instance_latency_us", DurationBuckets),
+		}
+	}
+	return o.engine
+}
+
+// BatchObs observes one SolveBatch call: queue depth counts down as
+// workers claim instances, Done settles the utilization gauge
+// (busy-time ÷ wall-time·workers, in percent).
+type BatchObs struct {
+	e       *EngineObs
+	span    Span
+	workers int64
+	busyUS  atomic.Int64
+	pending atomic.Int64
+}
+
+// Batch opens the observation of a batch of n instances solved by the
+// given number of workers. Nil receiver → nil view.
+func (e *EngineObs) Batch(n, workers int) *BatchObs {
+	if e == nil {
+		return nil
+	}
+	e.batches.Inc()
+	e.queueDepth.Add(int64(n))
+	b := &BatchObs{e: e, workers: int64(workers)}
+	b.pending.Store(int64(n))
+	b.span = e.tr.StartSpan("engine", "batch", PIDEngine, 0)
+	return b
+}
+
+// InstanceSpan times one instance solve on one worker. The zero value
+// (what a nil batch hands out) discards everything.
+type InstanceSpan struct {
+	b     *BatchObs
+	span  Span
+	index int
+}
+
+// Instance opens the span for instance index claimed by the given worker.
+func (b *BatchObs) Instance(worker, index int) InstanceSpan {
+	if b == nil {
+		return InstanceSpan{}
+	}
+	b.pending.Add(-1)
+	b.e.queueDepth.Add(-1)
+	b.e.active.Add(1)
+	return InstanceSpan{b: b, span: b.e.tr.StartSpan("engine", "instance "+strconv.Itoa(index), PIDEngine, worker+1), index: index}
+}
+
+// Done closes the instance span with its outcome.
+func (sp InstanceSpan) Done(err error) {
+	if sp.b == nil {
+		return
+	}
+	e := sp.b.e
+	e.active.Add(-1)
+	e.instances.Inc()
+	var failed int64
+	if err != nil {
+		e.errs.Inc()
+		failed = 1
+	}
+	us := sp.span.Elapsed().Microseconds()
+	sp.b.busyUS.Add(us)
+	e.busyUS.Add(us)
+	e.latencyUS.Observe(us)
+	sp.span.End([]Arg{{"index", int64(sp.index)}, {"err", failed}})
+}
+
+// Skip accounts for an instance that was never solved (batch cancelled
+// before a worker reached it).
+func (b *BatchObs) Skip() {
+	if b == nil {
+		return
+	}
+	b.pending.Add(-1)
+	b.e.queueDepth.Add(-1)
+	b.e.instances.Inc()
+	b.e.errs.Inc()
+}
+
+// Done closes the batch observation and settles the utilization gauge.
+func (b *BatchObs) Done() {
+	if b == nil {
+		return
+	}
+	// Instances neither solved nor skipped (a panicking caller) must not
+	// leave the queue-depth gauge stuck.
+	if left := b.pending.Swap(0); left > 0 {
+		b.e.queueDepth.Add(-left)
+	}
+	busy := b.busyUS.Load()
+	if wallUS := b.span.Elapsed().Microseconds(); wallUS > 0 && b.workers > 0 {
+		b.e.utilization.Set(100 * busy / (wallUS * b.workers))
+	}
+	b.span.End([]Arg{{"busy_us", busy}, {"workers", b.workers}})
+}
+
+// ---------------------------------------------------------------------------
+// Cluster view: per-step wall-clock against the schedule's predicted
+// β + W(Mi), plus per-transfer timeline events.
+
+// ClusterObs is the execution runtime's metrics bundle, cached per
+// observer. The cluster package reads the wall clock itself (it is a
+// measurement harness, exempt from the determinism lint) and reports
+// measured intervals here.
+type ClusterObs struct {
+	tr                        *Trace
+	steps, transfers, bytes   *Counter
+	actualUS, predictedUS     *Counter
+	stepRatioPct              *Histogram
+	lastRatioPct, lastStepDur *Gauge
+}
+
+// Cluster returns the cluster view, resolving its metrics on first use.
+// Nil receiver → nil view.
+func (o *Observer) Cluster() *ClusterObs {
+	if o == nil {
+		return nil
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.cluster == nil {
+		o.cluster = &ClusterObs{
+			tr:           o.Trace,
+			steps:        o.Metrics.Counter("cluster.steps_total"),
+			transfers:    o.Metrics.Counter("cluster.transfers_total"),
+			bytes:        o.Metrics.Counter("cluster.bytes_total"),
+			actualUS:     o.Metrics.Counter("cluster.step_actual_us_total"),
+			predictedUS:  o.Metrics.Counter("cluster.step_predicted_us_total"),
+			stepRatioPct: o.Metrics.Histogram("cluster.step_ratio_pct", RatioBuckets),
+			lastRatioPct: o.Metrics.Gauge("cluster.step_ratio_pct_last"),
+			lastStepDur:  o.Metrics.Gauge("cluster.step_actual_us_last"),
+		}
+	}
+	return o.cluster
+}
+
+// Step records one executed schedule step: its measured wall-clock, the
+// schedule's prediction β + W(Mi) at the configured rates, and the live
+// evaluation ratio actual/predicted (percent) in both a histogram and a
+// last-value gauge. A zero prediction (unshaped cluster) records the
+// timing but skips the ratio.
+func (c *ClusterObs) Step(index int, start time.Time, wall, predicted time.Duration, transfers int) {
+	if c == nil {
+		return
+	}
+	c.steps.Inc()
+	c.actualUS.Add(wall.Microseconds())
+	c.predictedUS.Add(predicted.Microseconds())
+	c.lastStepDur.Set(wall.Microseconds())
+	var ratio int64 = -1
+	if predicted > 0 {
+		ratio = int64(float64(wall) / float64(predicted) * 100)
+		c.stepRatioPct.Observe(ratio)
+		c.lastRatioPct.Set(ratio)
+	}
+	c.tr.Complete("cluster", "step "+strconv.Itoa(index), PIDCluster, 0, start, wall, []Arg{
+		{"transfers", int64(transfers)},
+		{"predicted_us", predicted.Microseconds()},
+		{"ratio_pct", ratio},
+	})
+}
+
+// Transfer records one point-to-point transfer as a timeline event on the
+// sender's lane.
+func (c *ClusterObs) Transfer(src, dst int, bytes int64, start time.Time, dur time.Duration) {
+	if c == nil {
+		return
+	}
+	c.transfers.Inc()
+	c.bytes.Add(bytes)
+	c.tr.Complete("cluster", "xfer "+strconv.Itoa(src)+"->"+strconv.Itoa(dst), PIDCluster, src+1, start, dur, []Arg{
+		{"src", int64(src)},
+		{"dst", int64(dst)},
+		{"bytes", bytes},
+	})
+}

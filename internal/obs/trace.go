@@ -1,0 +1,279 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Trace process ids: chrome://tracing groups timeline lanes by (pid, tid),
+// so each subsystem gets its own process row and its lanes (solver ids,
+// engine workers, cluster senders) become threads inside it.
+const (
+	PIDSolver  = 1
+	PIDEngine  = 2
+	PIDCluster = 3
+)
+
+// Arg is one key/value annotation on a trace event. Values are int64 so
+// recording an event never routes through interface boxing, and the
+// serialized order is the emission order — deterministic, unlike a map.
+type Arg struct {
+	Key string
+	Val int64
+}
+
+// Event is one Chrome trace_event record. Phase 'X' is a complete event
+// (TS..TS+Dur), phase 'i' an instant marker.
+type Event struct {
+	Name string
+	Cat  string
+	Ph   byte
+	TS   int64 // µs since the trace started
+	Dur  int64 // µs, complete events only
+	PID  int32
+	TID  int32
+	Args []Arg
+}
+
+// Trace is an append-only, bounded, concurrency-safe event recorder. A
+// nil *Trace discards everything. Create with NewTrace; the capacity
+// bound keeps a long experiment sweep from holding an unbounded event
+// backlog (drops are counted, not silent — see Dropped).
+type Trace struct {
+	mu      sync.Mutex
+	now     func() time.Time
+	start   time.Time
+	events  []Event
+	max     int
+	dropped int64
+}
+
+// defaultMaxEvents bounds an un-configured trace to roughly 100 MB of
+// events; past it new events are dropped and counted.
+const defaultMaxEvents = 1 << 20
+
+// NewTrace returns an empty trace using the wall clock, bounded to
+// defaultMaxEvents events.
+func NewTrace() *Trace { return NewTraceWithClock(time.Now) }
+
+// NewTraceWithClock is NewTrace with an injected clock, for deterministic
+// tests (the golden-file test feeds a fake clock).
+func NewTraceWithClock(now func() time.Time) *Trace {
+	return &Trace{now: now, start: now(), max: defaultMaxEvents}
+}
+
+// SetLimit replaces the event-capacity bound; n ≤ 0 means unbounded.
+func (t *Trace) SetLimit(n int) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.max = n
+}
+
+// Len returns the number of recorded events.
+func (t *Trace) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.events)
+}
+
+// Dropped returns how many events were discarded at the capacity bound.
+func (t *Trace) Dropped() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// sinceStart converts an absolute time to trace-relative microseconds.
+func (t *Trace) sinceStart(at time.Time) int64 {
+	return at.Sub(t.start).Microseconds()
+}
+
+// append records e, enforcing the capacity bound. Callers must not hold
+// t.mu.
+func (t *Trace) append(e Event) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.max > 0 && len(t.events) >= t.max {
+		t.dropped++
+		return
+	}
+	t.events = append(t.events, e)
+}
+
+// Instant records an instant event stamped with the current clock.
+// No-op on a nil trace.
+func (t *Trace) Instant(cat, name string, pid, tid int, args []Arg) {
+	if t == nil {
+		return
+	}
+	t.append(Event{Name: name, Cat: cat, Ph: 'i', TS: t.sinceStart(t.now()), PID: int32(pid), TID: int32(tid), Args: args})
+}
+
+// Complete records a complete ('X') event for an interval the caller
+// timed itself. No-op on a nil trace.
+func (t *Trace) Complete(cat, name string, pid, tid int, start time.Time, dur time.Duration, args []Arg) {
+	if t == nil {
+		return
+	}
+	t.append(Event{Name: name, Cat: cat, Ph: 'X', TS: t.sinceStart(start), Dur: dur.Microseconds(), PID: int32(pid), TID: int32(tid), Args: args})
+}
+
+// Span is an in-flight complete event: created by StartSpan, finished by
+// End. It carries the trace's clock internally so instrumented packages
+// (the engine above all, whose determinism lint forbids time.Now) never
+// read the clock themselves. The zero Span — what a nil trace hands out —
+// ends as a no-op.
+type Span struct {
+	t        *Trace
+	cat, nm  string
+	pid, tid int32
+	start    time.Time
+}
+
+// StartSpan opens a complete event at the current clock. Usable on a nil
+// trace (End will discard).
+func (t *Trace) StartSpan(cat, name string, pid, tid int) Span {
+	if t == nil {
+		return Span{}
+	}
+	return Span{t: t, cat: cat, nm: name, pid: int32(pid), tid: int32(tid), start: t.now()}
+}
+
+// End closes the span and records it. No-op on a zero span.
+func (s Span) End(args []Arg) {
+	if s.t == nil {
+		return
+	}
+	s.t.append(Event{Name: s.nm, Cat: s.cat, Ph: 'X', TS: s.t.sinceStart(s.start), Dur: s.t.now().Sub(s.start).Microseconds(), PID: s.pid, TID: s.tid, Args: args})
+}
+
+// Elapsed returns the time since the span started, 0 for a zero span. It
+// lets instrumented code reuse the span's clock for metric observations
+// without importing time.Now.
+func (s Span) Elapsed() time.Duration {
+	if s.t == nil {
+		return 0
+	}
+	return s.t.now().Sub(s.start)
+}
+
+// WriteJSON serializes the trace in the Chrome trace_event JSON format:
+// load the file in chrome://tracing (or https://ui.perfetto.dev) to see
+// the run as a timeline. The output is deterministic — events appear in
+// recording order and args in emission order — which the golden-file test
+// relies on.
+func (t *Trace) WriteJSON(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n"); err != nil {
+		return err
+	}
+	if t != nil {
+		t.mu.Lock()
+		events := t.events
+		t.mu.Unlock()
+		for i := range events {
+			if i > 0 {
+				if _, err := bw.WriteString(",\n"); err != nil {
+					return err
+				}
+			}
+			if err := writeEvent(bw, &events[i]); err != nil {
+				return err
+			}
+		}
+	}
+	if _, err := bw.WriteString("\n]}\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// writeEvent emits one event object. Field order is fixed; names pass
+// through encoding/json for escaping.
+func writeEvent(bw *bufio.Writer, e *Event) error {
+	writeString := func(key, val string) error {
+		q, err := json.Marshal(val)
+		if err != nil {
+			return err
+		}
+		if _, err := bw.WriteString("\"" + key + "\":"); err != nil {
+			return err
+		}
+		_, err = bw.Write(q)
+		return err
+	}
+	writeInt := func(key string, val int64) error {
+		if _, err := bw.WriteString(",\"" + key + "\":" + strconv.FormatInt(val, 10)); err != nil {
+			return err
+		}
+		return nil
+	}
+	if err := bw.WriteByte('{'); err != nil {
+		return err
+	}
+	if err := writeString("name", e.Name); err != nil {
+		return err
+	}
+	if _, err := bw.WriteString(","); err != nil {
+		return err
+	}
+	if err := writeString("cat", e.Cat); err != nil {
+		return err
+	}
+	if _, err := bw.WriteString(",\"ph\":\"" + string(e.Ph) + "\""); err != nil {
+		return err
+	}
+	if err := writeInt("ts", e.TS); err != nil {
+		return err
+	}
+	if e.Ph == 'X' {
+		if err := writeInt("dur", e.Dur); err != nil {
+			return err
+		}
+	}
+	if err := writeInt("pid", int64(e.PID)); err != nil {
+		return err
+	}
+	if err := writeInt("tid", int64(e.TID)); err != nil {
+		return err
+	}
+	if len(e.Args) > 0 {
+		if _, err := bw.WriteString(",\"args\":{"); err != nil {
+			return err
+		}
+		for i, a := range e.Args {
+			if i > 0 {
+				if err := bw.WriteByte(','); err != nil {
+					return err
+				}
+			}
+			q, err := json.Marshal(a.Key)
+			if err != nil {
+				return err
+			}
+			if _, err := bw.Write(q); err != nil {
+				return err
+			}
+			if _, err := bw.WriteString(":" + strconv.FormatInt(a.Val, 10)); err != nil {
+				return err
+			}
+		}
+		if err := bw.WriteByte('}'); err != nil {
+			return err
+		}
+	}
+	return bw.WriteByte('}')
+}

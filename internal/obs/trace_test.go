@@ -1,0 +1,167 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files with current output")
+
+// fakeClock returns an injectable clock that advances a fixed tick per
+// call, making every timestamp and duration deterministic.
+func fakeClock(tick time.Duration) func() time.Time {
+	base := time.Unix(1_000_000, 0)
+	n := 0
+	return func() time.Time {
+		t := base.Add(time.Duration(n) * tick)
+		n++
+		return t
+	}
+}
+
+// buildGoldenTrace records a fixed event sequence exercising every event
+// shape: instants with args, caller-timed completes, spans, escaping in
+// names, and an empty-args event.
+func buildGoldenTrace() *Trace {
+	clk := fakeClock(time.Millisecond)
+	tr := NewTraceWithClock(clk)
+	tr.Instant("solver", "peel", PIDSolver, 1, []Arg{
+		{"step", 0}, {"matched", 4}, {"reused", 0}, {"min_weight", 7}, {"residual_edges", 12},
+	})
+	span := tr.StartSpan("engine", "instance 3", PIDEngine, 2)
+	tr.Instant("solver", "peel", PIDSolver, 1, []Arg{
+		{"step", 1}, {"matched", 4}, {"reused", 3}, {"min_weight", 2}, {"residual_edges", 8},
+	})
+	span.End([]Arg{{"index", 3}, {"err", 0}})
+	start := time.Unix(1_000_000, 0).Add(10 * time.Millisecond)
+	tr.Complete("cluster", "xfer 0->2", PIDCluster, 1, start, 1500*time.Microsecond, []Arg{
+		{"src", 0}, {"dst", 2}, {"bytes", 65536},
+	})
+	tr.Complete("cluster", `step "0"`, PIDCluster, 0, start, 4*time.Millisecond, nil)
+	return tr
+}
+
+// TestTraceGoldenJSON locks the Chrome trace_event serialization to a
+// golden file: chrome://tracing compatibility is a wire-format contract,
+// and accidental reordering or re-keying must fail loudly. Regenerate
+// with `go test ./internal/obs -run TraceGolden -update`.
+func TestTraceGoldenJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := buildGoldenTrace().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "trace_golden.json")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("trace JSON drifted from golden file:\ngot:\n%s\nwant:\n%s", buf.Bytes(), want)
+	}
+}
+
+// TestTraceJSONShape decodes the output with encoding/json and checks the
+// envelope Chrome requires: a traceEvents array whose entries carry name,
+// ph, ts, pid, tid.
+func TestTraceJSONShape(t *testing.T) {
+	var buf bytes.Buffer
+	if err := buildGoldenTrace().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+		TraceEvents     []struct {
+			Name string           `json:"name"`
+			Cat  string           `json:"cat"`
+			Ph   string           `json:"ph"`
+			TS   *int64           `json:"ts"`
+			Dur  *int64           `json:"dur"`
+			PID  *int64           `json:"pid"`
+			TID  *int64           `json:"tid"`
+			Args map[string]int64 `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, buf.Bytes())
+	}
+	if len(doc.TraceEvents) != 5 {
+		t.Fatalf("got %d events, want 5", len(doc.TraceEvents))
+	}
+	for i, e := range doc.TraceEvents {
+		if e.Name == "" || e.Ph == "" || e.TS == nil || e.PID == nil || e.TID == nil {
+			t.Errorf("event %d missing required fields: %+v", i, e)
+		}
+		if e.Ph == "X" && e.Dur == nil {
+			t.Errorf("event %d: complete event without dur", i)
+		}
+	}
+	// The span (event index 2 in recording order) measured 2 fake ticks.
+	if got := doc.TraceEvents[2]; got.Name != "instance 3" || *got.Dur != 2000 {
+		t.Errorf("span event = %+v, want name \"instance 3\" dur 2000", got)
+	}
+}
+
+// TestTraceLimit checks the capacity bound drops and counts instead of
+// growing without bound.
+func TestTraceLimit(t *testing.T) {
+	tr := NewTraceWithClock(fakeClock(time.Millisecond))
+	tr.SetLimit(3)
+	for i := 0; i < 10; i++ {
+		tr.Instant("c", "e", 1, 1, nil)
+	}
+	if tr.Len() != 3 {
+		t.Errorf("len = %d, want 3", tr.Len())
+	}
+	if tr.Dropped() != 7 {
+		t.Errorf("dropped = %d, want 7", tr.Dropped())
+	}
+}
+
+// TestTraceConcurrentRecording races recorders against the JSON writer;
+// meaningful under -race.
+func TestTraceConcurrentRecording(t *testing.T) {
+	tr := NewTrace()
+	done := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		go func(w int) {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 500; i++ {
+				tr.Instant("c", "e", 1, w, []Arg{{"i", int64(i)}})
+				sp := tr.StartSpan("c", "s", 1, w)
+				sp.End(nil)
+			}
+		}(w)
+	}
+	for i := 0; i < 2; i++ {
+		var buf bytes.Buffer
+		if err := tr.WriteJSON(&buf); err != nil {
+			t.Error(err)
+		}
+	}
+	for w := 0; w < 4; w++ {
+		<-done
+	}
+	if tr.Len() != 4*500*2 {
+		t.Errorf("len = %d, want %d", tr.Len(), 4*500*2)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Error("final trace output is not valid JSON")
+	}
+}

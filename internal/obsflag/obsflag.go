@@ -1,0 +1,70 @@
+// Package obsflag is the shared -obs/-trace flag plumbing of the
+// command-line tools: it registers the two observability flags on a
+// FlagSet and, when either is set, builds the Observer, starts the
+// introspection endpoint, and writes the Chrome trace file on shutdown.
+package obsflag
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"redistgo/internal/obs"
+)
+
+// Flags holds the parsed observability flag values.
+type Flags struct {
+	addr  string
+	trace string
+}
+
+// Register installs -obs and -trace on the flag set and returns the
+// holder to interrogate after parsing.
+func Register(fs *flag.FlagSet) *Flags {
+	f := &Flags{}
+	fs.StringVar(&f.addr, "obs", "", `serve live metrics/pprof/trace on this address (e.g. ":6060"; a bare port binds localhost only)`)
+	fs.StringVar(&f.trace, "trace", "", "write a Chrome trace_event JSON file here on exit (open in chrome://tracing)")
+	return f
+}
+
+// Start builds the observer requested by the flags. With neither flag set
+// it returns a nil observer (instrumentation fully disabled) and a no-op
+// finish. Otherwise the returned finish function must be called on the
+// way out: it stops the endpoint and writes the trace file. The bound
+// endpoint address is announced on w.
+func (f *Flags) Start(w io.Writer) (*obs.Observer, func() error, error) {
+	if f.addr == "" && f.trace == "" {
+		return nil, func() error { return nil }, nil
+	}
+	o := obs.New()
+	var srv *obs.Server
+	if f.addr != "" {
+		var err error
+		srv, err = obs.Serve(f.addr, o)
+		if err != nil {
+			return nil, nil, fmt.Errorf("starting observability endpoint: %w", err)
+		}
+		fmt.Fprintf(w, "observability endpoint on http://%s (metrics, /debug/pprof, /debug/trace)\n", srv.Addr())
+	}
+	finish := func() error {
+		if srv != nil {
+			if err := srv.Close(); err != nil {
+				return err
+			}
+		}
+		if f.trace == "" {
+			return nil
+		}
+		tf, err := os.Create(f.trace)
+		if err != nil {
+			return fmt.Errorf("creating trace file: %w", err)
+		}
+		if err := o.Trace.WriteJSON(tf); err != nil {
+			_ = tf.Close() // the write error is what matters
+			return fmt.Errorf("writing trace: %w", err)
+		}
+		return tf.Close()
+	}
+	return o, finish, nil
+}

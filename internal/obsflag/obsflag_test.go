@@ -1,0 +1,92 @@
+package obsflag
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestDisabledByDefault: with neither flag set, Start hands back a nil
+// observer and a no-op finish.
+func TestDisabledByDefault(t *testing.T) {
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	f := Register(fs)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	o, finish, err := f.Start(&out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o != nil {
+		t.Fatal("observer must be nil when no flag is set")
+	}
+	if err := finish(); err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 0 {
+		t.Fatalf("unexpected output: %q", out.String())
+	}
+}
+
+// TestTraceOnly: -trace alone records without serving, and finish writes
+// a loadable trace document.
+func TestTraceOnly(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.json")
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	f := Register(fs)
+	if err := fs.Parse([]string{"-trace", path}); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	o, finish, err := f.Start(&out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o == nil {
+		t.Fatal("observer must be live with -trace set")
+	}
+	o.Trace.Instant("test", "marker", 1, 0, nil)
+	if err := finish(); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out.String(), "endpoint") {
+		t.Fatalf("no endpoint requested but announced: %q", out.String())
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(raw) || !strings.Contains(string(raw), "marker") {
+		t.Fatalf("bad trace file: %s", raw)
+	}
+}
+
+// TestEndpointAnnounced: -obs with a bare port binds localhost and says
+// so; finish releases the port.
+func TestEndpointAnnounced(t *testing.T) {
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	f := Register(fs)
+	if err := fs.Parse([]string{"-obs", ":0"}); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	o, finish, err := f.Start(&out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o == nil {
+		t.Fatal("observer must be live with -obs set")
+	}
+	if !strings.Contains(out.String(), "http://127.0.0.1:") {
+		t.Fatalf("bare port must announce a localhost bind: %q", out.String())
+	}
+	if err := finish(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -7,7 +7,10 @@ package tokenbucket
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
+
+	"redistgo/internal/obs"
 )
 
 // minSleep is the shortest pause Wait ever takes. The deficit-derived
@@ -31,6 +34,13 @@ type Limiter struct {
 	// injectable clock for tests
 	now   func() time.Time
 	sleep func(time.Duration)
+
+	// sleptNS accumulates the total time Wait has spent sleeping — the
+	// shaping cost this bucket has imposed. sleepCtr optionally mirrors it
+	// (in microseconds) into an observability registry counter; a swappable
+	// pointer so attaching is safe while other goroutines are waiting.
+	sleptNS  atomic.Int64
+	sleepCtr atomic.Pointer[obs.Counter]
 }
 
 // New returns a limiter of rate bytes/s with the given burst capacity in
@@ -64,6 +74,27 @@ func NewWithClock(rate, burst float64, now func() time.Time, sleep func(time.Dur
 	l.last = now()
 	l.tokens = burst
 	return l, nil
+}
+
+// SleptTotal returns the cumulative time Wait has spent sleeping on this
+// bucket — how much the shaping actually slowed its callers down. Zero
+// for a nil limiter.
+func (l *Limiter) SleptTotal() time.Duration {
+	if l == nil {
+		return 0
+	}
+	return time.Duration(l.sleptNS.Load())
+}
+
+// SetSleepCounter attaches a registry counter that Wait increments by
+// each sleep's duration in microseconds, so per-bucket shaping cost shows
+// up in metric snapshots. A nil limiter or counter is fine (no-op and
+// detach respectively); safe to call while waiters are active.
+func (l *Limiter) SetSleepCounter(c *obs.Counter) {
+	if l == nil {
+		return
+	}
+	l.sleepCtr.Store(c)
 }
 
 // Rate returns the configured rate in bytes/s, or 0 for a nil limiter.
@@ -125,8 +156,12 @@ func (l *Limiter) Wait(n int) {
 			l.mu.Unlock()
 			continue
 		}
-		// Sleep just long enough for the deficit to refill, but never a
-		// zero-duration (spinning) sleep: clamp to minSleep.
+		// Sleep for the deficit's refill time, clamped up to minSleep — the
+		// sleep may therefore overshoot small deficits rather than pause for
+		// exactly deficit/rate (a zero-duration sleep would spin on the
+		// mutex). The overshoot credit is retained by the bucket, up to
+		// burst, so sustained throughput still converges on the configured
+		// rate.
 		deficit := chunk - l.tokens
 		l.mu.Unlock()
 		d := time.Duration(deficit / l.rate * float64(time.Second))
@@ -134,5 +169,7 @@ func (l *Limiter) Wait(n int) {
 			d = minSleep
 		}
 		l.sleep(d)
+		l.sleptNS.Add(int64(d))
+		l.sleepCtr.Load().Add(d.Microseconds())
 	}
 }

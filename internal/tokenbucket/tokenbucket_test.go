@@ -4,6 +4,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"redistgo/internal/obs"
 )
 
 // fakeClock provides a deterministic clock whose Sleep advances time.
@@ -229,4 +231,53 @@ func TestConcurrentWaitTotalThroughput(t *testing.T) {
 	if elapsed > 500*time.Millisecond {
 		t.Fatalf("took %v; limiter far too slow", elapsed)
 	}
+}
+
+// TestWaitReportsSleptTime: the cumulative sleep accounting matches the
+// injected clock exactly, and an attached registry counter mirrors it in
+// microseconds.
+func TestWaitReportsSleptTime(t *testing.T) {
+	clk := newFakeClock()
+	l, err := NewWithClock(1000, 100, clk.now, clk.sleep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	ctr := reg.Counter("shaped_sleep_us")
+	l.SetSleepCounter(ctr)
+
+	l.Wait(100) // burst covers it: no sleep
+	if got := l.SleptTotal(); got != 0 {
+		t.Fatalf("SleptTotal after burst-covered wait = %v, want 0", got)
+	}
+	l.Wait(500) // deficit of 500 bytes at 1000 B/s: 500 ms of sleeping
+	if got, napped := l.SleptTotal(), clk.nap; got != napped {
+		t.Fatalf("SleptTotal = %v, clock slept %v", got, napped)
+	}
+	if got := l.SleptTotal(); got < 400*time.Millisecond {
+		t.Fatalf("SleptTotal = %v, want >= 400ms", got)
+	}
+	if got, want := ctr.Value(), l.SleptTotal().Microseconds(); got != want {
+		t.Fatalf("counter = %d µs, want %d", got, want)
+	}
+
+	// Detaching stops the mirror but not the local accounting.
+	l.SetSleepCounter(nil)
+	before := ctr.Value()
+	l.Wait(200)
+	if ctr.Value() != before {
+		t.Fatal("detached counter still advancing")
+	}
+	if l.SleptTotal() != clk.nap {
+		t.Fatal("local accounting diverged from clock after detach")
+	}
+}
+
+// TestNilLimiterSleepAccessors pins the nil-safe accessors.
+func TestNilLimiterSleepAccessors(t *testing.T) {
+	var l *Limiter
+	if l.SleptTotal() != 0 {
+		t.Fatal("nil SleptTotal != 0")
+	}
+	l.SetSleepCounter(nil) // must not panic
 }

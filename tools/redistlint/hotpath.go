@@ -18,14 +18,19 @@ import (
 //   - make, new, slice/map composite literals, or &T{...} (heap work;
 //     plain value literals like T{...} live on the stack and are exempt),
 //   - function literals (closure environments escape and allocate),
-//   - append (grows its backing array when capacity runs out).
+//   - append (grows its backing array when capacity runs out),
+//   - method calls on obs.Registry or obs.Observer (handle lookups take a
+//     lock and a map read, and view construction allocates; hot code must
+//     receive pre-resolved nil-safe handles — Counter/Gauge/Histogram or a
+//     view like SolverObs, whose methods no-op when instrumentation is
+//     off — so observation never costs the disabled path anything).
 //
 // Arena-refill appends that are amortized-zero (capacity is retained
 // across runs and AllocsPerRun proves it) carry a
 // //redistlint:allow hotpath comment citing that test.
 var hotpathAnalyzer = &analyzer{
 	name: "hotpath",
-	doc:  "no append/make/new/closures/composite literals in //redistlint:hotpath functions",
+	doc:  "no append/make/new/closures/composite literals/obs lookups in //redistlint:hotpath functions",
 	run:  runHotpath,
 }
 
@@ -55,6 +60,11 @@ func runHotpath(p *lintPackage) []finding {
 							}
 						}
 					}
+					if se, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok {
+						if name := obsLookupReceiver(p, se); name != "" {
+							report(n, "obs."+name+" method call (lookup/allocation; pass pre-resolved nil-safe handles instead)")
+						}
+					}
 				case *ast.UnaryExpr:
 					if _, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok && n.Op.String() == "&" {
 						report(n, "&composite literal (escapes to heap)")
@@ -76,6 +86,39 @@ func runHotpath(p *lintPackage) []finding {
 		}
 	}
 	return out
+}
+
+// obsPkgPath is the observability package whose registry/observer entry
+// points are barred from hot paths (their handle types are fine).
+const obsPkgPath = "redistgo/internal/obs"
+
+// obsLookupReceiver reports the receiver type name ("Registry" or
+// "Observer") when se selects a method on one of the obs entry points,
+// and "" otherwise. Handle and view types (Counter, Gauge, Histogram,
+// SolverObs, …) are deliberately not matched: their methods are the
+// sanctioned nil-safe no-op path.
+func obsLookupReceiver(p *lintPackage, se *ast.SelectorExpr) string {
+	sel, ok := p.Info.Selections[se]
+	if !ok || sel.Kind() != types.MethodVal {
+		return ""
+	}
+	t := sel.Recv()
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != obsPkgPath {
+		return ""
+	}
+	switch obj.Name() {
+	case "Registry", "Observer":
+		return obj.Name()
+	}
+	return ""
 }
 
 // hasHotpathMarker reports whether a doc comment carries the

@@ -14,7 +14,9 @@
 //	safemath     internal/kpbs non-test code: int64 +, *, << must go
 //	             through internal/safemath
 //	hotpath      any function annotated //redistlint:hotpath: no
-//	             append/make/new/closures/composite literals
+//	             append/make/new/closures/composite literals, and no
+//	             obs.Registry/obs.Observer method calls (instrumentation
+//	             must go through pre-resolved nil-safe handles)
 //	ctxpoll      internal/engine and cmd/ non-test code: unbounded loops
 //	             must observe a context
 //	errcheck     all non-test code: no silently discarded errors

@@ -2,6 +2,8 @@
 // zero-allocation annotation rule.
 package hotpath
 
+import "redistgo/internal/obs"
+
 type comm struct{ l, r int }
 
 type arena struct {
@@ -39,8 +41,33 @@ func (a *arena) hotJustified(c comm) {
 	a.buf = append(a.buf, c)
 }
 
-// coldPath is unannotated: it may allocate freely.
-func coldPath(n int) []comm {
+// meters exercises the observability rule: hot code may use pre-resolved
+// nil-safe handles and views but never the registry/observer entry points.
+type meters struct {
+	reg *obs.Registry
+	o   *obs.Observer
+	ctr *obs.Counter
+	so  *obs.SolverObs
+}
+
+//redistlint:hotpath
+func (m *meters) hotObsViolations(v int64) {
+	m.reg.Counter("peels").Inc() // want `obs\.Registry method call`
+	m.o.Solver("GGP")            // want `obs\.Observer method call`
+}
+
+//redistlint:hotpath
+func (m *meters) hotObsClean(v int64) {
+	// Handle and view methods are the sanctioned path: nil-safe no-ops
+	// when instrumentation is off, plain atomics when it is on.
+	m.ctr.Add(v)
+	m.so.Peel(0, 1, 1, v, 2)
+}
+
+// coldPath is unannotated: it may allocate freely, and it may resolve the
+// handles that hot code consumes.
+func coldPath(n int, reg *obs.Registry) []comm {
+	reg.Counter("cold").Inc()
 	out := make([]comm, 0, n)
 	return append(out, comm{})
 }
