@@ -7,9 +7,9 @@
 GO ?= go
 BENCH_COUNT ?= 5
 
-.PHONY: check lint vet build test race race-obs bench-smoke bench bench-compare bench-compare-smoke fuzz-smoke trace-demo
+.PHONY: check lint vet build test race race-obs bench-smoke bench bench-compare bench-compare-smoke bench-shard bench-shard-smoke fuzz-smoke trace-demo
 
-check: lint build race race-obs bench-smoke bench-compare-smoke
+check: lint build race race-obs bench-smoke bench-compare-smoke bench-shard-smoke
 
 # Static gate: formatting, go vet, and the project linter (see
 # tools/redistlint and the "Enforced invariants" section of DESIGN.md).
@@ -67,6 +67,31 @@ bench-compare-smoke:
 	$(GO) test ./internal/kpbs -run='^$$' -bench=PeelSolve -benchmem -benchtime=1x > bench_peel_smoke.txt
 	$(GO) run ./tools/benchcompare bench_peel_smoke.txt
 	rm -f bench_peel_smoke.txt
+
+# Sharded-vs-monolithic solver comparison on the PR 5 acceptance
+# workloads: block-diagonal 8x(64x64) must reach >= 3x, while the
+# power-law and single-component dense controls only have to stay within
+# 5% of the monolith (speedup >= 0.95 — sharding must never cost real
+# time even when it cannot win). Emits the BENCH_PR5.json artifact.
+# The cheap control workloads repeat in a shell loop (one process per
+# repetition) instead of -count: within a process the paired variants run
+# back to back, so slow drift in shared-host CPU speed cancels out of the
+# speedup instead of biasing whichever variant ran in the slow window.
+bench-shard:
+	$(GO) test ./internal/kpbs -run='^$$' -bench=ShardSolve/BlockDiag -benchmem -count=$(BENCH_COUNT) -timeout=30m > bench_shard.txt
+	for i in $$(seq $(BENCH_COUNT)); do \
+		$(GO) test ./internal/kpbs -run='^$$' -bench='ShardSolve/(Dense64|PowerLaw)' -benchmem -benchtime=10x -timeout=30m >> bench_shard.txt || exit 1; \
+	done
+	$(GO) run ./tools/benchcompare -variants unsharded,sharded -min-speedup 3 \
+		-expect PowerLaw=0.95 -expect Dense64=0.95 -json BENCH_PR5.json bench_shard.txt
+
+# One-iteration smoke of the same pipeline for `make check`: proves both
+# solver paths and the comparator's -variants/-expect plumbing still run;
+# no speedup assertion (1 iteration is too noisy to gate on).
+bench-shard-smoke:
+	$(GO) test ./internal/kpbs -run='^$$' -bench=ShardSolve -benchmem -benchtime=1x > bench_shard_smoke.txt
+	$(GO) run ./tools/benchcompare -variants unsharded,sharded bench_shard_smoke.txt
+	rm -f bench_shard_smoke.txt
 
 # End-to-end observability demo: run a small scheduled redistribution on
 # the loopback-TCP cluster with tracing on and leave trace.json behind —

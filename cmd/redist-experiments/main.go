@@ -39,6 +39,7 @@ func run(args []string, stdout io.Writer) (err error) {
 	seed := fs.Int64("seed", 1, "random seed")
 	format := fs.String("format", "csv", "output format: csv or md")
 	workers := fs.Int("workers", 0, "concurrent solver goroutines for the ratio sweeps (0 = GOMAXPROCS, 1 = serial); output is identical for any value")
+	shard := fs.String("shard", "off", "component sharding inside each solve: off (historical figures), auto or on")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
 	memprofile := fs.String("memprofile", "", "write a heap profile taken after the run to this file (go tool pprof)")
 	obsFlags := obsflag.Register(fs)
@@ -58,6 +59,10 @@ func run(args []string, stdout io.Writer) (err error) {
 		return fmt.Errorf("unknown format %q (want csv or md)", *format)
 	}
 	md := *format == "md"
+	shardMode, err := redistgo.ParseShardMode(*shard)
+	if err != nil {
+		return err
+	}
 
 	// Profiling hooks so hot-path work (the peeling engine above all) can
 	// be profiled on any figure workload without editing code.
@@ -97,6 +102,7 @@ func run(args []string, stdout io.Writer) (err error) {
 			cfg = redistgo.Figure8Config(n, *seed)
 		}
 		cfg.Workers = *workers
+		cfg.Shard = shardMode
 		cfg.Obs = observer
 		points, err := redistgo.RatioVsK(cfg)
 		if err != nil {
@@ -110,6 +116,7 @@ func run(args []string, stdout io.Writer) (err error) {
 		n := defaultRuns(*runs, 2000)
 		cfg := redistgo.Figure9Config(n, *seed)
 		cfg.Workers = *workers
+		cfg.Shard = shardMode
 		cfg.Obs = observer
 		points, err := redistgo.RatioVsBeta(cfg)
 		if err != nil {
@@ -125,7 +132,9 @@ func run(args []string, stdout io.Writer) (err error) {
 		if *fig == "11" {
 			k = 7
 		}
-		points, err := redistgo.NetworkExperiment(redistgo.FigureNetworkConfig(k, n, *seed))
+		netCfg := redistgo.FigureNetworkConfig(k, n, *seed)
+		netCfg.Shard = shardMode
+		points, err := redistgo.NetworkExperiment(netCfg)
 		if err != nil {
 			return err
 		}

@@ -39,6 +39,7 @@ func run(args []string, stdout io.Writer) (err error) {
 	betaMS := fs.Float64("beta-ms", 2, "barrier cost in milliseconds")
 	seed := fs.Int64("seed", 1, "random seed")
 	backboneMbit := fs.Float64("backbone-mbit", 100, "backbone throughput in Mbit/s")
+	shard := fs.String("shard", "auto", "component sharding: off, auto (shard multi-component graphs) or on")
 	obsFlags := obsflag.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -57,6 +58,10 @@ func run(args []string, stdout io.Writer) (err error) {
 	}
 	if *k <= 0 || *nodes <= 0 {
 		return fmt.Errorf("k and nodes must be positive")
+	}
+	shardMode, err := redistgo.ParseShardMode(*shard)
+	if err != nil {
+		return err
 	}
 
 	rng := rand.New(rand.NewSource(*seed))
@@ -80,7 +85,7 @@ func run(args []string, stdout io.Writer) (err error) {
 
 	schedules := map[string]*redistgo.Schedule{}
 	for name, alg := range map[string]redistgo.Algorithm{"GGP": redistgo.GGP, "OGGP": redistgo.OGGP} {
-		s, err := redistgo.Solve(g, *k, betaUnits, redistgo.Options{Algorithm: alg, Obs: observer})
+		s, err := redistgo.Solve(g, *k, betaUnits, redistgo.Options{Algorithm: alg, Shard: shardMode, Obs: observer})
 		if err != nil {
 			return err
 		}

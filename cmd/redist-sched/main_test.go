@@ -169,3 +169,28 @@ func TestSchedObsFlags(t *testing.T) {
 		t.Fatal("trace file has no events")
 	}
 }
+
+// TestSchedShardFlag: the -shard flag accepts the three modes and a
+// block-diagonal (two-component) matrix schedules identically under
+// auto and on — and identically to off here, where the blocks already
+// saturate k.
+func TestSchedShardFlag(t *testing.T) {
+	const matrix = "[[7,3,0,0],[2,5,0,0],[0,0,4,6],[0,0,8,1]]"
+	outs := map[string]string{}
+	for _, mode := range []string{"off", "auto", "on"} {
+		out, err := runCLI(t, []string{"-k", "2", "-beta", "1", "-shard", mode}, matrix)
+		if err != nil {
+			t.Fatalf("-shard %s: %v", mode, err)
+		}
+		if !strings.Contains(out, "schedule:") {
+			t.Fatalf("-shard %s: missing schedule header: %q", mode, out)
+		}
+		outs[mode] = out
+	}
+	if outs["auto"] != outs["on"] {
+		t.Fatal("-shard auto and on disagree on a two-component matrix")
+	}
+	if _, err := runCLI(t, []string{"-shard", "sometimes"}, "[[1]]"); err == nil {
+		t.Fatal("unknown shard mode accepted")
+	}
+}

@@ -66,6 +66,12 @@ type Options struct {
 	// never reads the clock itself — timing lives inside the obs views — so
 	// the determinism lint keeps holding).
 	Obs *obs.Observer
+	// Shard is the batch-wide default for kpbs.Options.Shard: it is applied
+	// to every instance whose own Opts.Shard is the zero value (ShardOff),
+	// mirroring how Obs defaults. Component sharding composes with the
+	// batch pool — each instance still occupies one batch worker; the
+	// sharded solver fans out its components internally.
+	Shard kpbs.ShardMode
 }
 
 // SolveBatch solves every instance and returns one Result per instance,
@@ -111,7 +117,7 @@ func SolveBatch(instances []Instance, opts Options) []Result {
 					continue
 				}
 				sp := bo.Instance(w, i)
-				results[i] = solveOne(instances[i], opts.Obs)
+				results[i] = solveOne(instances[i], opts.Obs, opts.Shard)
 				sp.Done(results[i].Err)
 			}
 		}()
@@ -123,9 +129,9 @@ func SolveBatch(instances []Instance, opts Options) []Result {
 
 // solveOne solves a single instance, converting solver panics into
 // errors so a malformed matrix can never take down the whole batch.
-// defObs is the batch-level observer, handed to the solver unless the
-// instance brings its own.
-func solveOne(inst Instance, defObs *obs.Observer) (res Result) {
+// defObs and defShard are the batch-level defaults, handed to the solver
+// unless the instance brings its own.
+func solveOne(inst Instance, defObs *obs.Observer, defShard kpbs.ShardMode) (res Result) {
 	defer func() {
 		if r := recover(); r != nil {
 			res = Result{Err: fmt.Errorf("engine: solver panicked: %v", r)}
@@ -133,6 +139,9 @@ func solveOne(inst Instance, defObs *obs.Observer) (res Result) {
 	}()
 	if inst.Opts.Obs == nil {
 		inst.Opts.Obs = defObs
+	}
+	if inst.Opts.Shard == kpbs.ShardOff {
+		inst.Opts.Shard = defShard
 	}
 	s, err := kpbs.Solve(inst.G, inst.K, inst.Beta, inst.Opts)
 	if err != nil {
@@ -147,7 +156,7 @@ func solveOne(inst Instance, defObs *obs.Observer) (res Result) {
 func SolveSerial(instances []Instance) []Result {
 	results := make([]Result, len(instances))
 	for i, inst := range instances {
-		results[i] = solveOne(inst, nil)
+		results[i] = solveOne(inst, nil, kpbs.ShardOff)
 	}
 	return results
 }

@@ -128,3 +128,54 @@ func TestSolveBatchEmpty(t *testing.T) {
 		t.Fatalf("non-empty result for empty batch: %v", res)
 	}
 }
+
+// TestSolveBatchShardDefault: the batch-level Shard option is applied to
+// instances that left Opts.Shard at the zero value, and every instance
+// still solves to a feasible schedule. On multi-component graphs the
+// sharded results must match a per-instance ShardOn solve exactly.
+func TestSolveBatchShardDefault(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	insts := make([]Instance, 8)
+	for i := range insts {
+		m := trafficgen.BlockDiagonal(rng, 3, 4, 0, 1, 100)
+		g, err := bipartite.FromMatrix(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		insts[i] = Instance{G: g, K: 6, Beta: 1, Opts: kpbs.Options{Algorithm: kpbs.OGGP}}
+	}
+	batched := SolveBatch(insts, Options{Workers: 4, Shard: kpbs.ShardAuto})
+	for i, r := range batched {
+		if r.Err != nil {
+			t.Fatalf("instance %d: %v", i, r.Err)
+		}
+		explicit := insts[i]
+		explicit.Opts.Shard = kpbs.ShardAuto
+		want, err := kpbs.Solve(explicit.G, explicit.K, explicit.Beta, explicit.Opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Schedule.String() != want.String() {
+			t.Fatalf("instance %d: batch-level Shard not applied", i)
+		}
+	}
+	// An instance that carries its own mode keeps it: ShardOn on a
+	// connected graph still matches the monolith byte for byte, proving the
+	// override does not clobber explicit per-instance settings.
+	g, err := bipartite.FromMatrix(trafficgen.DenseUniform(rng, 6, 6, 1, 50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	own := []Instance{{G: g, K: 3, Beta: 1, Opts: kpbs.Options{Algorithm: kpbs.GGP, Shard: kpbs.ShardOn}}}
+	res := SolveBatch(own, Options{Shard: kpbs.ShardAuto})
+	if res[0].Err != nil {
+		t.Fatal(res[0].Err)
+	}
+	mono, err := kpbs.Solve(g, 3, 1, kpbs.Options{Algorithm: kpbs.GGP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].Schedule.String() != mono.String() {
+		t.Fatal("explicit per-instance ShardOn diverged from the monolith on a connected graph")
+	}
+}

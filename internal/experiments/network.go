@@ -24,6 +24,10 @@ type NetworkConfig struct {
 	BetaSec    float64   // barrier cost β in seconds
 	Seed       int64
 	Congestion netsim.Config // template for the TCP model; Platform is overwritten
+	// Shard selects component sharding inside each solve (kpbs
+	// Options.Shard). The testbed matrices are dense all-pairs traffic —
+	// a single component — so any mode reproduces the same schedules.
+	Shard kpbs.ShardMode
 }
 
 // FigureNetworkConfig returns the paper's Figure 10 (k=3) or Figure 11
@@ -149,7 +153,7 @@ func Network(cfg NetworkConfig) ([]NetworkPoint, error) {
 			return nil, err
 		}
 		for _, alg := range []kpbs.Algorithm{kpbs.GGP, kpbs.OGGP} {
-			sched, err := kpbs.Solve(g, cfg.K, betaUnits, kpbs.Options{Algorithm: alg})
+			sched, err := kpbs.Solve(g, cfg.K, betaUnits, kpbs.Options{Algorithm: alg, Shard: cfg.Shard})
 			if err != nil {
 				return nil, err
 			}

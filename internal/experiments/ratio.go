@@ -29,6 +29,10 @@ type RatioConfig struct {
 	Ks       []int // k values to sweep
 	Seed     int64
 	Workers  int // concurrent solver goroutines (≤ 0: GOMAXPROCS); results are identical for any value
+	// Shard selects component sharding inside each solve (kpbs
+	// Options.Shard). The paper's random instances often split into several
+	// components, so ShardAuto accelerates the sweep on multi-core hosts.
+	Shard kpbs.ShardMode
 	// Obs observes the sweep through the batch engine (queue depth,
 	// per-instance latency, per-algorithm solver metrics). nil disables;
 	// the figures are identical either way.
@@ -92,14 +96,14 @@ const ratioChunk = 512
 // accumulateRatios schedules every graph with GGP and OGGP on the batch
 // engine and folds cost/LB into the two summaries in input order.
 // ks[i] and betas[i] are the parameters of gs[i].
-func accumulateRatios(gs []*bipartite.Graph, ks []int, betas []int64, workers int, o *obs.Observer, ggp, oggp *stats.Summary) error {
+func accumulateRatios(gs []*bipartite.Graph, ks []int, betas []int64, workers int, shard kpbs.ShardMode, o *obs.Observer, ggp, oggp *stats.Summary) error {
 	insts := make([]engine.Instance, 0, 2*len(gs))
 	for i, g := range gs {
 		insts = append(insts,
 			engine.Instance{G: g, K: ks[i], Beta: betas[i], Opts: kpbs.Options{Algorithm: kpbs.GGP}},
 			engine.Instance{G: g, K: ks[i], Beta: betas[i], Opts: kpbs.Options{Algorithm: kpbs.OGGP}})
 	}
-	res := engine.SolveBatch(insts, engine.Options{Workers: workers, Obs: o})
+	res := engine.SolveBatch(insts, engine.Options{Workers: workers, Shard: shard, Obs: o})
 	for i := range gs {
 		lb := kpbs.LowerBound(gs[i], ks[i], betas[i])
 		if lb <= 0 {
@@ -146,7 +150,7 @@ func RatioVsK(cfg RatioConfig) ([]RatioPoint, error) {
 				ks[i] = k
 				betas[i] = cfg.Beta
 			}
-			if err := accumulateRatios(gs, ks, betas, cfg.Workers, cfg.Obs, &ggp, &oggp); err != nil {
+			if err := accumulateRatios(gs, ks, betas, cfg.Workers, cfg.Shard, cfg.Obs, &ggp, &oggp); err != nil {
 				return nil, err
 			}
 			done += n
@@ -173,6 +177,9 @@ type BetaConfig struct {
 	Betas       []int64
 	Seed        int64
 	Workers     int // concurrent solver goroutines (≤ 0: GOMAXPROCS); results are identical for any value
+	// Shard selects component sharding inside each solve, as in
+	// RatioConfig.Shard.
+	Shard kpbs.ShardMode
 	// Obs observes the sweep through the batch engine; nil disables. The
 	// figures are identical either way.
 	Obs *obs.Observer
@@ -235,7 +242,7 @@ func RatioVsBeta(cfg BetaConfig) ([]RatioPoint, error) {
 				ks[i] = 1 + rng.Intn(cfg.MaxNodes)
 				betas[i] = beta
 			}
-			if err := accumulateRatios(gs, ks, betas, cfg.Workers, cfg.Obs, &ggp, &oggp); err != nil {
+			if err := accumulateRatios(gs, ks, betas, cfg.Workers, cfg.Shard, cfg.Obs, &ggp, &oggp); err != nil {
 				return nil, err
 			}
 			done += n

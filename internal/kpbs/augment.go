@@ -206,13 +206,8 @@ func (in *instance) topUp(weights []int64, left bool) {
 	for i := range order {
 		order[i] = i
 	}
-	sort.Slice(order, func(a, b int) bool {
-		if weights[order[a]] != weights[order[b]] {
-			return weights[order[a]] < weights[order[b]] // largest deficit first
-		}
-		return order[a] < order[b]
-	})
-	var freshCap int64 // remaining capacity of the currently open fresh node
+	sort.Sort(idxByWeightAsc{idx: order, w: weights}) // largest deficit first
+	var freshCap int64                                // remaining capacity of the currently open fresh node
 	fresh := -1
 	for _, node := range order {
 		need := r - weights[node]
@@ -245,6 +240,24 @@ func (in *instance) topUp(weights []int64, left bool) {
 		// augmentation math is broken.
 		panic(fmt.Sprintf("kpbs: top-up leftover capacity %d (R=%d, left=%v)", freshCap, r, left))
 	}
+}
+
+// idxByWeightAsc sorts an index slice by increasing weight, index
+// ascending on ties (the typed counterpart of idxByWeightDesc; see the
+// closure-free rationale there).
+type idxByWeightAsc struct {
+	idx []int
+	w   []int64
+}
+
+func (s idxByWeightAsc) Len() int      { return len(s.idx) }
+func (s idxByWeightAsc) Swap(a, b int) { s.idx[a], s.idx[b] = s.idx[b], s.idx[a] }
+func (s idxByWeightAsc) Less(a, b int) bool {
+	ia, ib := s.idx[a], s.idx[b]
+	if s.w[ia] != s.w[ib] {
+		return s.w[ia] < s.w[ib]
+	}
+	return ia < ib
 }
 
 // checkRegular verifies the augmented graph is balanced and R-weight-

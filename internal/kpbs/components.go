@@ -1,0 +1,498 @@
+package kpbs
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"redistgo/internal/bipartite"
+	"redistgo/internal/obs"
+)
+
+// Component sharding (Options.Shard). A perfect matching of the augmented
+// working graph never crosses a connected-component boundary of the
+// original traffic graph, so K-PBS decomposes exactly: each component can
+// be normalized, augmented and peeled on its own, in parallel, and the
+// per-component schedules recombined. Real redistribution traffic at
+// scale is block-structured (a shard mostly talks to its own storage
+// shard), which makes the decomposition the dominant single-solve win on
+// sparse instances — see DESIGN.md §9 for the cost analysis and the
+// exact guarantees.
+//
+// The pipeline is:
+//
+//  1. sharder.split — one union-find pass over the edges, O(m α(m)),
+//     grouping the edge indices by component in discovery order.
+//  2. solveComponents — a bounded worker pool peels every component with
+//     the selected algorithm. Output is deterministic regardless of the
+//     worker count or scheduling order: results are indexed by component
+//     id and merged in component order, never in completion order.
+//  3. packComponents — first-fit-decreasing bin packing of the
+//     per-component steps into shared global steps under the k-edge
+//     budget. Fusing steps of durations d1 ≥ d2 replaces d1+d2+2β with
+//     d1+β, so the packed schedule is provably never costlier than
+//     concatenating the component schedules.
+
+// sharder splits a graph into connected components with a union-find
+// pass. All storage is reusable: splitting the same-shaped graph again
+// performs no allocations at steady state
+// (TestShardScratchSteadyStateAllocs).
+type sharder struct {
+	parent []int // union-find over nodes; right node r lives at nLeft+r
+	size   []int // union by size
+
+	rootComp  []int // root node -> component id, valid when stamped
+	rootStamp []int
+	epoch     int
+
+	comp  []int // edge index -> component id (discovery order over edges)
+	count []int // component id -> edge count
+	start []int // component id -> offset into edges
+	edges []int // edge indices grouped by component, original order kept
+	nComp int
+}
+
+func newSharder() *sharder { return &sharder{} }
+
+// ensureInts returns buf resized to n, reallocating only on growth.
+func ensureInts(buf []int, n int) []int {
+	if cap(buf) < n {
+		return make([]int, n)
+	}
+	return buf[:n]
+}
+
+// split computes the connected components of g. After it returns,
+// component c owns the edge indices sh.edges[sh.start[c]:sh.start[c+1]]
+// (original order preserved within each component) and components are
+// numbered in order of their first edge.
+//
+//redistlint:hotpath
+func (sh *sharder) split(g *bipartite.Graph) {
+	n := g.LeftCount() + g.RightCount()
+	m := g.EdgeCount()
+	sh.parent = ensureInts(sh.parent, n)
+	sh.size = ensureInts(sh.size, n)
+	sh.rootComp = ensureInts(sh.rootComp, n)
+	sh.rootStamp = ensureInts(sh.rootStamp, n)
+	sh.comp = ensureInts(sh.comp, m)
+	sh.edges = ensureInts(sh.edges, m)
+	for i := 0; i < n; i++ {
+		sh.parent[i] = i
+		sh.size[i] = 1
+	}
+	nl := g.LeftCount()
+	for i := 0; i < m; i++ {
+		e := g.Edge(i)
+		sh.union(e.L, nl+e.R)
+	}
+	// Number the components by first appearance in edge order, so the
+	// numbering (and everything downstream of it) is independent of the
+	// union-find internals.
+	sh.epoch++
+	sh.nComp = 0
+	for i := 0; i < m; i++ {
+		root := sh.find(g.Edge(i).L)
+		if sh.rootStamp[root] != sh.epoch {
+			sh.rootStamp[root] = sh.epoch
+			sh.rootComp[root] = sh.nComp
+			sh.nComp++
+		}
+		sh.comp[i] = sh.rootComp[root]
+	}
+	// Group the edge indices by component with a counting sort: stable, so
+	// the original edge order survives within each component.
+	sh.count = ensureInts(sh.count, sh.nComp)
+	sh.start = ensureInts(sh.start, sh.nComp+1)
+	for c := 0; c < sh.nComp; c++ {
+		sh.count[c] = 0
+	}
+	for i := 0; i < m; i++ {
+		sh.count[sh.comp[i]]++
+	}
+	sh.start[0] = 0
+	for c := 0; c < sh.nComp; c++ {
+		sh.start[c+1] = sh.start[c] + sh.count[c]
+	}
+	for c := 0; c < sh.nComp; c++ {
+		sh.count[c] = sh.start[c] // reuse as fill cursor
+	}
+	for i := 0; i < m; i++ {
+		c := sh.comp[i]
+		sh.edges[sh.count[c]] = i
+		sh.count[c]++
+	}
+}
+
+//redistlint:hotpath
+func (sh *sharder) find(x int) int {
+	for sh.parent[x] != x {
+		sh.parent[x] = sh.parent[sh.parent[x]] // path halving
+		x = sh.parent[x]
+	}
+	return x
+}
+
+//redistlint:hotpath
+func (sh *sharder) union(a, b int) {
+	ra, rb := sh.find(a), sh.find(b)
+	if ra == rb {
+		return
+	}
+	if sh.size[ra] < sh.size[rb] {
+		ra, rb = rb, ra
+	}
+	sh.parent[rb] = ra
+	sh.size[ra] += sh.size[rb]
+}
+
+// componentEdges returns the edge indices of component c in original
+// edge order.
+func (sh *sharder) componentEdges(c int) []int {
+	return sh.edges[sh.start[c]:sh.start[c+1]]
+}
+
+// largestComponentEdges returns the edge count of the largest component.
+func (sh *sharder) largestComponentEdges() int {
+	max := 0
+	for c := 0; c < sh.nComp; c++ {
+		if n := sh.start[c+1] - sh.start[c]; n > max {
+			max = n
+		}
+	}
+	return max
+}
+
+// shardScratch is one worker's reusable arena for extracting component
+// subproblems: global-to-local node maps (epoch-stamped, never cleared)
+// and the local-to-global maps the remap step needs. One instance per
+// worker — workers share nothing mutable.
+type shardScratch struct {
+	localL, localR []int // global node -> component-local id
+	stampL, stampR []int
+	epoch          int
+	origL, origR   []int // component-local id -> global node
+	nL, nR         int   // node counts of the component mapped last
+}
+
+func newShardScratch(g *bipartite.Graph) *shardScratch {
+	return &shardScratch{
+		localL: make([]int, g.LeftCount()),
+		localR: make([]int, g.RightCount()),
+		stampL: make([]int, g.LeftCount()),
+		stampR: make([]int, g.RightCount()),
+	}
+}
+
+// mapComponent assigns component-local node ids to component c of g in
+// edge-scan order — exactly the order buildInstance compacts nodes, so a
+// single-component graph maps to an identical working instance. Zero
+// allocations at steady state (arena growth only).
+//
+//redistlint:hotpath
+func (s *shardScratch) mapComponent(g *bipartite.Graph, sh *sharder, c int) {
+	s.epoch++
+	s.nL, s.nR = 0, 0
+	idx := sh.componentEdges(c)
+	s.origL = ensureInts(s.origL, len(idx))
+	s.origR = ensureInts(s.origR, len(idx))
+	for _, ei := range idx {
+		e := g.Edge(ei)
+		if s.stampL[e.L] != s.epoch {
+			s.stampL[e.L] = s.epoch
+			s.localL[e.L] = s.nL
+			s.origL[s.nL] = e.L
+			s.nL++
+		}
+		if s.stampR[e.R] != s.epoch {
+			s.stampR[e.R] = s.epoch
+			s.localR[e.R] = s.nR
+			s.origR[s.nR] = e.R
+			s.nR++
+		}
+	}
+}
+
+// subgraph materializes component c as a standalone bipartite graph in
+// local node ids, edges in original order. The graph itself allocates —
+// it feeds straight into buildInstance, which allocates its working
+// instance anyway; only the mapping arenas above are steady-state free.
+func (s *shardScratch) subgraph(g *bipartite.Graph, sh *sharder, c int) *bipartite.Graph {
+	s.mapComponent(g, sh, c)
+	sub := bipartite.New(s.nL, s.nR)
+	for _, ei := range sh.componentEdges(c) {
+		e := g.Edge(ei)
+		sub.AddEdge(s.localL[e.L], s.localR[e.R], e.Weight)
+	}
+	return sub
+}
+
+// remap rewrites a component schedule's node ids back to the global ids
+// of the original graph. Must run before the scratch maps the next
+// component.
+func (s *shardScratch) remap(sched *Schedule) {
+	for si := range sched.Steps {
+		comms := sched.Steps[si].Comms
+		for ci := range comms {
+			comms[ci].L = s.origL[comms[ci].L]
+			comms[ci].R = s.origR[comms[ci].R]
+		}
+	}
+}
+
+// forceShardWorkers pins the component worker count when > 0. It is a
+// test hook: the determinism tests solve with 1 and with many workers and
+// require byte-identical schedules.
+var forceShardWorkers int
+
+// solveSharded runs the component-sharded pipeline. used=false means the
+// solve declined to shard (Shard=auto and the graph has fewer than two
+// components) and the caller should run the monolithic path; any other
+// outcome — including errors — is final.
+func solveSharded(g *bipartite.Graph, k int, beta int64, opts Options, so *obs.SolverObs) (*Schedule, bool, error) {
+	// One global validation, so sharded and unsharded solves accept and
+	// reject exactly the same instances with the same errors.
+	if err := validateInstance(g, k, beta); err != nil {
+		return nil, true, err
+	}
+	if g.EdgeCount() == 0 {
+		if opts.Shard == ShardAuto {
+			return nil, false, nil
+		}
+		return &Schedule{Beta: beta}, true, nil
+	}
+	sh := newSharder()
+	sh.split(g)
+	if opts.Shard == ShardAuto && sh.nComp < 2 {
+		// A single component gains nothing from the sharded machinery; the
+		// auto heuristic hands the monolithic path an untouched instance
+		// (the split pass costs O(m α(m)), negligible against the peel).
+		return nil, false, nil
+	}
+	so.Sharded(sh.nComp, sh.largestComponentEdges(), g.EdgeCount())
+	parts, err := solveComponents(g, sh, k, beta, opts, so)
+	if err != nil {
+		return nil, true, err
+	}
+	concat := 0
+	for _, p := range parts {
+		concat += len(p.Steps)
+	}
+	out := packComponents(parts, k, beta)
+	so.Packed(concat, len(out.Steps))
+	return out, true, nil
+}
+
+// solveComponents peels every component on a bounded worker pool and
+// returns the per-component schedules indexed by component id. Workers
+// claim components off an atomic cursor; the output position of a result
+// depends only on its component id, so schedules are byte-identical for
+// any worker count or interleaving.
+func solveComponents(g *bipartite.Graph, sh *sharder, k int, beta int64, opts Options, so *obs.SolverObs) ([]*Schedule, error) {
+	c := sh.nComp
+	parts := make([]*Schedule, c)
+	errs := make([]error, c)
+	panics := make([]any, c)
+	panicked := make([]bool, c)
+	workers := runtime.GOMAXPROCS(0)
+	if forceShardWorkers > 0 {
+		workers = forceShardWorkers
+	}
+	if workers > c {
+		workers = c
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			scratch := newShardScratch(g)
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= c {
+					return
+				}
+				solveComponentInto(g, sh, i, scratch, k, beta, opts, so, parts, errs, panics, panicked)
+			}
+		}()
+	}
+	wg.Wait()
+	// A panic inside a worker goroutine would crash the process instead of
+	// reaching the caller's recover (the batch engine converts solver
+	// panics into per-instance errors). Re-raise it on the calling
+	// goroutine; the lowest component wins so the surfaced failure is
+	// deterministic.
+	for i := range panicked {
+		if panicked[i] {
+			panic(panics[i])
+		}
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return parts, nil
+}
+
+// solveComponentInto solves component i into parts[i], capturing the
+// error or panic in the same slot.
+func solveComponentInto(g *bipartite.Graph, sh *sharder, i int, scratch *shardScratch, k int, beta int64, opts Options, so *obs.SolverObs, parts []*Schedule, errs []error, panics []any, panicked []bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			panicked[i] = true
+			panics[i] = r
+		}
+	}()
+	parts[i], errs[i] = solveComponent(g, sh, i, scratch, k, beta, opts, so)
+}
+
+// solveComponent extracts component i and runs the selected algorithm on
+// it. The global k is passed through unchanged: buildInstance clamps it
+// to the component's active node counts, exactly as the monolithic solve
+// clamps it to the whole graph's. The returned schedule is already in
+// global node ids.
+func solveComponent(g *bipartite.Graph, sh *sharder, i int, scratch *shardScratch, k int, beta int64, opts Options, so *obs.SolverObs) (*Schedule, error) {
+	sub := scratch.subgraph(g, sh, i)
+	co := so.Component(i, sub.LeftCount()+sub.RightCount(), sub.EdgeCount())
+	var s *Schedule
+	var err error
+	switch opts.Algorithm {
+	case GGP:
+		s, err = solvePeeling(sub, k, beta, matchAny, false, co)
+	case OGGP:
+		s, err = solvePeeling(sub, k, beta, matchBottleneck, false, co)
+	case MinSteps:
+		s, err = solvePeeling(sub, k, beta, matchBottleneck, true, co)
+	case Greedy:
+		s, err = solveGreedy(sub, k, beta)
+	}
+	if err != nil {
+		return nil, err
+	}
+	scratch.remap(s)
+	co.Done(len(s.Steps), s.Cost())
+	return s, nil
+}
+
+// packEntry is one component step inside the cross-component packer.
+type packEntry struct {
+	comp, step int
+	dur        int64
+	size       int
+}
+
+// packByDurDesc orders entries by descending duration (the first-fit-
+// decreasing rule), component then step index as deterministic tiebreaks.
+type packByDurDesc []packEntry
+
+func (s packByDurDesc) Len() int      { return len(s) }
+func (s packByDurDesc) Swap(a, b int) { s[a], s[b] = s[b], s[a] }
+func (s packByDurDesc) Less(a, b int) bool {
+	if s[a].dur != s[b].dur {
+		return s[a].dur > s[b].dur
+	}
+	if s[a].comp != s[b].comp {
+		return s[a].comp < s[b].comp
+	}
+	return s[a].step < s[b].step
+}
+
+// packByCompStep orders a bin's members by (component, step) so the
+// merged step lists comms in component order.
+type packByCompStep []packEntry
+
+func (s packByCompStep) Len() int      { return len(s) }
+func (s packByCompStep) Swap(a, b int) { s[a], s[b] = s[b], s[a] }
+func (s packByCompStep) Less(a, b int) bool {
+	if s[a].comp != s[b].comp {
+		return s[a].comp < s[b].comp
+	}
+	return s[a].step < s[b].step
+}
+
+// packBin is one global step under construction.
+type packBin struct {
+	rem     int // remaining edge capacity out of k
+	members []packEntry
+}
+
+// packComponents bin-packs the per-component steps into shared global
+// steps: sort all steps by descending duration, then first-fit each into
+// the earliest bin with enough remaining k-capacity that does not already
+// hold a step of the same component. Steps of different components are
+// node-disjoint by construction, so a bin is always a valid matching;
+// steps of the same component may share nodes and never co-locate (their
+// intra-component packing is Schedule.Pack's job, not this one's).
+//
+// Cost: every bin's duration is the max of its members, ≤ their sum, and
+// the bin count is ≤ the step count, so the packed schedule never costs
+// more than concatenating the component schedules (each fusion of d1 ≥ d2
+// replaces d1+d2+2β with d1+β). That is the guarantee; the packed cost is
+// NOT guaranteed ≤ the monolithic solve's — see DESIGN.md §9 for the
+// counterexample.
+func packComponents(parts []*Schedule, k int, beta int64) *Schedule {
+	if len(parts) == 1 {
+		// Nothing to pack across; returning the component schedule untouched
+		// keeps Shard=on byte-identical to the monolithic solve on connected
+		// graphs.
+		return parts[0]
+	}
+	total := 0
+	for _, p := range parts {
+		total += len(p.Steps)
+	}
+	entries := make([]packEntry, 0, total)
+	for ci, p := range parts {
+		for si := range p.Steps {
+			st := &p.Steps[si]
+			entries = append(entries, packEntry{comp: ci, step: si, dur: st.Duration, size: len(st.Comms)})
+		}
+	}
+	sort.Sort(packByDurDesc(entries))
+
+	bins := make([]*packBin, 0, len(entries))
+	for _, e := range entries {
+		placed := false
+		for _, b := range bins {
+			if b.rem < e.size {
+				continue
+			}
+			clash := false
+			for _, m := range b.members {
+				if m.comp == e.comp {
+					clash = true
+					break
+				}
+			}
+			if clash {
+				continue
+			}
+			b.members = append(b.members, e)
+			b.rem -= e.size
+			placed = true
+			break
+		}
+		if !placed {
+			bins = append(bins, &packBin{rem: k - e.size, members: []packEntry{e}})
+		}
+	}
+
+	out := &Schedule{Beta: beta, Steps: make([]Step, 0, len(bins))}
+	for _, b := range bins {
+		sort.Sort(packByCompStep(b.members))
+		n := 0
+		for _, m := range b.members {
+			n += m.size
+		}
+		st := Step{Comms: make([]Comm, 0, n)}
+		for _, m := range b.members {
+			st.Comms = append(st.Comms, parts[m.comp].Steps[m.step].Comms...)
+		}
+		st.recomputeDuration()
+		out.Steps = append(out.Steps, st)
+	}
+	return out
+}

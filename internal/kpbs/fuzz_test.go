@@ -83,6 +83,37 @@ func FuzzSolve(f *testing.F) {
 		if err := s.Validate(g, k); err != nil {
 			t.Fatalf("pack broke schedule: %v", err)
 		}
+
+		// Sharded arm: component sharding must accept exactly the instances
+		// the monolith accepts and produce a feasible schedule whose cost
+		// stays within [LB, concatenation] — the packer's provable envelope.
+		// (Sharded cost may exceed the monolith's: see DESIGN.md §9.)
+		sharded, err := Solve(g, k, beta, Options{Algorithm: alg, Shard: ShardOn})
+		if err != nil {
+			t.Fatalf("%v sharded solve rejected a valid instance: %v", alg, err)
+		}
+		if err := sharded.Validate(g, k); err != nil {
+			t.Fatalf("%v sharded: infeasible schedule: %v", alg, err)
+		}
+		if sharded.Cost() < lb {
+			t.Fatalf("%v sharded cost %d < lower bound %d", alg, sharded.Cost(), lb)
+		}
+		if concat := componentConcatCost(t, g, k, beta, alg); sharded.Cost() > concat {
+			t.Fatalf("%v sharded cost %d exceeds concatenation bound %d", alg, sharded.Cost(), concat)
+		}
+		// The component pool must be schedule-invariant in its worker count,
+		// and observation of a sharded solve must stay passive.
+		forceShardWorkers = 1
+		serial, serr := Solve(g, k, beta, Options{Algorithm: alg, Shard: ShardOn})
+		forceShardWorkers = 8
+		wide, werr := Solve(g, k, beta, Options{Algorithm: alg, Shard: ShardOn, Obs: obs.New()})
+		forceShardWorkers = 0
+		if serr != nil || werr != nil {
+			t.Fatalf("%v sharded reruns failed: %v / %v", alg, serr, werr)
+		}
+		if serial.String() != sharded.String() || wide.String() != sharded.String() {
+			t.Fatalf("%v: sharded schedule depends on worker count or observer", alg)
+		}
 	})
 }
 
@@ -155,6 +186,28 @@ func FuzzPeelDifferential(f *testing.F) {
 		}
 		if inc.String() != again.String() {
 			t.Fatalf("%v: nondeterministic incremental schedule:\n%s\nvs\n%s", alg, inc, again)
+		}
+		// Sharded differential: the component-sharded path must stay
+		// feasible, respect the lower bound and the concatenation envelope,
+		// and — on connected graphs, where sharding degenerates to a single
+		// component — reproduce the monolith byte for byte.
+		sharded, err := Solve(g, k, beta, Options{Algorithm: alg, Shard: ShardOn})
+		if err != nil {
+			t.Fatalf("%v sharded: %v", alg, err)
+		}
+		if err := sharded.Validate(g, k); err != nil {
+			t.Fatalf("%v sharded: infeasible schedule: %v", alg, err)
+		}
+		if lb := LowerBound(g, k, beta); sharded.Cost() < lb {
+			t.Fatalf("%v sharded: cost %d < lower bound %d", alg, sharded.Cost(), lb)
+		}
+		if concat := componentConcatCost(t, g, k, beta, alg); sharded.Cost() > concat {
+			t.Fatalf("%v sharded: cost %d exceeds concatenation bound %d", alg, sharded.Cost(), concat)
+		}
+		sh := newSharder()
+		sh.split(g)
+		if sh.nComp == 1 && sharded.String() != inc.String() {
+			t.Fatalf("%v: sharded diverged from monolith on a connected graph:\n%s\nvs\n%s", alg, sharded, inc)
 		}
 	})
 }

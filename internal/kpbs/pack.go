@@ -30,9 +30,7 @@ func (s *Schedule) Pack(k int) int {
 	for i := range order {
 		order[i] = i
 	}
-	sort.SliceStable(order, func(a, b int) bool {
-		return s.Steps[order[a]].Duration > s.Steps[order[b]].Duration
-	})
+	sort.Stable(stepIdxByDurDesc{idx: order, steps: s.Steps})
 
 	groups := make([]*stepGroup, len(order))
 	for i, idx := range order {
@@ -66,6 +64,34 @@ func (s *Schedule) Pack(k int) int {
 	}
 	s.Steps = out
 	return fusions
+}
+
+// stepIdxByDurDesc sorts step indices by duration descending
+// (first-fit-decreasing). A typed sorter, not a sort.Slice closure,
+// keeping the solver's post-pass allocation-light and closure-free like
+// the rest of the setup paths.
+type stepIdxByDurDesc struct {
+	idx   []int
+	steps []Step
+}
+
+func (s stepIdxByDurDesc) Len() int      { return len(s.idx) }
+func (s stepIdxByDurDesc) Swap(a, b int) { s.idx[a], s.idx[b] = s.idx[b], s.idx[a] }
+func (s stepIdxByDurDesc) Less(a, b int) bool {
+	return s.steps[s.idx[a]].Duration > s.steps[s.idx[b]].Duration
+}
+
+// pairsByLR orders (left, right) node pairs lexicographically for
+// deterministic communication order inside a packed step.
+type pairsByLR [][2]int
+
+func (p pairsByLR) Len() int      { return len(p) }
+func (p pairsByLR) Swap(a, b int) { p[a], p[b] = p[b], p[a] }
+func (p pairsByLR) Less(a, b int) bool {
+	if p[a][0] != p[b][0] {
+		return p[a][0] < p[b][0]
+	}
+	return p[a][1] < p[b][1]
 }
 
 // stepGroup is a step under construction during packing: a matching
@@ -130,12 +156,7 @@ func (g *stepGroup) step() Step {
 	for p := range g.amount {
 		pairs = append(pairs, p)
 	}
-	sort.Slice(pairs, func(a, b int) bool {
-		if pairs[a][0] != pairs[b][0] {
-			return pairs[a][0] < pairs[b][0]
-		}
-		return pairs[a][1] < pairs[b][1]
-	})
+	sort.Sort(pairsByLR(pairs))
 	var st Step
 	for _, p := range pairs {
 		st.Comms = append(st.Comms, Comm{L: p[0], R: p[1], Amount: g.amount[p]})

@@ -1,0 +1,63 @@
+package kpbs
+
+import (
+	"math/rand"
+	"testing"
+
+	"redistgo/internal/bipartite"
+)
+
+// BenchmarkShardSolve measures the component-sharded solver against the
+// monolith on the PR's acceptance workloads. The win has two sources:
+// per-component matchings search a fraction of the edges (superlinear in
+// graph size, so it shows even on one core), and components peel on
+// parallel workers when GOMAXPROCS allows. Dense64 is the
+// single-component control: Shard=auto detects one component and falls
+// through, so its gate is "within 5% of the monolith" (benchcompare
+// -expect Dense64=0.95), bounding the sharding layer's detection
+// overhead.
+//
+//	make bench-shard     # full comparison, writes BENCH_PR5.json
+func BenchmarkShardSolve(b *testing.B) {
+	rng := rand.New(rand.NewSource(64))
+	workloads := []struct {
+		name string
+		g    *bipartite.Graph
+		k    int
+		beta int64
+	}{
+		{"BlockDiag8x64", blockGraph(b, 1, 8, 64), 64, 1},
+		{"PowerLaw256", powerLawGraph(b, 1, 256, 2000), 32, 1},
+		{"Dense64", denseGraph(rng, 64, 1000), 32, 1},
+	}
+	modes := []struct {
+		name  string
+		shard ShardMode
+	}{
+		{"unsharded", ShardOff},
+		{"sharded", ShardAuto},
+	}
+	for _, w := range workloads {
+		for _, m := range modes {
+			b.Run(w.name+"/OGGP/"+m.name, func(b *testing.B) {
+				// One untimed solve absorbs process-cold effects (binary
+				// page-in, heap growth) that would otherwise inflate the
+				// first sample by up to 2x on a cold container.
+				if _, err := Solve(w.g, w.k, w.beta, Options{Algorithm: OGGP, Shard: m.shard}); err != nil {
+					b.Fatal(err)
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					s, err := Solve(w.g, w.k, w.beta, Options{Algorithm: OGGP, Shard: m.shard})
+					if err != nil {
+						b.Fatal(err)
+					}
+					if len(s.Steps) == 0 {
+						b.Fatal("empty schedule")
+					}
+				}
+			})
+		}
+	}
+}

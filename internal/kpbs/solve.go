@@ -42,6 +42,49 @@ func (a Algorithm) String() string {
 	return fmt.Sprintf("Algorithm(%d)", int(a))
 }
 
+// ShardMode selects the component-sharding behavior of Solve (see
+// components.go and DESIGN.md §9).
+type ShardMode int
+
+const (
+	// ShardOff — the zero value, and the default — solves the instance as
+	// one monolith, reproducing the paper's algorithms verbatim.
+	ShardOff ShardMode = iota
+	// ShardAuto shards when the graph has two or more connected
+	// components and otherwise falls back to the monolithic path; the
+	// detection pass is a single O(m α(m)) union-find sweep.
+	ShardAuto
+	// ShardOn always runs the sharded pipeline, even on connected graphs
+	// (where it produces a byte-identical schedule to ShardOff).
+	ShardOn
+)
+
+// String returns the mode's flag spelling.
+func (m ShardMode) String() string {
+	switch m {
+	case ShardOff:
+		return "off"
+	case ShardAuto:
+		return "auto"
+	case ShardOn:
+		return "on"
+	}
+	return fmt.Sprintf("ShardMode(%d)", int(m))
+}
+
+// ParseShardMode parses the -shard flag spelling used by the cmds.
+func ParseShardMode(s string) (ShardMode, error) {
+	switch s {
+	case "off":
+		return ShardOff, nil
+	case "auto":
+		return ShardAuto, nil
+	case "on":
+		return ShardOn, nil
+	}
+	return 0, fmt.Errorf("kpbs: unknown shard mode %q (want auto, on or off)", s)
+}
+
 // Options configure Solve beyond the instance parameters.
 type Options struct {
 	// Algorithm to run; GGP by default.
@@ -54,6 +97,15 @@ type Options struct {
 	// solving, saving β plus the shorter duration per merge (see
 	// Schedule.Pack). Off by default for the same reason.
 	Pack bool
+	// Shard splits the instance into connected components, peels them in
+	// parallel and packs the per-component steps back into shared global
+	// steps (components.go). ShardOff — the zero value — keeps the
+	// monolithic paper-verbatim path; ShardAuto shards only multi-component
+	// graphs. Sharded output is deterministic (byte-identical for any
+	// worker count) and never costlier than concatenating the component
+	// schedules, but carries no monolith-relative guarantee beyond the
+	// per-component approximation bounds — see DESIGN.md §9.
+	Shard ShardMode
 	// Obs attaches the observability layer: per-solve metrics and per-peel
 	// trace events (step index, matching size, bottleneck weight, residual
 	// edges, warm-start reuse) are recorded through it. nil — the default —
@@ -79,6 +131,24 @@ func Solve(g *bipartite.Graph, k int, beta int64, opts Options) (*Schedule, erro
 	so := opts.Obs.Solver(opts.Algorithm.String())
 	var s *Schedule
 	var err error
+	if opts.Shard != ShardOff {
+		sharded, used, serr := solveSharded(g, k, beta, opts, so)
+		if used {
+			if serr != nil {
+				return nil, serr
+			}
+			if opts.Coalesce {
+				sharded.Coalesce()
+			}
+			if opts.Pack {
+				sharded.Pack(k)
+			}
+			so.Done(len(sharded.Steps), sharded.Cost())
+			return sharded, nil
+		}
+		// ShardAuto on a single-component graph: fall through to the
+		// monolithic path below.
+	}
 	switch opts.Algorithm {
 	case GGP:
 		s, err = solvePeeling(g, k, beta, matchAny, false, so)
@@ -194,16 +264,12 @@ func solveGreedy(g *bipartite.Graph, k int, beta int64) (*Schedule, error) {
 		return nil, err
 	}
 	order := make([]int, g.EdgeCount())
+	weights := make([]int64, g.EdgeCount())
 	for i := range order {
 		order[i] = i
+		weights[i] = g.Edge(i).Weight
 	}
-	sort.Slice(order, func(a, b int) bool {
-		wa, wb := g.Edge(order[a]).Weight, g.Edge(order[b]).Weight
-		if wa != wb {
-			return wa > wb
-		}
-		return order[a] < order[b]
-	})
+	sort.Sort(idxByWeightDesc{idx: order, w: weights})
 	out := &Schedule{Beta: beta}
 	usedL := make([]bool, g.LeftCount())
 	usedR := make([]bool, g.RightCount())
@@ -235,4 +301,23 @@ func solveGreedy(g *bipartite.Graph, k int, beta int64) (*Schedule, error) {
 		out.Steps = append(out.Steps, st)
 	}
 	return out, nil
+}
+
+// idxByWeightDesc sorts an index slice by decreasing weight, index
+// ascending on ties. A typed sorter rather than a sort.Slice closure:
+// the solver's setup paths stay closure-free, matching the hotpath lint
+// discipline of the arenas they feed.
+type idxByWeightDesc struct {
+	idx []int
+	w   []int64
+}
+
+func (s idxByWeightDesc) Len() int      { return len(s.idx) }
+func (s idxByWeightDesc) Swap(a, b int) { s.idx[a], s.idx[b] = s.idx[b], s.idx[a] }
+func (s idxByWeightDesc) Less(a, b int) bool {
+	ia, ib := s.idx[a], s.idx[b]
+	if s.w[ia] != s.w[ib] {
+		return s.w[ia] > s.w[ib]
+	}
+	return ia < ib
 }

@@ -58,9 +58,17 @@ type BottleneckInc struct {
 
 	isPrev []bool // marks the surviving previous matching during Rematch
 
-	// Kuhn augmentation scratch.
-	visited []int
-	stamp   int
+	// Kuhn augmentation scratch. The DFS is iterative — an augmenting path
+	// visits each right node at most once per stamp, so its depth is
+	// bounded by min(nL, nR) distinct left nodes and the explicit stacks
+	// below replace O(n) recursion frames (which overflow goroutine stacks
+	// on the large sparse instances component sharding unlocks; see
+	// TestBottleneckIncDeepAugmentingPath).
+	visited   []int
+	stamp     int
+	stackL    []int // left node at each DFS depth
+	stackIter []int // next adjacency slot to try at that depth
+	stackEdge []int // edge chosen at that depth (valid once a child is entered)
 
 	// Growth gating: an augmenting path must start at a free left node with
 	// inserted edges and end at a free right node with inserted edges, so
@@ -97,6 +105,13 @@ func NewBottleneckInc(nL, nR int, edgeL, edgeR []int, w []int64) *BottleneckInc 
 		lTouched: make([]bool, nL),
 		rTouched: make([]bool, nR),
 	}
+	depth := nL
+	if nR < depth {
+		depth = nR
+	}
+	b.stackL = make([]int, depth+1)
+	b.stackIter = make([]int, depth+1)
+	b.stackEdge = make([]int, depth+1)
 	for _, l := range edgeL {
 		b.base[l+1]++
 	}
@@ -106,15 +121,28 @@ func NewBottleneckInc(nL, nR int, edgeL, edgeR []int, w []int64) *BottleneckInc 
 	for i := range b.order0 {
 		b.order0[i] = i
 	}
-	sort.Slice(b.order0, func(x, y int) bool {
-		a, c := b.order0[x], b.order0[y]
-		if w[a] != w[c] {
-			return w[a] > w[c]
-		}
-		return a < c
-	})
+	sort.Sort(edgeIdxByWeightDesc{idx: b.order0, w: w})
 	b.Reset()
 	return b
+}
+
+// edgeIdxByWeightDesc sorts edge indices by decreasing weight, index
+// ascending on ties (the deterministic insertion order of the Figure-6
+// procedure). A typed sorter, not a sort.Slice closure, keeping the
+// matcher construction paths closure-free like the hot paths they set up.
+type edgeIdxByWeightDesc struct {
+	idx []int
+	w   []int64
+}
+
+func (s edgeIdxByWeightDesc) Len() int      { return len(s.idx) }
+func (s edgeIdxByWeightDesc) Swap(a, b int) { s.idx[a], s.idx[b] = s.idx[b], s.idx[a] }
+func (s edgeIdxByWeightDesc) Less(a, b int) bool {
+	ia, ib := s.idx[a], s.idx[b]
+	if s.w[ia] != s.w[ib] {
+		return s.w[ia] > s.w[ib]
+	}
+	return ia < ib
 }
 
 // Reset reactivates every edge and clears the matching. The caller must
@@ -292,33 +320,55 @@ func (b *BottleneckInc) grow(target int) {
 	}
 }
 
-// augment searches an augmenting path from free left node l over the
-// inserted edges (Kuhn DFS with visit stamps).
+// augment searches an augmenting path from free left node root over the
+// inserted edges (Kuhn DFS with visit stamps), iteratively with an
+// explicit stack. The traversal order is exactly the recursive version's
+// — adjacency slots in insertion order, descending into the matched left
+// node of each newly visited right node — so schedules are byte-identical
+// to the recursive implementation it replaced; only the path is recorded
+// on preallocated stacks instead of the goroutine stack, whose growth a
+// 50k-deep recursion used to exhaust.
 //
 //redistlint:hotpath
-func (b *BottleneckInc) augment(l int) bool {
-	end := b.base[l] + b.fill[l]
-	for i := b.base[l]; i < end; i++ {
+func (b *BottleneckInc) augment(root int) bool {
+	top := 0
+	b.stackL[0] = root
+	b.stackIter[0] = b.base[root]
+	for top >= 0 {
+		l := b.stackL[top]
+		i := b.stackIter[top]
+		if i == b.base[l]+b.fill[l] {
+			top-- // adjacency exhausted: dead end, backtrack
+			continue
+		}
+		b.stackIter[top] = i + 1
 		e := b.adj[i]
 		r := b.edgeR[e]
 		if b.visited[r] == b.stamp {
 			continue
 		}
 		b.visited[r] = b.stamp
+		b.stackEdge[top] = e
 		me := b.matchR[r]
 		if me < 0 {
+			// Free right endpoint: flip the recorded path. Each stack level t
+			// holds the edge from stackL[t] to the right node level t+1 came
+			// down through (or to r itself at the top), so assigning every
+			// level's edge rematches the whole alternating path.
 			if b.rTouched[r] {
 				b.freeTouchR--
 			}
-			b.matchL[l] = e
-			b.matchR[r] = e
+			for t := top; t >= 0; t-- {
+				pe := b.stackEdge[t]
+				b.matchL[b.stackL[t]] = pe
+				b.matchR[b.edgeR[pe]] = pe
+			}
 			return true
 		}
-		if b.augment(b.edgeL[me]) {
-			b.matchL[l] = e
-			b.matchR[r] = e
-			return true
-		}
+		top++
+		nl := b.edgeL[me]
+		b.stackL[top] = nl
+		b.stackIter[top] = b.base[nl]
 	}
 	return false
 }

@@ -291,19 +291,15 @@ func bottleneck(g *bipartite.Graph, target int) (Matching, bool) {
 		return Matching{EdgeOfLeft: newKuhn(g).matchL}, true
 	}
 	order := make([]int, g.EdgeCount())
+	weights := make([]int64, g.EdgeCount())
 	for i := range order {
 		order[i] = i
+		weights[i] = g.Edge(i).Weight
 	}
-	sort.Slice(order, func(a, b int) bool {
-		// Index tiebreak for equal weights: without it the permutation of a
-		// weight class is at the mercy of the sort implementation, and the
-		// chosen matching (hence OGGP's output schedule) with it.
-		wa, wb := g.Edge(order[a]).Weight, g.Edge(order[b]).Weight
-		if wa != wb {
-			return wa > wb
-		}
-		return order[a] < order[b]
-	})
+	// Index tiebreak for equal weights: without it the permutation of a
+	// weight class is at the mercy of the sort implementation, and the
+	// chosen matching (hence OGGP's output schedule) with it.
+	sort.Sort(edgeIdxByWeightDesc{idx: order, w: weights})
 	k := newKuhn(g)
 	i := 0
 	for i < len(order) {

@@ -56,6 +56,15 @@ type solverMetrics struct {
 	reused    *Counter
 	matchSize *Histogram
 	solveUS   *Histogram
+
+	// Component-sharding metrics (kpbs Options.Shard): how many solves
+	// took the sharded path, the component-count distribution, how
+	// dominant the largest component is, and how much the cross-component
+	// packer compressed the concatenated step lists.
+	shardSolves *Counter
+	components  *Histogram
+	largestPct  *Gauge
+	packEffPct  *Gauge
 }
 
 func (o *Observer) solverMetrics(alg string) *solverMetrics {
@@ -75,6 +84,11 @@ func (o *Observer) solverMetrics(alg string) *solverMetrics {
 		reused:    o.Metrics.Counter("solver.warm_reused_pairs_total." + alg),
 		matchSize: o.Metrics.Histogram("solver.peel_matching_size."+alg, SizeBuckets),
 		solveUS:   o.Metrics.Histogram("solver.solve_us."+alg, DurationBuckets),
+
+		shardSolves: o.Metrics.Counter("solver.shard.solves_total." + alg),
+		components:  o.Metrics.Histogram("solver.shard.components."+alg, SizeBuckets),
+		largestPct:  o.Metrics.Gauge("solver.shard.largest_component_pct." + alg),
+		packEffPct:  o.Metrics.Gauge("solver.shard.pack_efficiency_pct." + alg),
 	}
 	o.solvers[alg] = m
 	return m
@@ -89,6 +103,9 @@ type SolverObs struct {
 	tr   *Trace
 	span Span
 	tid  int
+	// component marks a child view handed out by Component: its Done
+	// closes the component span without recounting the enclosing solve.
+	component bool
 }
 
 // Solver opens the observation of one solve with the given algorithm
@@ -128,15 +145,75 @@ func (s *SolverObs) Peel(step, matched, reused int, minWeight int64, residualEdg
 	})
 }
 
-// Done closes the solve observation with its outcome.
+// Done closes the solve observation with its outcome. On a component
+// child view (see Component) it only closes the component span: the
+// enclosing solve is counted once, by the parent's Done.
 func (s *SolverObs) Done(steps int, cost int64) {
 	if s == nil {
+		return
+	}
+	if s.component {
+		s.span.End([]Arg{{"steps", int64(steps)}, {"cost", cost}})
 		return
 	}
 	s.m.solves.Inc()
 	s.m.steps.Add(int64(steps))
 	s.m.solveUS.Observe(s.span.Elapsed().Microseconds())
 	s.span.End([]Arg{{"steps", int64(steps)}, {"cost", cost}})
+}
+
+// Sharded records that the solve took the component-sharded path, with
+// the component count and the largest component's share of the edges.
+func (s *SolverObs) Sharded(components, largestEdges, totalEdges int) {
+	if s == nil {
+		return
+	}
+	s.m.shardSolves.Inc()
+	s.m.components.Observe(int64(components))
+	if totalEdges > 0 {
+		s.m.largestPct.Set(int64(largestEdges) * 100 / int64(totalEdges))
+	}
+	s.tr.Instant("solver", "shard", PIDSolver, s.tid, []Arg{
+		{"components", int64(components)},
+		{"largest_edges", int64(largestEdges)},
+		{"total_edges", int64(totalEdges)},
+	})
+}
+
+// Packed records the cross-component packing outcome: the pack-efficiency
+// gauge is the percentage of concatenated steps the packer eliminated.
+func (s *SolverObs) Packed(concatSteps, packedSteps int) {
+	if s == nil {
+		return
+	}
+	if concatSteps > 0 {
+		s.m.packEffPct.Set(int64(concatSteps-packedSteps) * 100 / int64(concatSteps))
+	}
+	s.tr.Instant("solver", "pack", PIDSolver, s.tid, []Arg{
+		{"steps_concat", int64(concatSteps)},
+		{"steps_packed", int64(packedSteps)},
+	})
+}
+
+// Component opens the observation of one component's peel inside a
+// sharded solve. The child shares the parent's metrics and trace lane —
+// per-peel events from concurrent component workers interleave safely
+// (the trace is mutex-protected, the counters atomic) — and its Done
+// closes only the component span. Nil receiver → nil child.
+func (s *SolverObs) Component(id, nodes, edges int) *SolverObs {
+	if s == nil {
+		return nil
+	}
+	c := &SolverObs{m: s.m, tr: s.tr, tid: s.tid, component: true}
+	c.span = s.tr.StartSpan("solver", "component "+strconv.Itoa(id), PIDSolver, s.tid)
+	// Stamp the component's shape on the span via an instant event so the
+	// trace shows size next to timing.
+	s.tr.Instant("solver", "component shape", PIDSolver, s.tid, []Arg{
+		{"component", int64(id)},
+		{"nodes", int64(nodes)},
+		{"edges", int64(edges)},
+	})
+	return c
 }
 
 // ---------------------------------------------------------------------------

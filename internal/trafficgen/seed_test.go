@@ -60,6 +60,15 @@ func TestGeneratorsSeedDeterminism(t *testing.T) {
 		{"Skewed", func(rng *rand.Rand) []byte {
 			return dumpMatrix(Skewed(rng, 12, 18, 0.25, 1000, 1, 1000))
 		}},
+		{"BlockDiagonal/tight", func(rng *rand.Rand) []byte {
+			return dumpMatrix(BlockDiagonal(rng, 4, 8, 0, 1, 1000))
+		}},
+		{"BlockDiagonal/leaky", func(rng *rand.Rand) []byte {
+			return dumpMatrix(BlockDiagonal(rng, 3, 5, 0.05, 1, 1<<40))
+		}},
+		{"PowerLawSparse", func(rng *rand.Rand) []byte {
+			return dumpMatrix(PowerLawSparse(rng, 40, 40, 120, 1.3, 1, 1000))
+		}},
 	}
 	for _, g := range gens {
 		t.Run(g.name, func(t *testing.T) {

@@ -1,0 +1,65 @@
+package trafficgen
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestBlockDiagonalStructure(t *testing.T) {
+	const shards, size = 4, 6
+	rng := rand.New(rand.NewSource(7))
+	m := BlockDiagonal(rng, shards, size, 0, 1, 100)
+	if len(m) != shards*size {
+		t.Fatalf("matrix size %d, want %d", len(m), shards*size)
+	}
+	for i := range m {
+		for j := range m[i] {
+			inBlock := i/size == j/size
+			if inBlock && m[i][j] <= 0 {
+				t.Fatalf("diagonal-block entry (%d,%d) empty", i, j)
+			}
+			if !inBlock && m[i][j] != 0 {
+				t.Fatalf("leak=0 produced off-block entry (%d,%d)=%d", i, j, m[i][j])
+			}
+		}
+	}
+	// A full leak must populate every pair.
+	full := BlockDiagonal(rng, 2, 3, 1, 5, 5)
+	for i := range full {
+		for j := range full[i] {
+			if full[i][j] != 5 {
+				t.Fatalf("leak=1 minW=maxW=5: entry (%d,%d)=%d", i, j, full[i][j])
+			}
+		}
+	}
+}
+
+func TestPowerLawSparseIsSparseAndSkewed(t *testing.T) {
+	const n, edges = 64, 200
+	rng := rand.New(rand.NewSource(9))
+	m := PowerLawSparse(rng, n, n, edges, 1.2, 1, 1000)
+	nonzero := 0
+	var hot, total int64
+	for i := range m {
+		for j := range m[i] {
+			if m[i][j] > 0 {
+				nonzero++
+				total += m[i][j]
+				if i == 0 {
+					hot += m[i][j]
+				}
+			}
+		}
+	}
+	if nonzero == 0 || nonzero > edges {
+		t.Fatalf("nonzero entries %d outside (0, %d]", nonzero, edges)
+	}
+	if nonzero == n*n {
+		t.Fatal("power-law generator produced a dense matrix")
+	}
+	// Zipf's head: the hottest sender must carry far more than a uniform
+	// 1/n share of the traffic.
+	if hot*int64(n) < 2*total {
+		t.Fatalf("hottest row carries %d of %d — no skew", hot, total)
+	}
+}

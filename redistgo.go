@@ -87,6 +87,26 @@ const (
 // Options configures Solve.
 type Options = kpbs.Options
 
+// ShardMode selects whether Solve decomposes the instance into its
+// connected components and solves them in parallel (Options.Shard).
+type ShardMode = kpbs.ShardMode
+
+// The available sharding modes.
+const (
+	// ShardOff (the default) always runs the monolithic solver.
+	ShardOff = kpbs.ShardOff
+	// ShardAuto shards when the graph has two or more connected
+	// components and falls back to the monolith otherwise.
+	ShardAuto = kpbs.ShardAuto
+	// ShardOn always runs the sharded pipeline, even on connected graphs
+	// (where it produces the monolithic schedule byte for byte).
+	ShardOn = kpbs.ShardOn
+)
+
+// ParseShardMode parses "off", "auto" or "on" — the accepted values of
+// the cmd/ -shard flags.
+func ParseShardMode(s string) (ShardMode, error) { return kpbs.ParseShardMode(s) }
+
 // Solve schedules the communications of g under the 1-port constraint
 // with at most k simultaneous transfers and per-step setup delay beta
 // (same unit as the edge weights). The returned schedule transfers

@@ -78,3 +78,74 @@ func TestBenchCompareRejectsUnpairedInput(t *testing.T) {
 		t.Fatal("expected error for /ref without /inc")
 	}
 }
+
+const shardSample = `goos: linux
+BenchmarkShardSolve/BlockDiag8x64/OGGP/unsharded-8   2  900000000 ns/op
+BenchmarkShardSolve/BlockDiag8x64/OGGP/sharded-8     8  200000000 ns/op
+BenchmarkShardSolve/Dense64/OGGP/unsharded-8        50   10000000 ns/op
+BenchmarkShardSolve/Dense64/OGGP/sharded-8          49   10300000 ns/op
+PASS
+`
+
+// TestBenchCompareCustomVariantsAndExpect: -variants pairs arbitrary
+// suffixes, and -expect relaxes the gate for matching pairs — here the
+// single-component Dense64 control, which only needs speedup >= 0.95
+// while the sharded workload must reach 3x.
+func TestBenchCompareCustomVariantsAndExpect(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "bench.txt")
+	if err := os.WriteFile(in, []byte(shardSample), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(dir, "report.json")
+	var buf strings.Builder
+	args := []string{"-variants", "unsharded,sharded", "-min-speedup", "3",
+		"-expect", "Dense64=0.95", "-json", out, in}
+	if err := run(args, &buf); err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, buf.String())
+	}
+	var rep Report
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Pass || len(rep.Pairs) != 2 || rep.Variants != "unsharded,sharded" {
+		t.Fatalf("unexpected report: %+v", rep)
+	}
+	block, dense := rep.Pairs[0], rep.Pairs[1]
+	if block.Name != "ShardSolve/BlockDiag8x64/OGGP" || block.MinSpeedup != 3 || block.Speedup < 4 {
+		t.Fatalf("unexpected block pair: %+v", block)
+	}
+	if dense.Name != "ShardSolve/Dense64/OGGP" || dense.MinSpeedup != 0.95 {
+		t.Fatalf("unexpected dense pair: %+v", dense)
+	}
+	// Without the override the dense control (0.97x) fails the 3x gate.
+	if err := run([]string{"-variants", "unsharded,sharded", "-min-speedup", "3", in}, &buf); err == nil {
+		t.Fatal("expected failure without the Dense64 override")
+	}
+	// An override below the pair's speedup fails too.
+	args = []string{"-variants", "unsharded,sharded", "-min-speedup", "3",
+		"-expect", "Dense64=1.5", in}
+	if err := run(args, &buf); err == nil {
+		t.Fatal("expected failure with an unreachable override")
+	}
+}
+
+// TestBenchCompareBadFlags: malformed -variants and -expect are rejected.
+func TestBenchCompareBadFlags(t *testing.T) {
+	var buf strings.Builder
+	for _, args := range [][]string{
+		{"-variants", "solo"},
+		{"-variants", "same,same"},
+		{"-expect", "NoEquals"},
+		{"-expect", "X=notanumber"},
+		{"-expect", "=3"},
+	} {
+		if err := run(args, &buf); err == nil {
+			t.Fatalf("args %v accepted", args)
+		}
+	}
+}
