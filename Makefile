@@ -7,9 +7,9 @@
 GO ?= go
 BENCH_COUNT ?= 5
 
-.PHONY: check lint vet build test race race-obs bench-smoke bench bench-compare bench-compare-smoke bench-shard bench-shard-smoke fuzz-smoke trace-demo
+.PHONY: check lint vet build test race race-obs bench-smoke bench bench-compare bench-compare-smoke bench-shard bench-shard-smoke fuzz-smoke trace-demo soak-smoke
 
-check: lint build race race-obs bench-smoke bench-compare-smoke bench-shard-smoke
+check: lint build race race-obs bench-smoke bench-compare-smoke bench-shard-smoke soak-smoke
 
 # Static gate: formatting, go vet, and the project linter (see
 # tools/redistlint and the "Enforced invariants" section of DESIGN.md).
@@ -100,6 +100,15 @@ bench-shard-smoke:
 trace-demo:
 	$(GO) run ./cmd/redist-net -engine tcp -nodes 3 -k 2 -min-mb 0.02 -max-mb 0.05 -backbone-mbit 400 -beta-ms 1 -trace trace.json
 	@echo "wrote trace.json — load it in chrome://tracing"
+
+# End-to-end smoke of the scheduling daemon: redist-soak spawns an
+# in-process redist-serve over real loopback TCP, hammers it from 4
+# concurrent tenant sessions across the trafficgen families, verifies
+# every returned schedule byte-identical against a local solve, and
+# requires a clean graceful shutdown. Nonzero exit on any mismatch,
+# protocol error, or unclean drain.
+soak-smoke:
+	$(GO) run ./cmd/redist-soak -spawn -clients 4 -requests 10 -n 10
 
 # Short actual fuzzing session of the solver pipeline and the batch
 # engine differential (seed corpora are always replayed by `make race`).

@@ -1,0 +1,269 @@
+// Command redist-soak hammers a redist-serve daemon from many concurrent
+// tenant sessions and verifies every answer: each client re-solves its
+// instances locally and compares the server's raw MsgSolveResp payload
+// byte-for-byte against the local encoding (the codec is injective, so
+// equal bytes prove an identical schedule). Any divergence, protocol
+// error, or unclean shutdown exits nonzero — this is the end-to-end
+// correctness gate `make soak-smoke` runs in CI.
+//
+//	redist-soak -spawn -clients 8 -requests 25          # self-contained
+//	redist-soak -addr 127.0.0.1:9090 -clients 4         # external daemon
+//
+// With -spawn the soak starts an in-process serve.Server on an ephemeral
+// loopback port (real TCP, no process orchestration) and gracefully
+// shuts it down when the clients finish. Traffic mixes the trafficgen
+// families (dense uniform, sparse uniform, permutation, shift, all-to-all)
+// across both algorithms so the daemon sees realistic variety.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"sync"
+	"time"
+
+	"redistgo"
+	"redistgo/internal/bipartite"
+	"redistgo/internal/kpbs"
+	"redistgo/internal/obsflag"
+	"redistgo/internal/serve"
+	"redistgo/internal/tokenbucket"
+	"redistgo/internal/trafficgen"
+	"redistgo/internal/wire"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "redist-soak:", err)
+		os.Exit(1)
+	}
+}
+
+// clientStats is one session's tally, merged into the final report.
+type clientStats struct {
+	ok       int
+	rejects  map[string]int
+	mismatch int
+	fatal    error
+}
+
+func run(args []string, stdout io.Writer) (err error) {
+	fs := flag.NewFlagSet("redist-soak", flag.ContinueOnError)
+	addr := fs.String("addr", "", "address of a running redist-serve daemon (mutually exclusive with -spawn)")
+	spawn := fs.Bool("spawn", false, "start an in-process server on an ephemeral loopback port")
+	clients := fs.Int("clients", 8, "concurrent tenant sessions")
+	requests := fs.Int("requests", 25, "requests per client")
+	rate := fs.Float64("rate", 0, "per-client request pacing, requests/s; 0 means unpaced")
+	seed := fs.Int64("seed", 1, "random seed (each client derives its own stream)")
+	n := fs.Int("n", 12, "nodes per cluster side in generated instances")
+	k := fs.Int("k", 3, "simultaneous communications per step")
+	beta := fs.Int64("beta", 64, "per-step startup cost in weight units")
+	shard := fs.String("shard", "auto", "component sharding, applied to both the spawned server and the local check; must match the daemon's -shard when using -addr (redist-serve defaults to auto)")
+	spawnGlobalRate := fs.Float64("spawn-global-rate", 0, "with -spawn: service-wide admission requests/s (exercises over-quota rejects)")
+	spawnTenantRate := fs.Float64("spawn-tenant-rate", 0, "with -spawn: per-tenant admission requests/s")
+	spawnWorkers := fs.Int("spawn-workers", 0, "with -spawn: solver pool size; 0 means GOMAXPROCS")
+	obsFlags := obsflag.Register(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if (*addr == "") == !*spawn {
+		return fmt.Errorf("exactly one of -addr or -spawn is required")
+	}
+	if *clients < 1 || *requests < 1 || *n < 1 || *k < 1 || *beta < 0 {
+		return fmt.Errorf("clients, requests, n and k must be positive and beta non-negative")
+	}
+	observer, obsFinish, err := obsFlags.Start(stdout)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if ferr := obsFinish(); ferr != nil && err == nil {
+			err = ferr
+		}
+	}()
+	shardMode, err := redistgo.ParseShardMode(*shard)
+	if err != nil {
+		return err
+	}
+
+	target := *addr
+	var srv *serve.Server
+	if *spawn {
+		srv, err = serve.New(serve.Config{
+			Workers:    *spawnWorkers,
+			GlobalRate: *spawnGlobalRate,
+			TenantRate: *spawnTenantRate,
+			Shard:      shardMode,
+			Obs:        observer,
+		})
+		if err != nil {
+			return err
+		}
+		target = srv.Addr()
+		fmt.Fprintf(stdout, "spawned in-process server on %s\n", target)
+	}
+
+	fmt.Fprintf(stdout, "soaking %s: %d clients x %d requests (n=%d k=%d beta=%d shard=%s)\n",
+		target, *clients, *requests, *n, *k, *beta, shardMode)
+	stats := make([]clientStats, *clients)
+	var wg sync.WaitGroup
+	for ci := 0; ci < *clients; ci++ {
+		wg.Add(1)
+		go func(ci int) {
+			defer wg.Done()
+			stats[ci] = soakClient(target, int32(ci+1), soakParams{
+				requests: *requests, rate: *rate, n: *n, k: *k, beta: *beta,
+				shard: shardMode, rng: rand.New(rand.NewSource(*seed + int64(ci)*7919)),
+			})
+		}(ci)
+	}
+	wg.Wait()
+
+	ok, mismatches := 0, 0
+	rejects := map[string]int{}
+	var fatal error
+	for ci, st := range stats {
+		ok += st.ok
+		mismatch := st.mismatch
+		mismatches += mismatch
+		for code, c := range st.rejects {
+			rejects[code] += c
+		}
+		if st.fatal != nil && fatal == nil {
+			fatal = fmt.Errorf("client %d: %w", ci+1, st.fatal)
+		}
+	}
+	fmt.Fprintf(stdout, "verified %d responses byte-identical, %d mismatches, rejects: %v\n", ok, mismatches, rejects)
+
+	if srv != nil {
+		drainCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if serr := srv.Shutdown(drainCtx); serr != nil {
+			return fmt.Errorf("server shutdown: %w", serr)
+		}
+		fmt.Fprintln(stdout, "server shut down cleanly")
+	}
+	if fatal != nil {
+		return fatal
+	}
+	if mismatches > 0 {
+		return fmt.Errorf("%d responses diverged from the local solve", mismatches)
+	}
+	if ok == 0 && len(rejects) == 0 {
+		return fmt.Errorf("no responses verified")
+	}
+	return nil
+}
+
+type soakParams struct {
+	requests int
+	rate     float64
+	n        int
+	k        int
+	beta     int64
+	shard    kpbs.ShardMode
+	rng      *rand.Rand
+}
+
+// soakClient runs one tenant session to completion. Refusals (quota,
+// busy) are counted, not fatal: a throttled soak is a working soak.
+func soakClient(addr string, tenant int32, p soakParams) clientStats {
+	st := clientStats{rejects: map[string]int{}}
+	var pace *tokenbucket.Limiter
+	if p.rate > 0 {
+		if l, err := tokenbucket.New(p.rate, 1); err == nil {
+			pace = l
+		}
+	}
+	cl, err := serve.Dial(addr, tenant)
+	if err != nil {
+		st.fatal = err
+		return st
+	}
+	defer func() { _ = cl.Close() }() // the soak verdict comes from the tallies
+
+	for i := 0; i < p.requests; i++ {
+		pace.Wait(1)
+		matrix, err := genMatrix(p.rng, p.n)
+		if err != nil {
+			st.fatal = fmt.Errorf("request %d: generate: %w", i+1, err)
+			return st
+		}
+		g, err := bipartite.FromMatrix(matrix)
+		if err != nil {
+			st.fatal = fmt.Errorf("request %d: graph: %w", i+1, err)
+			return st
+		}
+		if g.EdgeCount() == 0 {
+			continue // an empty pattern has nothing to schedule or verify
+		}
+		alg := kpbs.GGP
+		if p.rng.Intn(2) == 1 {
+			alg = kpbs.OGGP
+		}
+		req := wire.SolveRequest{
+			ID: uint64(i + 1), K: p.k, Beta: p.beta, Algorithm: alg,
+			N1: g.LeftCount(), N2: g.RightCount(), Edges: g.Edges(),
+		}
+		_, raw, err := cl.Solve(req)
+		var rej *serve.RejectError
+		switch {
+		case errors.As(err, &rej):
+			st.rejects[rej.Code.String()]++
+			continue
+		case err != nil:
+			st.fatal = fmt.Errorf("request %d: %w", i+1, err)
+			return st
+		}
+		local, err := kpbs.Solve(g, p.k, p.beta, kpbs.Options{Algorithm: alg, Shard: p.shard})
+		if err != nil {
+			st.fatal = fmt.Errorf("request %d: local solve: %w", i+1, err)
+			return st
+		}
+		want, err := wire.EncodeSolveResp(req.ID, local)
+		if err != nil {
+			st.fatal = fmt.Errorf("request %d: local encode: %w", i+1, err)
+			return st
+		}
+		if !bytesEqual(raw, want) {
+			st.mismatch++
+			continue
+		}
+		st.ok++
+	}
+	return st
+}
+
+// genMatrix draws one instance from the mixed trafficgen families.
+func genMatrix(rng *rand.Rand, n int) ([][]int64, error) {
+	const minW, maxW = 1, 1 << 16
+	switch rng.Intn(5) {
+	case 0:
+		return trafficgen.DenseUniform(rng, n, n, minW, maxW), nil
+	case 1:
+		return trafficgen.SparseUniform(rng, n, n, 0.3, minW, maxW), nil
+	case 2:
+		return trafficgen.Permutation(rng.Perm(n), minW+rng.Int63n(maxW-minW))
+	case 3:
+		return trafficgen.Shift(n, 1+rng.Intn(n), minW+rng.Int63n(maxW-minW))
+	default:
+		return trafficgen.AllToAll(n, minW+rng.Int63n(maxW-minW), false)
+	}
+}
+
+func bytesEqual(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -22,6 +22,7 @@ package adaptive
 
 import (
 	"fmt"
+	"sort"
 
 	"redistgo/internal/bipartite"
 	"redistgo/internal/kpbs"
@@ -144,7 +145,7 @@ func Run(matrix [][]int64, sim *netsim.Simulator, cfg Config) (*Report, error) {
 	initialBackbone := profile.CapacityAt(0, nominal)
 	k0 := deriveK(initialBackbone, cfg, n1, n2)
 	cursor := 0.0
-	pending := append([]Arrival{{At: 0, Matrix: matrix}}, cfg.Arrivals...)
+	pending := append([]Arrival{{At: 0, Matrix: matrix}}, sortedArrivals(cfg.Arrivals)...)
 	for _, batch := range pending {
 		if batch.At > cursor {
 			cursor = batch.At
@@ -164,7 +165,7 @@ func Run(matrix [][]int64, sim *netsim.Simulator, cfg Config) (*Report, error) {
 
 	// --- Adaptive multi-round driver.
 	residual := copyMatrix(matrix)
-	arrivalsLeft := append([]Arrival(nil), cfg.Arrivals...)
+	arrivalsLeft := sortedArrivals(cfg.Arrivals)
 	now := 0.0
 	guard := 0
 	for {
@@ -187,13 +188,10 @@ func Run(matrix [][]int64, sim *netsim.Simulator, cfg Config) (*Report, error) {
 			if len(arrivalsLeft) == 0 {
 				break
 			}
-			// Idle until the next arrival.
+			// Idle until the next arrival; arrivalsLeft is sorted by At
+			// (and the absorb filter above preserves that order), so the
+			// head is the earliest.
 			next := arrivalsLeft[0].At
-			for _, a := range arrivalsLeft[1:] {
-				if a.At < next {
-					next = a.At
-				}
-			}
 			if next > now {
 				now = next
 			}
@@ -257,6 +255,19 @@ func flowStepsOf(steps []kpbs.Step) [][]netsim.Flow {
 		}
 		out = append(out, flows)
 	}
+	return out
+}
+
+// sortedArrivals returns a copy of as ordered by arrival time. The sort
+// is stable, so arrivals with equal At keep their declaration order (the
+// index tiebreak) and Run's report is a pure function of the arrival set,
+// independent of the order the caller listed it in. Without this, an
+// out-of-order list corrupted the static baseline's time cursor (a batch
+// declared late but arriving early was executed after batches that follow
+// it in time) and skewed the adaptive driver's idle-skip.
+func sortedArrivals(as []Arrival) []Arrival {
+	out := append([]Arrival(nil), as...)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].At < out[j].At })
 	return out
 }
 

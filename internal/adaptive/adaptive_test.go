@@ -201,3 +201,67 @@ func TestReportImprovementEdgeCases(t *testing.T) {
 		t.Fatalf("improvement = %g, want 0.5", r.Improvement())
 	}
 }
+
+// TestArrivalOrderIndependence is the regression for arrival-order
+// sensitivity: Run used to process cfg.Arrivals in declaration order, so
+// a batch declared late but arriving early was executed after batches
+// that follow it in time — corrupting the static baseline's time cursor
+// and the adaptive idle-skip. The report must be a pure function of the
+// arrival *set*.
+func TestArrivalOrderIndependence(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	mk := func(seed int64) [][]int64 {
+		return trafficgen.SparseUniform(rand.New(rand.NewSource(seed)), 8, 8, 0.4, 1<<18, 1<<20)
+	}
+	arrivals := []Arrival{
+		{At: 5, Matrix: mk(1)},
+		{At: 1, Matrix: mk(2)},
+		{At: 9, Matrix: mk(3)},
+		// Equal At: declaration order is the documented tiebreak. It is
+		// observable — the backbone profile makes a batch's duration depend
+		// on when it starts — so the shuffle below must preserve it.
+		{At: 1, Matrix: mk(4)},
+		{At: 0.5, Matrix: mk(5)},
+	}
+	base := mk(6)
+
+	run := func(order []Arrival) Report {
+		t.Helper()
+		cfg := defaultCfg()
+		cfg.Arrivals = order
+		rep, err := Run(base, testbed(t, 4), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return *rep
+	}
+	want := run(arrivals)
+
+	for trial := 0; trial < 5; trial++ {
+		// Random permutation, then equal-At entries put back in declaration
+		// order (the tiebreak the sort is specified to preserve).
+		shuffled := make([]Arrival, len(arrivals))
+		for slot, oi := range rng.Perm(len(arrivals)) {
+			shuffled[slot] = arrivals[oi]
+		}
+		next := map[float64]int{}
+		for slot, a := range shuffled {
+			for ; arrivals[next[a.At]].At != a.At; next[a.At]++ {
+			}
+			shuffled[slot] = arrivals[next[a.At]]
+			next[a.At]++
+		}
+		got := run(shuffled)
+		if got.StaticTime != want.StaticTime || got.StaticSteps != want.StaticSteps {
+			t.Fatalf("trial %d: static baseline depends on declaration order: %+v vs %+v", trial, got, want)
+		}
+		if got.AdaptiveTime != want.AdaptiveTime || len(got.Rounds) != len(want.Rounds) {
+			t.Fatalf("trial %d: adaptive run depends on declaration order: %+v vs %+v", trial, got, want)
+		}
+		for i := range want.Rounds {
+			if got.Rounds[i] != want.Rounds[i] {
+				t.Fatalf("trial %d round %d: %+v vs %+v", trial, i, got.Rounds[i], want.Rounds[i])
+			}
+		}
+	}
+}

@@ -193,6 +193,12 @@ func (c *Cluster) serveOne(recvID int, ln net.Listener) {
 	for {
 		f, err := wire.Read(conn)
 		if err != nil {
+			// Framing violations (unknown type byte, hostile length field)
+			// are counted before teardown so a misbehaving peer shows up in
+			// metrics; transport errors (EOF, reset) stay silent.
+			if wire.IsProtocolError(err) {
+				c.obs.ProtocolError(recvID)
+			}
 			return // EOF or connection torn down
 		}
 		switch f.Type {
@@ -201,13 +207,29 @@ func (c *Cluster) serveOne(recvID int, ln net.Listener) {
 		case wire.MsgXfer:
 			total, err := wire.Uint64(f.Payload)
 			if err != nil {
+				c.obs.ProtocolError(recvID)
 				return
 			}
 			var got uint64
 			var sum uint64
 			for got < total {
 				df, err := wire.Read(conn)
-				if err != nil || df.Type != wire.MsgData {
+				if err != nil {
+					if wire.IsProtocolError(err) {
+						c.obs.ProtocolError(recvID)
+					}
+					return
+				}
+				if df.Type != wire.MsgData {
+					c.obs.ProtocolError(recvID)
+					return
+				}
+				// An empty data frame makes no progress: got never advances
+				// and the rate limiter admits zero bytes immediately, so a
+				// malformed or hostile peer could pin this goroutine in a
+				// 100%-CPU spin. Tear the connection down instead.
+				if len(df.Payload) == 0 {
+					c.obs.ProtocolError(recvID)
 					return
 				}
 				lim.Wait(len(df.Payload))
@@ -222,6 +244,7 @@ func (c *Cluster) serveOne(recvID int, ln net.Listener) {
 				return
 			}
 		default:
+			c.obs.ProtocolError(recvID)
 			return
 		}
 	}

@@ -1,0 +1,257 @@
+package cluster
+
+import (
+	"encoding/binary"
+	"net"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"redistgo/internal/obs"
+	"redistgo/internal/wire"
+)
+
+// The malformed-peer suite drives raw bytes at a receiver goroutine and
+// asserts the failure contract: framing violations tear the connection
+// down with a protocol-error metric bump, transport truncations tear it
+// down silently, and nothing ever hangs or leaks a goroutine. Run under
+// `go test -race -timeout`, a regression in any of these shows up as a
+// deadline failure rather than a silent busy-loop.
+
+// newPairCluster builds a minimal observed 1x1 cluster and hands back the
+// raw sender-side connection to its single receiver goroutine.
+func newPairCluster(t *testing.T) (*Cluster, net.Conn, *obs.Observer) {
+	t.Helper()
+	o := obs.New()
+	c, err := New(Config{N1: 1, N2: 1, Obs: o})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = c.Close() })
+	return c, c.conns[0][0], o
+}
+
+// expectTeardown asserts the receiver closes the connection promptly —
+// the opposite of the pre-fix behavior where a hostile frame pinned the
+// receiver goroutine in a spin and the connection stayed open.
+func expectTeardown(t *testing.T, conn net.Conn) {
+	t.Helper()
+	if err := conn.SetReadDeadline(time.Now().Add(5 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if f, err := wire.Read(conn); err == nil {
+		t.Fatalf("receiver answered %v instead of closing the connection", f.Type)
+	} else if ne, ok := err.(net.Error); ok && ne.Timeout() {
+		t.Fatal("receiver kept the connection open (pre-fix spin behavior)")
+	}
+}
+
+func protocolErrors(o *obs.Observer) int64 {
+	return o.Metrics.Snapshot().Counters["cluster.protocol_errors_total"]
+}
+
+// TestEmptyDataFrameTearsDown is the regression for the receive-loop
+// spin: a zero-length MsgData frame makes no progress (got never
+// advances, the limiter admits zero bytes instantly), so the receiver
+// must reject it rather than loop on it forever.
+func TestEmptyDataFrameTearsDown(t *testing.T) {
+	_, conn, o := newPairCluster(t)
+	if err := wire.Write(conn, wire.Frame{Type: wire.MsgXfer, Payload: wire.PutUint64(1024)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := wire.Write(conn, wire.Frame{Type: wire.MsgData}); err != nil {
+		t.Fatal(err)
+	}
+	expectTeardown(t, conn)
+	if got := protocolErrors(o); got == 0 {
+		t.Error("empty data frame was not counted as a protocol error")
+	}
+}
+
+// TestNonDataFrameMidTransfer: a frame of the wrong type inside a
+// transfer is a framing violation, counted and torn down.
+func TestNonDataFrameMidTransfer(t *testing.T) {
+	_, conn, o := newPairCluster(t)
+	if err := wire.Write(conn, wire.Frame{Type: wire.MsgXfer, Payload: wire.PutUint64(64)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := wire.Write(conn, wire.Frame{Type: wire.MsgBarrier}); err != nil {
+		t.Fatal(err)
+	}
+	expectTeardown(t, conn)
+	if got := protocolErrors(o); got == 0 {
+		t.Error("mid-transfer frame-type violation was not counted")
+	}
+}
+
+// TestUnknownTypeByte: an out-of-range type byte in the header must be
+// refused by the frame decoder and surfaced as a protocol error.
+func TestUnknownTypeByte(t *testing.T) {
+	_, conn, o := newPairCluster(t)
+	raw := make([]byte, 13)
+	raw[4] = 0xBB // type byte far outside the catalogue
+	if _, err := conn.Write(raw); err != nil {
+		t.Fatal(err)
+	}
+	expectTeardown(t, conn)
+	if got := protocolErrors(o); got == 0 {
+		t.Error("unknown type byte was not counted as a protocol error")
+	}
+}
+
+// TestHostileDeclaredLength: a header declaring a payload beyond
+// MaxPayload must be rejected before any allocation, as a counted
+// protocol error.
+func TestHostileDeclaredLength(t *testing.T) {
+	_, conn, o := newPairCluster(t)
+	raw := make([]byte, 13)
+	binary.BigEndian.PutUint32(raw[0:4], uint32(wire.MaxPayload+1))
+	raw[4] = byte(wire.MsgData)
+	if _, err := conn.Write(raw); err != nil {
+		t.Fatal(err)
+	}
+	expectTeardown(t, conn)
+	if got := protocolErrors(o); got == 0 {
+		t.Error("hostile length field was not counted as a protocol error")
+	}
+}
+
+// TestShortXferPayload: a MsgXfer whose payload is too short to carry the
+// announced byte count is a framing violation.
+func TestShortXferPayload(t *testing.T) {
+	_, conn, o := newPairCluster(t)
+	if err := wire.Write(conn, wire.Frame{Type: wire.MsgXfer, Payload: []byte{1, 2, 3}}); err != nil {
+		t.Fatal(err)
+	}
+	expectTeardown(t, conn)
+	if got := protocolErrors(o); got == 0 {
+		t.Error("short MsgXfer payload was not counted as a protocol error")
+	}
+}
+
+// TestTruncatedHeaderEOF and TestMidPayloadEOF: transport truncations
+// (the peer dies mid-frame) are not the peer's protocol misbehavior —
+// the receiver tears down silently, without a protocol-error count and
+// without hanging Close.
+func TestTruncatedHeaderEOF(t *testing.T) {
+	c, conn, o := newPairCluster(t)
+	if _, err := conn.Write([]byte{0, 0, 0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := conn.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil { // must not hang on the receiver goroutine
+		t.Fatal(err)
+	}
+	if got := protocolErrors(o); got != 0 {
+		t.Errorf("truncated header counted as %d protocol errors, want 0 (transport error)", got)
+	}
+}
+
+func TestMidPayloadEOF(t *testing.T) {
+	c, conn, o := newPairCluster(t)
+	raw := make([]byte, 13)
+	binary.BigEndian.PutUint32(raw[0:4], 100) // declares 100 payload bytes
+	raw[4] = byte(wire.MsgXfer)
+	if _, err := conn.Write(raw); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Write(make([]byte, 10)); err != nil { // then dies mid-payload
+		t.Fatal(err)
+	}
+	if err := conn.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := protocolErrors(o); got != 0 {
+		t.Errorf("mid-payload EOF counted as %d protocol errors, want 0 (transport error)", got)
+	}
+}
+
+// TestShortAckRejected covers the sender side of the contract: an
+// acknowledgement without the full count+checksum payload must fail the
+// transfer with a clean error, never be trusted.
+func TestShortAckRejected(t *testing.T) {
+	c, _, _ := newPairCluster(t)
+	// Hijack the pair connection with an in-memory pipe to a fake receiver
+	// that acks with half a payload. The original connection is restored
+	// before Close so the real receiver still gets its MsgDone.
+	client, server := net.Pipe()
+	orig := c.conns[0][0]
+	c.conns[0][0] = client
+	t.Cleanup(func() {
+		c.conns[0][0] = orig
+		_ = client.Close()
+		_ = server.Close()
+	})
+	done := make(chan error, 1)
+	go func() {
+		defer close(done)
+		f, err := wire.Read(server)
+		if err != nil {
+			done <- err
+			return
+		}
+		total, err := wire.Uint64(f.Payload)
+		if err != nil {
+			done <- err
+			return
+		}
+		var got uint64
+		for got < total {
+			df, err := wire.Read(server)
+			if err != nil {
+				done <- err
+				return
+			}
+			got += uint64(len(df.Payload))
+		}
+		done <- wire.Write(server, wire.Frame{Type: wire.MsgAck, Payload: wire.PutUint64(got)})
+	}()
+	err := c.transfer(Transfer{Src: 0, Dst: 0, Bytes: 1 << 10})
+	if err == nil {
+		t.Fatal("transfer trusted a short ack")
+	}
+	if !strings.Contains(err.Error(), "malformed ack") {
+		t.Fatalf("want a malformed-ack error, got: %v", err)
+	}
+	if ferr := <-done; ferr != nil {
+		t.Fatalf("fake receiver: %v", ferr)
+	}
+}
+
+// TestNoGoroutineLeak runs the whole hostile gauntlet and checks the
+// goroutine count settles back — a receiver pinned in a spin or parked
+// on a dead connection would show up here.
+func TestNoGoroutineLeak(t *testing.T) {
+	before := runtime.NumGoroutine()
+	for i := 0; i < 5; i++ {
+		o := obs.New()
+		c, err := New(Config{N1: 2, N2: 2, Obs: o})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// One healthy transfer, one hostile empty-data teardown.
+		if err := c.transfer(Transfer{Src: 0, Dst: 0, Bytes: 4 << 10}); err != nil {
+			t.Fatal(err)
+		}
+		conn := c.conns[1][1]
+		_ = wire.Write(conn, wire.Frame{Type: wire.MsgXfer, Payload: wire.PutUint64(64)})
+		_ = wire.Write(conn, wire.Frame{Type: wire.MsgData})
+		if err := c.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("goroutines leaked: %d before, %d after", before, runtime.NumGoroutine())
+}

@@ -1,0 +1,148 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"sync"
+	"testing"
+
+	"redistgo/internal/obs"
+)
+
+// TestPoolMatchesSerial: results delivered by the pool are exactly what
+// the serial loop computes, for any pool shape — the same determinism
+// contract SolveBatch carries.
+func TestPoolMatchesSerial(t *testing.T) {
+	insts := randomBatch(40, 13)
+	want := SolveSerial(insts)
+	for _, workers := range []int{1, 2, 8} {
+		p := NewPool(PoolOptions{Workers: workers})
+		var wg sync.WaitGroup
+		got := make([]Result, len(insts))
+		for i, inst := range insts {
+			wg.Add(1)
+			go func(i int, inst Instance) {
+				defer wg.Done()
+				got[i] = p.Submit(context.Background(), inst)
+			}(i, inst)
+		}
+		wg.Wait()
+		p.Close()
+		for i := range want {
+			if (got[i].Err == nil) != (want[i].Err == nil) {
+				t.Fatalf("workers=%d instance %d: err %v, want %v", workers, i, got[i].Err, want[i].Err)
+			}
+			if got[i].Err == nil && !reflect.DeepEqual(got[i].Schedule, want[i].Schedule) {
+				t.Fatalf("workers=%d instance %d: schedule differs from serial", workers, i)
+			}
+		}
+	}
+}
+
+// TestPoolCloseDrains: every job admitted before Close gets a real
+// result — Close is a drain, not an abort.
+func TestPoolCloseDrains(t *testing.T) {
+	insts := randomBatch(16, 17)
+	p := NewPool(PoolOptions{Workers: 2, QueueDepth: len(insts)})
+	chans := make([]<-chan Result, 0, len(insts))
+	for _, inst := range insts {
+		ch, err := p.TrySubmit(context.Background(), inst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		chans = append(chans, ch)
+	}
+	p.Close()
+	for i, ch := range chans {
+		res := <-ch
+		if res.Err != nil {
+			t.Fatalf("job %d admitted before Close got %v, want a solved schedule", i, res.Err)
+		}
+	}
+	if _, err := p.TrySubmit(context.Background(), insts[0]); !errors.Is(err, ErrPoolClosed) {
+		t.Fatalf("TrySubmit after Close: %v, want ErrPoolClosed", err)
+	}
+	if res := p.Submit(context.Background(), insts[0]); !errors.Is(res.Err, ErrPoolClosed) {
+		t.Fatalf("Submit after Close: %v, want ErrPoolClosed", res.Err)
+	}
+}
+
+// TestPoolQueueFull: with the single worker parked on jobs, the queue
+// fills and TrySubmit sheds instead of buffering without bound.
+func TestPoolQueueFull(t *testing.T) {
+	insts := randomBatch(64, 19)
+	p := NewPool(PoolOptions{Workers: 1, QueueDepth: 2})
+	defer p.Close()
+	sawFull := false
+	for _, inst := range insts {
+		if _, err := p.TrySubmit(context.Background(), inst); errors.Is(err, ErrQueueFull) {
+			sawFull = true
+			break
+		} else if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !sawFull {
+		t.Fatal("64 instant submissions onto a depth-2 queue never saw ErrQueueFull")
+	}
+}
+
+// TestPoolContextCancel: a cancelled submitter gets the context error,
+// and a job whose context died while queued is abandoned, not solved.
+func TestPoolContextCancel(t *testing.T) {
+	insts := randomBatch(8, 23)
+	o := obs.New()
+	p := NewPool(PoolOptions{Workers: 1, QueueDepth: len(insts), Obs: o})
+	ctx, cancel := context.WithCancel(context.Background())
+	chans := make([]<-chan Result, 0, len(insts))
+	for _, inst := range insts {
+		ch, err := p.TrySubmit(ctx, inst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		chans = append(chans, ch)
+	}
+	cancel()
+	p.Close()
+	abandoned := 0
+	for _, ch := range chans {
+		if res := <-ch; errors.Is(res.Err, context.Canceled) {
+			abandoned++
+		}
+	}
+	if abandoned == 0 {
+		t.Fatal("no queued job observed its cancelled context")
+	}
+	if got := o.Metrics.Snapshot().Counters["engine.pool.errors_total"]; got < int64(abandoned) {
+		t.Errorf("errors_total = %d, want >= %d abandoned jobs", got, abandoned)
+	}
+
+	res := p.Submit(ctx, insts[0])
+	if !errors.Is(res.Err, ErrPoolClosed) && !errors.Is(res.Err, context.Canceled) {
+		t.Fatalf("Submit on a closed pool with dead context: %v", res.Err)
+	}
+}
+
+// TestPoolObserved: the pool view accounts for every job exactly once.
+func TestPoolObserved(t *testing.T) {
+	insts := randomBatch(12, 29)
+	o := obs.New()
+	p := NewPool(PoolOptions{Workers: 3, Obs: o})
+	for _, inst := range insts {
+		if res := p.Submit(context.Background(), inst); res.Err != nil {
+			t.Fatal(res.Err)
+		}
+	}
+	p.Close()
+	snap := o.Metrics.Snapshot()
+	if got := snap.Counters["engine.pool.submitted_total"]; got != int64(len(insts)) {
+		t.Errorf("submitted_total = %d, want %d", got, len(insts))
+	}
+	if got := snap.Counters["engine.pool.completed_total"]; got != int64(len(insts)) {
+		t.Errorf("completed_total = %d, want %d", got, len(insts))
+	}
+	if got := snap.Gauges["engine.pool.queue_depth"]; got != 0 {
+		t.Errorf("queue_depth = %d after drain, want 0", got)
+	}
+}

@@ -23,6 +23,8 @@ type Observer struct {
 	solvers map[string]*solverMetrics
 	engine  *EngineObs
 	cluster *ClusterObs
+	pool    *PoolObs
+	serve   *ServeObs
 	solveID atomic.Int64
 }
 
@@ -358,6 +360,7 @@ type ClusterObs struct {
 	tr                        *Trace
 	steps, transfers, bytes   *Counter
 	actualUS, predictedUS     *Counter
+	protoErrs                 *Counter
 	stepRatioPct              *Histogram
 	lastRatioPct, lastStepDur *Gauge
 }
@@ -378,6 +381,7 @@ func (o *Observer) Cluster() *ClusterObs {
 			bytes:        o.Metrics.Counter("cluster.bytes_total"),
 			actualUS:     o.Metrics.Counter("cluster.step_actual_us_total"),
 			predictedUS:  o.Metrics.Counter("cluster.step_predicted_us_total"),
+			protoErrs:    o.Metrics.Counter("cluster.protocol_errors_total"),
 			stepRatioPct: o.Metrics.Histogram("cluster.step_ratio_pct", RatioBuckets),
 			lastRatioPct: o.Metrics.Gauge("cluster.step_ratio_pct_last"),
 			lastStepDur:  o.Metrics.Gauge("cluster.step_actual_us_last"),
@@ -412,6 +416,18 @@ func (c *ClusterObs) Step(index int, start time.Time, wall, predicted time.Durat
 	})
 }
 
+// ProtocolError counts a framing violation observed on a receiver
+// connection — a malformed, truncated or hostile frame — so peer
+// misbehavior shows up in metric snapshots instead of vanishing as a
+// silent connection teardown.
+func (c *ClusterObs) ProtocolError(recvID int) {
+	if c == nil {
+		return
+	}
+	c.protoErrs.Inc()
+	c.tr.Instant("cluster", "protocol error", PIDCluster, 0, []Arg{{"recv", int64(recvID)}})
+}
+
 // Transfer records one point-to-point transfer as a timeline event on the
 // sender's lane.
 func (c *ClusterObs) Transfer(src, dst int, bytes int64, start time.Time, dur time.Duration) {
@@ -425,4 +441,219 @@ func (c *ClusterObs) Transfer(src, dst int, bytes int64, start time.Time, dur ti
 		{"dst", int64(dst)},
 		{"bytes", bytes},
 	})
+}
+
+// ---------------------------------------------------------------------------
+// Pool view: the long-lived solver pool (engine.Pool) — queue depth,
+// worker occupancy and per-job latency for a stream of single-instance
+// solves rather than one batch.
+
+// PoolObs is the solver pool's metrics bundle, cached per observer.
+type PoolObs struct {
+	tr                         *Trace
+	submitted, completed, errs *Counter
+	queueDepth, active         *Gauge
+	jobUS                      *Histogram
+}
+
+// Pool returns the solver-pool view, resolving its metrics on first use.
+// Nil receiver → nil view.
+func (o *Observer) Pool() *PoolObs {
+	if o == nil {
+		return nil
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.pool == nil {
+		o.pool = &PoolObs{
+			tr:         o.Trace,
+			submitted:  o.Metrics.Counter("engine.pool.submitted_total"),
+			completed:  o.Metrics.Counter("engine.pool.completed_total"),
+			errs:       o.Metrics.Counter("engine.pool.errors_total"),
+			queueDepth: o.Metrics.Gauge("engine.pool.queue_depth"),
+			active:     o.Metrics.Gauge("engine.pool.workers_active"),
+			jobUS:      o.Metrics.Histogram("engine.pool.job_us", DurationBuckets),
+		}
+	}
+	return o.pool
+}
+
+// Enqueue accounts for a job entering the pool's queue.
+func (p *PoolObs) Enqueue() {
+	if p == nil {
+		return
+	}
+	p.submitted.Inc()
+	p.queueDepth.Add(1)
+}
+
+// Dequeue opens the span of a job a worker just claimed.
+func (p *PoolObs) Dequeue(worker int) JobSpan {
+	if p == nil {
+		return JobSpan{}
+	}
+	p.queueDepth.Add(-1)
+	p.active.Add(1)
+	return JobSpan{p: p, span: p.tr.StartSpan("engine", "pool job", PIDEngine, worker+1)}
+}
+
+// Abandon accounts for a queued job that no worker will run (the pool is
+// closing or the submitter's context expired first).
+func (p *PoolObs) Abandon() {
+	if p == nil {
+		return
+	}
+	p.queueDepth.Add(-1)
+	p.completed.Inc()
+	p.errs.Inc()
+}
+
+// JobSpan times one pool job on one worker. The zero value (what a nil
+// pool view hands out) discards everything.
+type JobSpan struct {
+	p    *PoolObs
+	span Span
+}
+
+// Done closes the job span with its outcome.
+func (sp JobSpan) Done(err error) {
+	if sp.p == nil {
+		return
+	}
+	sp.p.active.Add(-1)
+	sp.p.completed.Inc()
+	var failed int64
+	if err != nil {
+		sp.p.errs.Inc()
+		failed = 1
+	}
+	sp.p.jobUS.Observe(sp.span.Elapsed().Microseconds())
+	sp.span.End([]Arg{{"err", failed}})
+}
+
+// ---------------------------------------------------------------------------
+// Serve view: the scheduling daemon — session lifecycle, request
+// admission and outcome accounting, per-request latency, and protocol
+// errors from misbehaving clients.
+
+// ServeObs is the scheduling service's metrics bundle, cached per
+// observer. Reject counters are per-code ("serve.rejects_total.<code>"),
+// resolved from the registry on the cold reject path.
+type ServeObs struct {
+	tr                            *Trace
+	reg                           *Registry
+	sessions, requests, responses *Counter
+	rejects, protoErrs, readErrs  *Counter
+	sessionsActive, tenantsActive *Gauge
+	requestUS                     *Histogram
+}
+
+// Serve returns the service view, resolving its metrics on first use.
+// Nil receiver → nil view.
+func (o *Observer) Serve() *ServeObs {
+	if o == nil {
+		return nil
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.serve == nil {
+		o.serve = &ServeObs{
+			tr:             o.Trace,
+			reg:            o.Metrics,
+			sessions:       o.Metrics.Counter("serve.sessions_total"),
+			requests:       o.Metrics.Counter("serve.requests_total"),
+			responses:      o.Metrics.Counter("serve.responses_total"),
+			rejects:        o.Metrics.Counter("serve.rejects_total"),
+			protoErrs:      o.Metrics.Counter("serve.protocol_errors_total"),
+			readErrs:       o.Metrics.Counter("serve.read_errors_total"),
+			sessionsActive: o.Metrics.Gauge("serve.sessions_active"),
+			tenantsActive:  o.Metrics.Gauge("serve.tenants_known"),
+			requestUS:      o.Metrics.Histogram("serve.request_us", DurationBuckets),
+		}
+	}
+	return o.serve
+}
+
+// SessionOpen accounts for an accepted client connection.
+func (s *ServeObs) SessionOpen(id int) {
+	if s == nil {
+		return
+	}
+	s.sessions.Inc()
+	s.sessionsActive.Add(1)
+	s.tr.Instant("serve", "session open", PIDServe, id, nil)
+}
+
+// SessionClose accounts for a finished client connection.
+func (s *ServeObs) SessionClose(id int) {
+	if s == nil {
+		return
+	}
+	s.sessionsActive.Add(-1)
+	s.tr.Instant("serve", "session close", PIDServe, id, nil)
+}
+
+// Tenants records how many distinct tenants the service has seen.
+func (s *ServeObs) Tenants(n int) {
+	if s == nil {
+		return
+	}
+	s.tenantsActive.Set(int64(n))
+}
+
+// ProtocolError counts a framing or codec violation from a client.
+func (s *ServeObs) ProtocolError() {
+	if s == nil {
+		return
+	}
+	s.protoErrs.Inc()
+}
+
+// ReadError counts a non-protocol read failure (disconnect mid-frame).
+func (s *ServeObs) ReadError() {
+	if s == nil {
+		return
+	}
+	s.readErrs.Inc()
+}
+
+// Request opens the observation of one solve request on session id's
+// trace lane. Exactly one of Respond and Reject must close it.
+func (s *ServeObs) Request(session int) RequestSpan {
+	if s == nil {
+		return RequestSpan{}
+	}
+	s.requests.Inc()
+	return RequestSpan{s: s, span: s.tr.StartSpan("serve", "request", PIDServe, session)}
+}
+
+// RequestSpan times one request from admission to outcome. The zero value
+// discards everything.
+type RequestSpan struct {
+	s    *ServeObs
+	span Span
+}
+
+// Respond closes the request as answered with a schedule.
+func (sp RequestSpan) Respond() {
+	if sp.s == nil {
+		return
+	}
+	sp.s.responses.Inc()
+	sp.s.requestUS.Observe(sp.span.Elapsed().Microseconds())
+	sp.span.End([]Arg{{"rejected", 0}})
+}
+
+// Reject closes the request as refused with the given code. Per-code
+// counts land under "serve.rejects_total.<code>"; the aggregate under
+// "serve.rejects_total". The registry lookup may allocate — rejection is
+// never a hot path.
+func (sp RequestSpan) Reject(code string) {
+	if sp.s == nil {
+		return
+	}
+	sp.s.rejects.Inc()
+	sp.s.reg.Counter("serve.rejects_total." + code).Inc()
+	sp.s.requestUS.Observe(sp.span.Elapsed().Microseconds())
+	sp.span.End([]Arg{{"rejected", 1}})
 }

@@ -16,6 +16,7 @@ const (
 	PIDSolver  = 1
 	PIDEngine  = 2
 	PIDCluster = 3
+	PIDServe   = 4
 )
 
 // Arg is one key/value annotation on a trace event. Values are int64 so

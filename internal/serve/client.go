@@ -1,0 +1,90 @@
+package serve
+
+import (
+	"fmt"
+	"net"
+
+	"redistgo/internal/kpbs"
+	"redistgo/internal/wire"
+)
+
+// Client is one tenant's session with a redist-serve daemon. It is not
+// safe for concurrent use: a session answers requests in order, so share
+// a server between goroutines by giving each its own Client.
+type Client struct {
+	conn   net.Conn
+	tenant int32
+	nextID uint64
+}
+
+// RejectError is a server refusal (MsgReject) surfaced as an error. The
+// session stays usable after quota/busy/size refusals; the server hangs
+// up after RejectBadRequest.
+type RejectError struct {
+	ID     uint64
+	Code   wire.RejectCode
+	Reason string
+}
+
+func (e *RejectError) Error() string {
+	return fmt.Sprintf("serve: rejected (%s): %s", e.Code, e.Reason)
+}
+
+// Dial opens a session with the daemon at addr, identifying as tenant
+// (the admission-quota key carried in each request frame's Src field).
+func Dial(addr string, tenant int32) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("serve: dial %s: %w", addr, err)
+	}
+	return &Client{conn: conn, tenant: tenant}, nil
+}
+
+// Solve sends one request and waits for its answer. On success it
+// returns the decoded schedule together with the server's raw response
+// payload — the codec is injective, so comparing raw bytes against a
+// local wire.EncodeSolveResp of the same instance proves the served
+// schedule identical (the soak harness's check). A *RejectError reports
+// a server refusal; any other error means the session is dead.
+func (c *Client) Solve(req wire.SolveRequest) (*kpbs.Schedule, []byte, error) {
+	if req.ID == 0 {
+		c.nextID++
+		req.ID = c.nextID
+	}
+	payload, err := wire.EncodeSolveReq(req)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := wire.Write(c.conn, wire.Frame{Type: wire.MsgSolveReq, Src: c.tenant, Payload: payload}); err != nil {
+		return nil, nil, fmt.Errorf("serve: send request: %w", err)
+	}
+	f, err := wire.Read(c.conn)
+	if err != nil {
+		return nil, nil, fmt.Errorf("serve: read response: %w", err)
+	}
+	switch f.Type {
+	case wire.MsgSolveResp:
+		resp, err := wire.DecodeSolveResp(f.Payload)
+		if err != nil {
+			return nil, nil, err
+		}
+		if resp.ID != req.ID {
+			return nil, nil, fmt.Errorf("serve: response for request %d, want %d", resp.ID, req.ID)
+		}
+		return resp.Schedule, f.Payload, nil
+	case wire.MsgReject:
+		rej, err := wire.DecodeReject(f.Payload)
+		if err != nil {
+			return nil, nil, err
+		}
+		return nil, nil, &RejectError{ID: rej.ID, Code: rej.Code, Reason: rej.Reason}
+	default:
+		return nil, nil, fmt.Errorf("serve: unexpected frame %s", f.Type)
+	}
+}
+
+// Close ends the session politely (MsgDone) and closes the connection.
+func (c *Client) Close() error {
+	_ = wire.Write(c.conn, wire.Frame{Type: wire.MsgDone}) // best-effort goodbye
+	return c.conn.Close()
+}

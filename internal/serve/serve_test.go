@@ -1,0 +1,418 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"math/rand"
+	"net"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"redistgo/internal/bipartite"
+	"redistgo/internal/kpbs"
+	"redistgo/internal/obs"
+	"redistgo/internal/trafficgen"
+	"redistgo/internal/wire"
+)
+
+// newServer starts a server with the config (Addr forced to an ephemeral
+// loopback port) and registers its teardown.
+func newServer(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := s.Shutdown(ctx); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+	})
+	return s
+}
+
+// request builds a solvable instance from a deterministic random matrix.
+func request(t *testing.T, rng *rand.Rand, n, k int) wire.SolveRequest {
+	t.Helper()
+	m := trafficgen.DenseUniform(rng, n, n, 1, 1<<12)
+	g, err := bipartite.FromMatrix(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alg := kpbs.GGP
+	if rng.Intn(2) == 1 {
+		alg = kpbs.OGGP
+	}
+	return wire.SolveRequest{
+		K: k, Beta: 32, Algorithm: alg,
+		N1: g.LeftCount(), N2: g.RightCount(), Edges: g.Edges(),
+	}
+}
+
+// verify solves req locally and checks the server's raw payload is the
+// byte-identical encoding of the same schedule.
+func verify(t *testing.T, req wire.SolveRequest, raw []byte) {
+	t.Helper()
+	local, err := kpbs.Solve(req.Graph(), req.K, req.Beta, kpbs.Options{Algorithm: req.Algorithm})
+	if err != nil {
+		t.Fatalf("local solve: %v", err)
+	}
+	want, err := wire.EncodeSolveResp(req.ID, local)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(raw, want) {
+		t.Fatal("served schedule differs from the local solve")
+	}
+}
+
+// TestServeEndToEnd is the core acceptance: eight concurrent tenant
+// sessions, every response byte-identical to a local solve, all
+// accounted in the metrics.
+func TestServeEndToEnd(t *testing.T) {
+	o := obs.New()
+	const clients, perClient = 8, 6
+	// Queue sized for the client count so the test exercises clean
+	// responses; backpressure rejects are covered separately.
+	s := newServer(t, Config{QueueDepth: clients, Obs: o})
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for ci := 0; ci < clients; ci++ {
+		wg.Add(1)
+		go func(ci int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(100 + ci)))
+			cl, err := Dial(s.Addr(), int32(ci+1))
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer cl.Close()
+			for i := 0; i < perClient; i++ {
+				req := request(t, rng, 6+rng.Intn(6), 1+rng.Intn(4))
+				req.ID = uint64(i + 1)
+				_, raw, err := cl.Solve(req)
+				if err != nil {
+					errs <- err
+					return
+				}
+				verify(t, req, raw)
+			}
+		}(ci)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	// Session teardown is asynchronous with the client's Close: wait for
+	// the server to notice the goodbyes before reading the gauges.
+	deadline := time.Now().Add(5 * time.Second)
+	for o.Metrics.Snapshot().Gauges["serve.sessions_active"] != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("sessions_active = %d after all clients closed, want 0",
+				o.Metrics.Snapshot().Gauges["serve.sessions_active"])
+		}
+		time.Sleep(time.Millisecond)
+	}
+	snap := o.Metrics.Snapshot()
+	if got := snap.Counters["serve.sessions_total"]; got != clients {
+		t.Errorf("sessions_total = %d, want %d", got, clients)
+	}
+	if got := snap.Counters["serve.responses_total"]; got != clients*perClient {
+		t.Errorf("responses_total = %d, want %d", got, clients*perClient)
+	}
+	if got := snap.Counters["serve.rejects_total"]; got != 0 {
+		t.Errorf("rejects_total = %d, want 0", got)
+	}
+}
+
+// TestTenantQuota: a tenant over its admission budget is refused with
+// over-quota, the refusal is accounted per code, and the session stays
+// usable — a throttled client does not have to re-dial.
+func TestTenantQuota(t *testing.T) {
+	o := obs.New()
+	// 1e-9 req/s with burst 1: exactly one admission, no meaningful refill.
+	s := newServer(t, Config{TenantRate: 1e-9, TenantBurst: 1, Obs: o})
+	rng := rand.New(rand.NewSource(3))
+	cl, err := Dial(s.Addr(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	req := request(t, rng, 6, 2)
+	if _, raw, err := cl.Solve(req); err != nil {
+		t.Fatalf("first request within budget: %v", err)
+	} else {
+		req.ID = 1
+		verify(t, req, raw)
+	}
+	var rej *RejectError
+	if _, _, err := cl.Solve(request(t, rng, 6, 2)); !errors.As(err, &rej) {
+		t.Fatalf("second request: %v, want a reject", err)
+	} else if rej.Code != wire.RejectOverQuota {
+		t.Fatalf("second request rejected with %s, want %s", rej.Code, wire.RejectOverQuota)
+	}
+	// Still the same live session: a third try must again be answered
+	// (with a reject), not a dead connection.
+	if _, _, err := cl.Solve(request(t, rng, 6, 2)); !errors.As(err, &rej) {
+		t.Fatalf("third request on the throttled session: %v, want a reject", err)
+	}
+	snap := o.Metrics.Snapshot()
+	if got := snap.Counters["serve.rejects_total.over-quota"]; got != 2 {
+		t.Errorf("rejects_total.over-quota = %d, want 2", got)
+	}
+	if got := snap.Counters["serve.rejects_total"]; got != 2 {
+		t.Errorf("rejects_total = %d, want 2", got)
+	}
+	if got := snap.Gauges["serve.tenants_known"]; got != 1 {
+		t.Errorf("tenants_known = %d, want 1", got)
+	}
+}
+
+// TestGlobalQuota: the service-wide bucket refuses independently of the
+// tenant identity.
+func TestGlobalQuota(t *testing.T) {
+	o := obs.New()
+	s := newServer(t, Config{GlobalRate: 1e-9, GlobalBurst: 1, Obs: o})
+	rng := rand.New(rand.NewSource(5))
+	for i, wantOK := range []bool{true, false} {
+		cl, err := Dial(s.Addr(), int32(i+1)) // distinct tenants
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, _, err = cl.Solve(request(t, rng, 5, 2))
+		_ = cl.Close()
+		var rej *RejectError
+		switch {
+		case wantOK && err != nil:
+			t.Fatalf("request %d: %v, want success", i, err)
+		case !wantOK && !errors.As(err, &rej):
+			t.Fatalf("request %d: %v, want over-quota reject", i, err)
+		case !wantOK && rej.Code != wire.RejectOverQuota:
+			t.Fatalf("request %d rejected with %s, want %s", i, rej.Code, wire.RejectOverQuota)
+		}
+	}
+	if got := o.Metrics.Snapshot().Counters["serve.rejects_total.over-quota"]; got != 1 {
+		t.Errorf("rejects_total.over-quota = %d, want 1", got)
+	}
+}
+
+// TestMaxNodesReject: an instance above the configured size cap is
+// refused as too-large and the session survives to serve a smaller one.
+func TestMaxNodesReject(t *testing.T) {
+	s := newServer(t, Config{MaxNodes: 6})
+	rng := rand.New(rand.NewSource(7))
+	cl, err := Dial(s.Addr(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	var rej *RejectError
+	if _, _, err := cl.Solve(request(t, rng, 10, 2)); !errors.As(err, &rej) {
+		t.Fatalf("oversized instance: %v, want reject", err)
+	} else if rej.Code != wire.RejectTooLarge {
+		t.Fatalf("oversized instance rejected with %s, want %s", rej.Code, wire.RejectTooLarge)
+	}
+	if _, _, err := cl.Solve(request(t, rng, 5, 2)); err != nil {
+		t.Fatalf("in-bounds instance after a too-large reject: %v", err)
+	}
+}
+
+// TestShutdownDrainsInFlight: requests admitted before Shutdown still
+// get their full responses while the server drains — the SIGTERM
+// contract redist-serve relies on.
+func TestShutdownDrainsInFlight(t *testing.T) {
+	o := obs.New()
+	s, err := New(Config{Workers: 2, QueueDepth: 8, Obs: o})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const inFlight = 4
+	type outcome struct {
+		req wire.SolveRequest
+		raw []byte
+		err error
+	}
+	results := make(chan outcome, inFlight)
+	for ci := 0; ci < inFlight; ci++ {
+		go func(ci int) {
+			rng := rand.New(rand.NewSource(int64(40 + ci)))
+			cl, err := Dial(s.Addr(), int32(ci+1))
+			if err != nil {
+				results <- outcome{err: err}
+				return
+			}
+			defer cl.Close()
+			// Large enough that the solves are still running when Shutdown
+			// begins below.
+			req := request(t, rng, 48, 3)
+			req.ID = 1
+			_, raw, err := cl.Solve(req)
+			results <- outcome{req: req, raw: raw, err: err}
+		}(ci)
+	}
+	// Wait until every request is admitted into the pool, then shut down
+	// mid-solve.
+	deadline := time.Now().Add(10 * time.Second)
+	for o.Metrics.Snapshot().Counters["engine.pool.submitted_total"] < inFlight {
+		if time.Now().After(deadline) {
+			t.Fatal("requests never reached the pool")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown did not drain cleanly: %v", err)
+	}
+	for i := 0; i < inFlight; i++ {
+		res := <-results
+		if res.err != nil {
+			t.Fatalf("in-flight request dropped by shutdown: %v", res.err)
+		}
+		verify(t, res.req, res.raw)
+	}
+	if got := o.Metrics.Snapshot().Counters["serve.responses_total"]; got != inFlight {
+		t.Errorf("responses_total = %d, want %d", got, inFlight)
+	}
+	// The listener is gone: new sessions are refused at dial or die on
+	// first use.
+	if cl, err := Dial(s.Addr(), 99); err == nil {
+		if _, _, err := cl.Solve(request(t, rand.New(rand.NewSource(1)), 4, 1)); err == nil {
+			t.Error("request succeeded after shutdown completed")
+		}
+		_ = cl.Close()
+	}
+}
+
+// TestMalformedClient: framing garbage and unexpected frame types are
+// answered with a bad-request reject, counted, and the session torn
+// down — no hang, no silent drop.
+func TestMalformedClient(t *testing.T) {
+	o := obs.New()
+	s := newServer(t, Config{Obs: o})
+
+	expectRejectThenClose := func(t *testing.T, conn net.Conn) {
+		t.Helper()
+		if err := conn.SetReadDeadline(time.Now().Add(5 * time.Second)); err != nil {
+			t.Fatal(err)
+		}
+		f, err := wire.Read(conn)
+		if err != nil {
+			t.Fatalf("want a reject frame before teardown, got %v", err)
+		}
+		if f.Type != wire.MsgReject {
+			t.Fatalf("want MsgReject, got %s", f.Type)
+		}
+		rej, err := wire.DecodeReject(f.Payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rej.Code != wire.RejectBadRequest {
+			t.Fatalf("reject code %s, want %s", rej.Code, wire.RejectBadRequest)
+		}
+		if _, err := wire.Read(conn); err == nil {
+			t.Fatal("session stayed open after a protocol violation")
+		}
+	}
+
+	t.Run("invalid type byte", func(t *testing.T) {
+		conn, err := net.Dial("tcp", s.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer conn.Close()
+		raw := make([]byte, 13)
+		raw[4] = 0xEE
+		if _, err := conn.Write(raw); err != nil {
+			t.Fatal(err)
+		}
+		expectRejectThenClose(t, conn)
+	})
+	t.Run("unexpected frame type", func(t *testing.T) {
+		conn, err := net.Dial("tcp", s.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer conn.Close()
+		if err := wire.Write(conn, wire.Frame{Type: wire.MsgBarrier}); err != nil {
+			t.Fatal(err)
+		}
+		expectRejectThenClose(t, conn)
+	})
+	t.Run("garbage request payload", func(t *testing.T) {
+		conn, err := net.Dial("tcp", s.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer conn.Close()
+		if err := wire.Write(conn, wire.Frame{Type: wire.MsgSolveReq, Payload: []byte{0xDE, 0xAD}}); err != nil {
+			t.Fatal(err)
+		}
+		expectRejectThenClose(t, conn)
+	})
+	t.Run("disconnect mid-frame", func(t *testing.T) {
+		conn, err := net.Dial("tcp", s.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := conn.Write([]byte{0, 0}); err != nil {
+			t.Fatal(err)
+		}
+		_ = conn.Close()
+	})
+
+	deadline := time.Now().Add(5 * time.Second)
+	for o.Metrics.Snapshot().Gauges["serve.sessions_active"] != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("sessions did not close after misbehavior")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	snap := o.Metrics.Snapshot()
+	if got := snap.Counters["serve.protocol_errors_total"]; got != 3 {
+		t.Errorf("protocol_errors_total = %d, want 3", got)
+	}
+}
+
+// TestNoGoroutineLeak: a full serve lifecycle — sessions, solves,
+// rejects, shutdown — returns the process to its original goroutine
+// count.
+func TestNoGoroutineLeak(t *testing.T) {
+	before := runtime.NumGoroutine()
+	for i := 0; i < 3; i++ {
+		s, err := New(Config{Workers: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(int64(i)))
+		cl, err := Dial(s.Addr(), 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := cl.Solve(request(t, rng, 6, 2)); err != nil {
+			t.Fatal(err)
+		}
+		_ = cl.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		if err := s.Shutdown(ctx); err != nil {
+			t.Fatal(err)
+		}
+		cancel()
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("goroutines leaked: %d before, %d after", before, runtime.NumGoroutine())
+}

@@ -4,6 +4,9 @@ import (
 	"bytes"
 	"io"
 	"testing"
+
+	"redistgo/internal/bipartite"
+	"redistgo/internal/kpbs"
 )
 
 // FuzzRead feeds arbitrary bytes to the frame decoder: it must never
@@ -27,6 +30,9 @@ func FuzzRead(f *testing.F) {
 		}
 		if len(frame.Payload) > MaxPayload {
 			t.Fatalf("accepted oversized payload %d", len(frame.Payload))
+		}
+		if !frame.Type.Valid() {
+			t.Fatalf("accepted frame with invalid type %d", frame.Type)
 		}
 		var out bytes.Buffer
 		if err := Write(&out, frame); err != nil {
@@ -61,6 +67,72 @@ func FuzzReadStream(f *testing.F) {
 				}
 				return
 			}
+		}
+	})
+}
+
+// FuzzDecodeSolveReq feeds arbitrary payloads to the request codec: it
+// must never panic or over-allocate, and any request it accepts must
+// re-encode and decode to the same value (the codec is injective).
+func FuzzDecodeSolveReq(f *testing.F) {
+	seed, err := EncodeSolveReq(SolveRequest{
+		ID: 1, K: 2, Beta: 8, N1: 2, N2: 2,
+		Edges: []bipartite.Edge{{L: 0, R: 1, Weight: 3}},
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed)
+	f.Add(seed[:len(seed)-4])
+	f.Add([]byte{CodecV1})
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req, err := DecodeSolveReq(data)
+		if err != nil {
+			if !IsProtocolError(err) {
+				t.Fatalf("want *ProtocolError, got %T: %v", err, err)
+			}
+			return
+		}
+		out, err := EncodeSolveReq(req)
+		if err != nil {
+			t.Fatalf("re-encoding accepted request failed: %v", err)
+		}
+		if !bytes.Equal(out, data) {
+			t.Fatal("accepted request is not a canonical encoding")
+		}
+	})
+}
+
+// FuzzDecodeSolveResp: the response codec must never panic and must
+// bound its allocations by the payload it was given.
+func FuzzDecodeSolveResp(f *testing.F) {
+	sched := &kpbs.Schedule{Beta: 4, Steps: []kpbs.Step{
+		{Comms: []kpbs.Comm{{L: 0, R: 0, Amount: 9}}, Duration: 13},
+	}}
+	seed, err := EncodeSolveResp(7, sched)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed)
+	f.Add(seed[:len(seed)-2])
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		resp, err := DecodeSolveResp(data)
+		if err != nil {
+			if !IsProtocolError(err) {
+				t.Fatalf("want *ProtocolError, got %T: %v", err, err)
+			}
+			return
+		}
+		out, err := EncodeSolveResp(resp.ID, resp.Schedule)
+		if err != nil {
+			t.Fatalf("re-encoding accepted response failed: %v", err)
+		}
+		if !bytes.Equal(out, data) {
+			t.Fatal("accepted response is not a canonical encoding")
 		}
 	})
 }

@@ -1,0 +1,258 @@
+package wire
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"redistgo/internal/bipartite"
+	"redistgo/internal/kpbs"
+)
+
+func sampleRequest() SolveRequest {
+	return SolveRequest{
+		ID: 42, K: 3, Beta: 64, Algorithm: kpbs.OGGP,
+		N1: 4, N2: 5,
+		Edges: []bipartite.Edge{
+			{L: 0, R: 0, Weight: 10},
+			{L: 1, R: 2, Weight: 7},
+			{L: 3, R: 4, Weight: 1},
+		},
+	}
+}
+
+func TestSolveReqRoundTrip(t *testing.T) {
+	want := sampleRequest()
+	p, err := EncodeSolveReq(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeSolveReq(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ID != want.ID || got.K != want.K || got.Beta != want.Beta ||
+		got.Algorithm != want.Algorithm || got.N1 != want.N1 || got.N2 != want.N2 {
+		t.Fatalf("header fields differ: got %+v want %+v", got, want)
+	}
+	if len(got.Edges) != len(want.Edges) {
+		t.Fatalf("edge count %d, want %d", len(got.Edges), len(want.Edges))
+	}
+	for i := range want.Edges {
+		if got.Edges[i] != want.Edges[i] {
+			t.Fatalf("edge %d: got %+v want %+v", i, got.Edges[i], want.Edges[i])
+		}
+	}
+}
+
+func TestSolveReqGraph(t *testing.T) {
+	req := sampleRequest()
+	g := req.Graph()
+	if g.LeftCount() != req.N1 || g.RightCount() != req.N2 || g.EdgeCount() != len(req.Edges) {
+		t.Fatalf("graph shape %dx%d/%d edges, want %dx%d/%d",
+			g.LeftCount(), g.RightCount(), g.EdgeCount(), req.N1, req.N2, len(req.Edges))
+	}
+}
+
+func TestEncodeSolveReqRejectsInvalid(t *testing.T) {
+	cases := map[string]func(*SolveRequest){
+		"zero k":           func(r *SolveRequest) { r.K = 0 },
+		"negative beta":    func(r *SolveRequest) { r.Beta = -1 },
+		"bad algorithm":    func(r *SolveRequest) { r.Algorithm = kpbs.Algorithm(99) },
+		"zero left side":   func(r *SolveRequest) { r.N1 = 0 },
+		"huge right side":  func(r *SolveRequest) { r.N2 = MaxInstanceNodes + 1 },
+		"edge out of side": func(r *SolveRequest) { r.Edges[0].L = r.N1 },
+		"negative weight":  func(r *SolveRequest) { r.Edges[0].Weight = -5 },
+		"zero weight":      func(r *SolveRequest) { r.Edges[0].Weight = 0 },
+	}
+	for name, mutate := range cases {
+		req := sampleRequest()
+		mutate(&req)
+		if _, err := EncodeSolveReq(req); err == nil {
+			t.Errorf("%s: encode accepted an invalid request", name)
+		}
+	}
+}
+
+// TestDecodeSolveReqRejectsMalformed corrupts a valid encoding in every
+// structurally interesting way; the decoder must return a typed
+// *ProtocolError (never panic, never accept).
+func TestDecodeSolveReqRejectsMalformed(t *testing.T) {
+	valid, err := EncodeSolveReq(sampleRequest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mutants := map[string][]byte{
+		"empty":               {},
+		"bad version":         append([]byte{CodecV1 + 1}, valid[1:]...),
+		"truncated header":    valid[:8],
+		"truncated edge":      valid[:len(valid)-1],
+		"trailing garbage":    append(append([]byte(nil), valid...), 0xAA),
+		"edge count overflow": overwriteEdgeCount(valid, 1<<30),
+	}
+	for name, p := range mutants {
+		req, err := DecodeSolveReq(p)
+		if err == nil {
+			t.Errorf("%s: decoder accepted malformed payload: %+v", name, req)
+			continue
+		}
+		if !IsProtocolError(err) {
+			t.Errorf("%s: want *ProtocolError, got %T: %v", name, err, err)
+		}
+	}
+}
+
+// overwriteEdgeCount rewrites the nEdges field (the final u32 of the
+// fixed prelude: ver 1 + id 8 + k 4 + beta 8 + alg 1 + n1 4 + n2 4).
+func overwriteEdgeCount(p []byte, n uint32) []byte {
+	out := append([]byte(nil), p...)
+	const off = 1 + 8 + 4 + 8 + 1 + 4 + 4
+	out[off] = byte(n >> 24)
+	out[off+1] = byte(n >> 16)
+	out[off+2] = byte(n >> 8)
+	out[off+3] = byte(n)
+	return out
+}
+
+func TestSolveRespRoundTrip(t *testing.T) {
+	req := sampleRequest()
+	sched, err := kpbs.Solve(req.Graph(), req.K, req.Beta, kpbs.Options{Algorithm: req.Algorithm})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := EncodeSolveResp(req.ID, sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := DecodeSolveResp(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.ID != req.ID {
+		t.Fatalf("id %d, want %d", resp.ID, req.ID)
+	}
+	if resp.Schedule.Beta != sched.Beta || len(resp.Schedule.Steps) != len(sched.Steps) {
+		t.Fatalf("schedule shape differs: %d steps beta %d, want %d steps beta %d",
+			len(resp.Schedule.Steps), resp.Schedule.Beta, len(sched.Steps), sched.Beta)
+	}
+	for i, st := range sched.Steps {
+		got := resp.Schedule.Steps[i]
+		if got.Duration != st.Duration || len(got.Comms) != len(st.Comms) {
+			t.Fatalf("step %d shape differs", i)
+		}
+		for j := range st.Comms {
+			if got.Comms[j] != st.Comms[j] {
+				t.Fatalf("step %d comm %d: got %+v want %+v", i, j, got.Comms[j], st.Comms[j])
+			}
+		}
+	}
+	// The codec is injective — re-encoding the decoded schedule must give
+	// the same bytes. The soak harness's byte-identical check rests on
+	// this.
+	again, err := EncodeSolveResp(resp.ID, resp.Schedule)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(again, p) {
+		t.Fatal("re-encoding the decoded response changed the bytes")
+	}
+}
+
+func TestDecodeSolveRespRejectsMalformed(t *testing.T) {
+	req := sampleRequest()
+	sched, err := kpbs.Solve(req.Graph(), req.K, req.Beta, kpbs.Options{Algorithm: req.Algorithm})
+	if err != nil {
+		t.Fatal(err)
+	}
+	valid, err := EncodeSolveResp(req.ID, sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, p := range map[string][]byte{
+		"empty":            {},
+		"bad version":      append([]byte{CodecV1 + 1}, valid[1:]...),
+		"truncated":        valid[:len(valid)-3],
+		"trailing garbage": append(append([]byte(nil), valid...), 1, 2, 3),
+	} {
+		if _, err := DecodeSolveResp(p); err == nil {
+			t.Errorf("%s: decoder accepted malformed payload", name)
+		} else if !IsProtocolError(err) {
+			t.Errorf("%s: want *ProtocolError, got %T: %v", name, err, err)
+		}
+	}
+}
+
+func TestRejectRoundTrip(t *testing.T) {
+	want := Reject{ID: 7, Code: RejectOverQuota, Reason: "tenant 3 admission budget exhausted"}
+	p, err := EncodeReject(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeReject(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("got %+v want %+v", got, want)
+	}
+}
+
+func TestEncodeRejectTruncatesReason(t *testing.T) {
+	long := strings.Repeat("x", 4*maxRejectReason)
+	p, err := EncodeReject(Reject{ID: 1, Code: RejectBadRequest, Reason: long})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeReject(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Reason) > maxRejectReason {
+		t.Fatalf("reason survived at %d bytes, cap is %d", len(got.Reason), maxRejectReason)
+	}
+}
+
+func TestRejectCodeStrings(t *testing.T) {
+	for _, c := range []RejectCode{RejectBadRequest, RejectOverQuota, RejectBusy,
+		RejectShuttingDown, RejectTooLarge, RejectSolveFailed} {
+		if s := c.String(); s == "" || strings.Contains(s, "unknown") {
+			t.Errorf("code %d has no name: %q", c, s)
+		}
+	}
+}
+
+func TestMsgTypeValid(t *testing.T) {
+	for _, tt := range []MsgType{MsgXfer, MsgData, MsgAck, MsgBarrier, MsgDone,
+		MsgSolveReq, MsgSolveResp, MsgReject} {
+		if !tt.Valid() {
+			t.Errorf("%s should be valid", tt)
+		}
+	}
+	for _, tt := range []MsgType{0, maxMsgType + 1, 200} {
+		if tt.Valid() {
+			t.Errorf("type %d should be invalid", tt)
+		}
+	}
+}
+
+// TestInvalidTypesNeverRoundTrip drives both directions: Write must
+// refuse to emit a frame with an out-of-range type, and Read must refuse
+// a crafted header carrying one — with a typed protocol error, not a
+// silent accept.
+func TestInvalidTypesNeverRoundTrip(t *testing.T) {
+	for _, bad := range []MsgType{0, maxMsgType + 1, 0xFF} {
+		var buf bytes.Buffer
+		if err := Write(&buf, Frame{Type: bad}); err == nil {
+			t.Errorf("Write accepted invalid type %d", bad)
+		} else if !IsProtocolError(err) {
+			t.Errorf("Write(type %d): want *ProtocolError, got %v", bad, err)
+		}
+		// Craft the header by hand: zero payload, the bad type byte.
+		raw := []byte{0, 0, 0, 0, byte(bad), 0, 0, 0, 0, 0, 0, 0, 0}
+		if _, err := Read(bytes.NewReader(raw)); err == nil {
+			t.Errorf("Read accepted invalid type %d", bad)
+		} else if !IsProtocolError(err) {
+			t.Errorf("Read(type %d): want *ProtocolError, got %v", bad, err)
+		}
+	}
+}

@@ -14,6 +14,7 @@ package wire
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 )
@@ -33,7 +34,43 @@ const (
 	MsgBarrier
 	// MsgDone tells a peer the session is over.
 	MsgDone
+	// MsgSolveReq asks the scheduling service to solve one K-PBS
+	// instance: payload is a versioned SolveRequest codec (solve.go).
+	MsgSolveReq
+	// MsgSolveResp returns the schedule for an accepted request: payload
+	// is a versioned SolveResponse codec (solve.go).
+	MsgSolveResp
+	// MsgReject refuses a request (quota, shutdown, malformed instance):
+	// payload is a versioned Reject codec (solve.go).
+	MsgReject
+
+	// maxMsgType is the highest assigned message type; Read and Write
+	// refuse frames outside [MsgXfer, maxMsgType].
+	maxMsgType = MsgReject
 )
+
+// ProtocolError is a framing or codec violation: the peer sent bytes that
+// can never be produced by a correct implementation (unknown type byte,
+// oversized declared payload, malformed codec payload). Transport errors
+// (EOF, timeouts, resets) are never ProtocolErrors, so receivers can
+// distinguish a hostile/buggy peer from an ordinary disconnect.
+type ProtocolError struct {
+	Reason string
+}
+
+// Error implements the error interface.
+func (e *ProtocolError) Error() string { return "wire: protocol violation: " + e.Reason }
+
+// protoErrf builds a *ProtocolError from a format string.
+func protoErrf(format string, args ...any) error {
+	return &ProtocolError{Reason: fmt.Sprintf(format, args...)}
+}
+
+// IsProtocolError reports whether err is (or wraps) a protocol violation.
+func IsProtocolError(err error) bool {
+	var pe *ProtocolError
+	return errors.As(err, &pe)
+}
 
 // String names the message type.
 func (t MsgType) String() string {
@@ -48,9 +85,18 @@ func (t MsgType) String() string {
 		return "BARRIER"
 	case MsgDone:
 		return "DONE"
+	case MsgSolveReq:
+		return "SOLVE_REQ"
+	case MsgSolveResp:
+		return "SOLVE_RESP"
+	case MsgReject:
+		return "REJECT"
 	}
 	return fmt.Sprintf("MsgType(%d)", uint8(t))
 }
+
+// Valid reports whether t is an assigned message type.
+func (t MsgType) Valid() bool { return t >= MsgXfer && t <= maxMsgType }
 
 // MaxPayload bounds a frame's payload; larger transfers are chunked.
 const MaxPayload = 1 << 20
@@ -64,8 +110,12 @@ type Frame struct {
 	Payload  []byte
 }
 
-// Write encodes f to w. It fails if the payload exceeds MaxPayload.
+// Write encodes f to w. It fails if the payload exceeds MaxPayload or the
+// type is unassigned, so invalid frames can never enter the wire.
 func Write(w io.Writer, f Frame) error {
+	if !f.Type.Valid() {
+		return protoErrf("refusing to encode unknown message type %d", uint8(f.Type))
+	}
 	if len(f.Payload) > MaxPayload {
 		return fmt.Errorf("wire: payload %d exceeds maximum %d", len(f.Payload), MaxPayload)
 	}
@@ -93,7 +143,10 @@ func Read(r io.Reader) (Frame, error) {
 	}
 	n := binary.BigEndian.Uint32(hdr[0:4])
 	if n > MaxPayload {
-		return Frame{}, fmt.Errorf("wire: declared payload %d exceeds maximum %d", n, MaxPayload)
+		return Frame{}, protoErrf("declared payload %d exceeds maximum %d", n, MaxPayload)
+	}
+	if !MsgType(hdr[4]).Valid() {
+		return Frame{}, protoErrf("unknown message type %d", hdr[4])
 	}
 	f := Frame{
 		Type: MsgType(hdr[4]),
@@ -119,7 +172,7 @@ func PutUint64(v uint64) []byte {
 // Uint64 decodes an 8-byte payload written by PutUint64.
 func Uint64(p []byte) (uint64, error) {
 	if len(p) != 8 {
-		return 0, fmt.Errorf("wire: uint64 payload has %d bytes, want 8", len(p))
+		return 0, protoErrf("uint64 payload has %d bytes, want 8", len(p))
 	}
 	return binary.BigEndian.Uint64(p), nil
 }

@@ -17,8 +17,8 @@
 //	             append/make/new/closures/composite literals, and no
 //	             obs.Registry/obs.Observer method calls (instrumentation
 //	             must go through pre-resolved nil-safe handles)
-//	ctxpoll      internal/engine and cmd/ non-test code: unbounded loops
-//	             must observe a context
+//	ctxpoll      internal/engine, internal/serve and cmd/ non-test code:
+//	             unbounded loops must observe a context
 //	errcheck     all non-test code: no silently discarded errors
 //
 // A finding is suppressed by a same-line or preceding-line comment
@@ -64,7 +64,8 @@ var analyzers = []struct {
 	{safemathAnalyzer, scope{pkgs: func(p string) bool { return p == "redistgo/internal/kpbs" }}},
 	{hotpathAnalyzer, scope{includeTests: true}},
 	{ctxpollAnalyzer, scope{pkgs: func(p string) bool {
-		return p == "redistgo/internal/engine" || strings.HasPrefix(p, "redistgo/cmd/")
+		return p == "redistgo/internal/engine" || p == "redistgo/internal/serve" ||
+			strings.HasPrefix(p, "redistgo/cmd/")
 	}}},
 	{errcheckAnalyzer, scope{}},
 }
