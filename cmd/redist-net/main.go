@@ -40,6 +40,7 @@ func run(args []string, stdout io.Writer) (err error) {
 	seed := fs.Int64("seed", 1, "random seed")
 	backboneMbit := fs.Float64("backbone-mbit", 100, "backbone throughput in Mbit/s")
 	shard := fs.String("shard", "auto", "component sharding: off, auto (shard multi-component graphs) or on")
+	matcher := fs.String("matcher", "auto", "matching kernels: auto (pick by density), scalar or bitset; schedules are identical either way")
 	obsFlags := obsflag.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -60,6 +61,10 @@ func run(args []string, stdout io.Writer) (err error) {
 		return fmt.Errorf("k and nodes must be positive")
 	}
 	shardMode, err := redistgo.ParseShardMode(*shard)
+	if err != nil {
+		return err
+	}
+	matcherEngine, err := redistgo.ParseMatcherEngine(*matcher)
 	if err != nil {
 		return err
 	}
@@ -85,7 +90,7 @@ func run(args []string, stdout io.Writer) (err error) {
 
 	schedules := map[string]*redistgo.Schedule{}
 	for name, alg := range map[string]redistgo.Algorithm{"GGP": redistgo.GGP, "OGGP": redistgo.OGGP} {
-		s, err := redistgo.Solve(g, *k, betaUnits, redistgo.Options{Algorithm: alg, Shard: shardMode, Obs: observer})
+		s, err := redistgo.Solve(g, *k, betaUnits, redistgo.Options{Algorithm: alg, Shard: shardMode, Engine: matcherEngine, Obs: observer})
 		if err != nil {
 			return err
 		}

@@ -345,6 +345,33 @@ func (g *Graph) LeftAdjacency() [][]int {
 	return adj
 }
 
+// RowWords returns the number of uint64 words a bitset over the right
+// vertex set occupies — the per-left-node row stride of AdjacencyRows and
+// of the bitset matching kernels built on it.
+func (g *Graph) RowWords() int { return (g.nRight + 63) / 64 }
+
+// AdjacencyRows fills dst with one bitset row per left node: bit r of row
+// l (word l·RowWords()+r/64) is set iff some edge joins l and r. Parallel
+// edges collapse onto one bit. dst must have length nLeft·RowWords() and
+// is zeroed first; pass nil to allocate. The filled slice is returned.
+func (g *Graph) AdjacencyRows(dst []uint64) []uint64 {
+	words := g.RowWords()
+	n := g.nLeft * words
+	if dst == nil {
+		dst = make([]uint64, n)
+	}
+	if len(dst) != n {
+		panic(fmt.Sprintf("bipartite: AdjacencyRows dst length %d, want %d", len(dst), n))
+	}
+	for i := range dst {
+		dst[i] = 0
+	}
+	for _, e := range g.edges {
+		dst[e.L*words+e.R/64] |= 1 << uint(e.R%64)
+	}
+	return dst
+}
+
 // MinWeight returns the smallest edge weight, or 0 for an edgeless graph.
 func (g *Graph) MinWeight() int64 {
 	if len(g.edges) == 0 {

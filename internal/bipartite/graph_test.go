@@ -417,3 +417,60 @@ func TestQuickCloneEqual(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestRowWords(t *testing.T) {
+	for _, tc := range []struct{ nR, want int }{
+		{0, 0}, {1, 1}, {63, 1}, {64, 1}, {65, 2}, {128, 2}, {129, 3},
+	} {
+		g := New(1, tc.nR)
+		if got := g.RowWords(); got != tc.want {
+			t.Fatalf("RowWords with %d rights = %d, want %d", tc.nR, got, tc.want)
+		}
+	}
+}
+
+func TestAdjacencyRows(t *testing.T) {
+	const nL, nR = 4, 70 // two words per row, partial last word
+	g := New(nL, nR)
+	g.AddEdge(0, 0, 1)
+	g.AddEdge(0, 69, 1)
+	g.AddEdge(0, 69, 2) // parallel edge collapses onto the same bit
+	g.AddEdge(2, 63, 1)
+	g.AddEdge(2, 64, 1)
+	rows := g.AdjacencyRows(nil)
+	if len(rows) != nL*g.RowWords() {
+		t.Fatalf("rows length %d, want %d", len(rows), nL*g.RowWords())
+	}
+	for l := 0; l < nL; l++ {
+		for r := 0; r < nR; r++ {
+			want := false
+			for _, e := range g.Edges() {
+				if e.L == l && e.R == r {
+					want = true
+				}
+			}
+			got := rows[l*g.RowWords()+r/64]&(1<<uint(r%64)) != 0
+			if got != want {
+				t.Fatalf("bit (%d,%d) = %v, want %v", l, r, got, want)
+			}
+		}
+	}
+	// Reuse: a dirty dst of the right length is zeroed and refilled.
+	for i := range rows {
+		rows[i] = ^uint64(0)
+	}
+	again := g.AdjacencyRows(rows)
+	if &again[0] != &rows[0] {
+		t.Fatal("AdjacencyRows reallocated a correctly sized dst")
+	}
+	if again[1*g.RowWords()] != 0 {
+		t.Fatal("dst not zeroed before filling")
+	}
+	// Wrong length must panic rather than fill out of step.
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AdjacencyRows accepted a wrong-length dst")
+		}
+	}()
+	g.AdjacencyRows(make([]uint64, 1))
+}

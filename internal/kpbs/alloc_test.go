@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"redistgo/internal/bipartite"
+	"redistgo/internal/matching"
 )
 
 // denseGraph builds an n×n instance with every pair connected, weights
@@ -19,10 +20,48 @@ func denseGraph(rng *rand.Rand, n int, maxW int64) *bipartite.Graph {
 	return g
 }
 
+// peelAllocsZero warms a peeler up on an instance (sizing its arenas and
+// matcher scratch), then asserts reset+run performs zero allocations.
+func peelAllocsZero(t *testing.T, g *bipartite.Graph, kind matcherKind, eng matching.Engine) *peeler {
+	t.Helper()
+	in, err := buildInstance(g, 8, 1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := newPeeler(in, kind, eng)
+	warm, err := p.run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(warm) == 0 {
+		t.Fatal("warm-up run produced no steps")
+	}
+	var runErr error
+	var steps int
+	avg := testing.AllocsPerRun(20, func() {
+		p.reset()
+		s, err := p.run()
+		if err != nil {
+			runErr = err
+		}
+		steps = len(s)
+	})
+	if runErr != nil {
+		t.Fatal(runErr)
+	}
+	if steps != len(warm) {
+		t.Fatalf("steady-state run produced %d steps, warm-up %d", steps, len(warm))
+	}
+	if avg != 0 {
+		t.Fatalf("peel loop allocates at steady state: %.1f allocs/run, want 0", avg)
+	}
+	return p
+}
+
 // TestPeelSteadyStateAllocs is the benchmark-guard from the issue: once a
-// peeler has warmed up on an instance (sizing its arenas and matcher
-// scratch), reset+run must perform zero allocations for both the GGP and
-// the OGGP/MinSteps matchers.
+// peeler has warmed up, reset+run must perform zero allocations for both
+// the GGP and the OGGP/MinSteps matchers. Pinned to the scalar kernels;
+// TestBitsetSteadyStateAllocs covers the bitset arm.
 func TestPeelSteadyStateAllocs(t *testing.T) {
 	rng := rand.New(rand.NewSource(11))
 	g := denseGraph(rng, 16, 20)
@@ -34,36 +73,32 @@ func TestPeelSteadyStateAllocs(t *testing.T) {
 		{"OGGP", matchBottleneck},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
-			in, err := buildInstance(g, 8, 1, false)
-			if err != nil {
-				t.Fatal(err)
+			peelAllocsZero(t, g, tc.kind, matching.EngineScalar)
+		})
+	}
+}
+
+// TestBitsetSteadyStateAllocs extends the zero-alloc contract to the
+// bitset kernels: word-parallel BFS sweeps, bitset DFS, cell-chain
+// maintenance under Deactivate and the forced-edge pass must all run off
+// preallocated storage once warmed up.
+func TestBitsetSteadyStateAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	g := denseGraph(rng, 16, 20)
+	for _, tc := range []struct {
+		name string
+		kind matcherKind
+	}{
+		{"GGP", matchAny},
+		{"OGGP", matchBottleneck},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			p := peelAllocsZero(t, g, tc.kind, matching.EngineBitset)
+			if p.inc != nil && !p.inc.UsesBitset() {
+				t.Fatal("peeler did not resolve to the bitset kernels")
 			}
-			p := newPeeler(in, tc.kind)
-			warm, err := p.run()
-			if err != nil {
-				t.Fatal(err)
-			}
-			if len(warm) == 0 {
-				t.Fatal("warm-up run produced no steps")
-			}
-			var runErr error
-			var steps int
-			avg := testing.AllocsPerRun(20, func() {
-				p.reset()
-				s, err := p.run()
-				if err != nil {
-					runErr = err
-				}
-				steps = len(s)
-			})
-			if runErr != nil {
-				t.Fatal(runErr)
-			}
-			if steps != len(warm) {
-				t.Fatalf("steady-state run produced %d steps, warm-up %d", steps, len(warm))
-			}
-			if avg != 0 {
-				t.Fatalf("peel loop allocates at steady state: %.1f allocs/run, want 0", avg)
+			if p.bot != nil && !p.bot.UsesBitset() {
+				t.Fatal("peeler did not resolve to the bitset kernels")
 			}
 		})
 	}
@@ -80,7 +115,7 @@ func TestPeelerRerunIsReproducible(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		p := newPeeler(in, kind)
+		p := newPeeler(in, kind, matching.EngineAuto)
 		first, err := p.run()
 		if err != nil {
 			t.Fatal(err)
@@ -140,7 +175,7 @@ func benchmarkPeelSolve(b *testing.B, kind matcherKind, reference bool) {
 		if reference {
 			s, err = solvePeelingReference(g, k, beta, kind, false)
 		} else {
-			s, err = solvePeeling(g, k, beta, kind, false, nil)
+			s, err = solvePeeling(g, k, beta, kind, false, matching.EngineAuto, nil)
 		}
 		if err != nil {
 			b.Fatal(err)

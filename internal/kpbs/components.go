@@ -357,15 +357,22 @@ func solveComponentInto(g *bipartite.Graph, sh *sharder, i int, scratch *shardSc
 func solveComponent(g *bipartite.Graph, sh *sharder, i int, scratch *shardScratch, k int, beta int64, opts Options, so *obs.SolverObs) (*Schedule, error) {
 	sub := scratch.subgraph(g, sh, i)
 	co := so.Component(i, sub.LeftCount()+sub.RightCount(), sub.EdgeCount())
+	// Engine resolution per component: Solve validated the option before
+	// sharding, and auto picks by each component's own density, so a
+	// mixed-density instance can peel dense components on the bitset arm
+	// and sparse ones on the scalar arm within one solve.
+	eng, err := opts.Engine.matchingEngine()
+	if err != nil {
+		return nil, err
+	}
 	var s *Schedule
-	var err error
 	switch opts.Algorithm {
 	case GGP:
-		s, err = solvePeeling(sub, k, beta, matchAny, false, co)
+		s, err = solvePeeling(sub, k, beta, matchAny, false, eng, co)
 	case OGGP:
-		s, err = solvePeeling(sub, k, beta, matchBottleneck, false, co)
+		s, err = solvePeeling(sub, k, beta, matchBottleneck, false, eng, co)
 	case MinSteps:
-		s, err = solvePeeling(sub, k, beta, matchBottleneck, true, co)
+		s, err = solvePeeling(sub, k, beta, matchBottleneck, true, eng, co)
 	case Greedy:
 		s, err = solveGreedy(sub, k, beta)
 	}

@@ -19,14 +19,20 @@ func FuzzSolve(f *testing.F) {
 	f.Add(int64(2), 1, 1, 1, int64(1), 1, int64(0), 1)
 	f.Add(int64(3), 40, 40, 400, int64(10000), 40, int64(7), 2)
 	f.Add(int64(4), 30, 2, 50, int64(5), 100, int64(3), 3)
+	// Bitset-arm seeds: widths just past a word boundary (65, 66 rights)
+	// exercise the partial last word of every row mask, and the dense 16×16
+	// seed sits above the auto-selection density threshold.
+	f.Add(int64(5), 65, 65, 700, int64(50), 16, int64(2), 0)
+	f.Add(int64(6), 20, 66, 640, int64(9), 8, int64(1), 1)
+	f.Add(int64(7), 16, 16, 250, int64(100), 10, int64(3), 2)
 
 	f.Fuzz(func(t *testing.T, seed int64, nl, nr, edges int, maxW int64, k int, beta int64, algRaw int) {
 		// Clamp the fuzzed shape to something buildable; the point is to
 		// explore odd combinations, not to validate the generator.
-		if nl < 1 || nr < 1 || nl > 60 || nr > 60 {
+		if nl < 1 || nr < 1 || nl > 72 || nr > 72 {
 			return
 		}
-		if edges < 0 || edges > 600 {
+		if edges < 0 || edges > 900 {
 			return
 		}
 		if maxW < 1 || maxW > 1_000_000 {
@@ -72,6 +78,26 @@ func FuzzSolve(f *testing.F) {
 			bound := safemath.Add(safemath.Mul(2, lb), safemath.Mul(2, beta))
 			if s.Cost() > bound {
 				t.Fatalf("%v cost %d > 2·LB+2β = %d", alg, s.Cost(), bound)
+			}
+		}
+		// Engine differential: the scalar and bitset matching kernels must
+		// produce byte-identical schedules, and the density auto-selection
+		// must be invisible — whichever arm it picks matches both pins.
+		// (Greedy never runs a matching, so the arms are trivially equal.)
+		if alg != Greedy {
+			scalar, err := Solve(g, k, beta, Options{Algorithm: alg, Engine: EngineScalar})
+			if err != nil {
+				t.Fatalf("%v scalar-engine solve failed: %v", alg, err)
+			}
+			bitset, err := Solve(g, k, beta, Options{Algorithm: alg, Engine: EngineBitset})
+			if err != nil {
+				t.Fatalf("%v bitset-engine solve failed: %v", alg, err)
+			}
+			if scalar.String() != bitset.String() {
+				t.Fatalf("%v: engine arms diverged:\n--- scalar ---\n%s--- bitset ---\n%s", alg, scalar, bitset)
+			}
+			if s.String() != scalar.String() {
+				t.Fatalf("%v: auto engine diverged from pinned arms:\n--- auto ---\n%s--- scalar ---\n%s", alg, s, scalar)
 			}
 		}
 		// Post-passes must preserve feasibility.
@@ -130,6 +156,11 @@ func FuzzPeelDifferential(f *testing.F) {
 	f.Add(int64(2), 1, 1, 1, int64(1), 1, int64(0), 1)
 	f.Add(int64(3), 12, 12, 144, int64(50), 6, int64(2), 1)
 	f.Add(int64(4), 20, 3, 60, int64(9), 4, int64(5), 2)
+	// Density-threshold straddlers: same 16×16 shape with ~40 edges (auto
+	// resolves scalar) and ~250 edges (auto resolves bitset), so corpus
+	// replay keeps both sides of the heuristic honest.
+	f.Add(int64(5), 16, 16, 40, int64(30), 8, int64(1), 0)
+	f.Add(int64(6), 16, 16, 250, int64(30), 8, int64(1), 1)
 
 	f.Fuzz(func(t *testing.T, seed int64, nl, nr, edges int, maxW int64, k int, beta int64, algRaw int) {
 		if nl < 1 || nr < 1 || nl > 24 || nr > 24 {
@@ -186,6 +217,21 @@ func FuzzPeelDifferential(f *testing.F) {
 		}
 		if inc.String() != again.String() {
 			t.Fatalf("%v: nondeterministic incremental schedule:\n%s\nvs\n%s", alg, inc, again)
+		}
+		// Kernel differential: both pinned engine arms must reproduce the
+		// auto-selected schedule byte for byte (the canonical-traversal
+		// equivalence argument of DESIGN.md §11, fuzzed).
+		for _, ec := range []struct {
+			name string
+			eng  MatcherEngine
+		}{{"scalar", EngineScalar}, {"bitset", EngineBitset}} {
+			pinned, err := Solve(g, k, beta, Options{Algorithm: alg, Engine: ec.eng})
+			if err != nil {
+				t.Fatalf("%v %s engine: %v", alg, ec.name, err)
+			}
+			if pinned.String() != inc.String() {
+				t.Fatalf("%v: %s engine diverged from auto:\n%s\nvs\n%s", alg, ec.name, pinned, inc)
+			}
 		}
 		// Sharded differential: the component-sharded path must stay
 		// feasible, respect the lower bound and the concatenation envelope,

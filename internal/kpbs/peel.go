@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"redistgo/internal/bipartite"
+	"redistgo/internal/matching"
 	"redistgo/internal/obs"
 )
 
@@ -37,11 +38,12 @@ const (
 // weight-regular instance through the incremental engine (see residual.go):
 // the perfect matching is repaired across iterations instead of recomputed,
 // and the residual graph is mutated in place instead of rematerialized. The
-// cold-start loop this replaced is retained as peelReference. so — nil to
-// disable — receives one event per peeling iteration; it observes the loop
-// and never steers it.
-func (in *instance) peel(kind matcherKind, so *obs.SolverObs) ([]normStep, error) {
-	p := newPeeler(in, kind)
+// cold-start loop this replaced is retained as peelReference. eng selects
+// the matching kernels (scalar or bitset; auto resolves by density). so —
+// nil to disable — receives one event per peeling iteration; it observes
+// the loop and never steers it.
+func (in *instance) peel(kind matcherKind, eng matching.Engine, so *obs.SolverObs) ([]normStep, error) {
+	p := newPeeler(in, kind, eng)
 	p.so = so
 	return p.run()
 }
@@ -76,6 +78,6 @@ func wrgpGraph(g *bipartite.Graph, kind matcherKind) ([]normStep, *instance, err
 	for i, e := range g.Edges() {
 		in.edges = append(in.edges, workEdge{l: e.L, r: e.R, w: e.Weight, orig: i})
 	}
-	steps, err := in.peel(kind, nil)
+	steps, err := in.peel(kind, matching.EngineAuto, nil)
 	return steps, in, err
 }

@@ -23,6 +23,11 @@ import (
 // procedure) at every iteration.
 func (in *instance) peelReference(kind matcherKind) ([]normStep, error) {
 	var steps []normStep
+	// One bottleneck scratch for the whole run: each iteration still sorts
+	// and grows from scratch (that is the point of the oracle), but the
+	// probe's adjacency/match/visit buffers are reused instead of
+	// re-allocated per peel. Traversal order is unchanged.
+	var bs matching.BottleneckScratch
 	remaining := in.regular
 	maxIter := len(in.edges) + 1
 	for iter := 0; remaining > 0; iter++ {
@@ -34,7 +39,7 @@ func (in *instance) peelReference(kind matcherKind) ([]normStep, error) {
 		var ok bool
 		switch kind {
 		case matchBottleneck:
-			m, ok = matching.BottleneckPerfect(g)
+			m, ok = bs.Perfect(g)
 		default:
 			m, ok = matching.Perfect(g)
 		}

@@ -64,10 +64,12 @@ type peeler struct {
 	offs  []int
 }
 
-// newPeeler builds the engine for an augmented instance. The instance's
-// edge list must not change afterwards (weights are copied out; the peel
-// never mutates in.edges).
-func newPeeler(in *instance, kind matcherKind) *peeler {
+// newPeeler builds the engine for an augmented instance, with the matcher
+// kernels selected by eng (scalar or bitset; auto resolves by density —
+// both arms produce byte-identical schedules). The instance's edge list
+// must not change afterwards (weights are copied out; the peel never
+// mutates in.edges).
+func newPeeler(in *instance, kind matcherKind, eng matching.Engine) *peeler {
 	m := len(in.edges)
 	p := &peeler{
 		in:     in,
@@ -85,9 +87,9 @@ func newPeeler(in *instance, kind matcherKind) *peeler {
 	}
 	copy(p.w, p.w0)
 	if kind == matchBottleneck {
-		p.bot = matching.NewBottleneckInc(in.nL, in.nR, p.el, p.er, p.w)
+		p.bot = matching.NewBottleneckIncEngine(in.nL, in.nR, p.el, p.er, p.w, eng)
 	} else {
-		p.inc = matching.NewIncremental(in.nL, in.nR, p.el, p.er)
+		p.inc = matching.NewIncrementalEngine(in.nL, in.nR, p.el, p.er, eng)
 	}
 	return p
 }

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"redistgo/internal/bipartite"
+	"redistgo/internal/matching"
 	"redistgo/internal/obs"
 	"redistgo/internal/safemath"
 )
@@ -85,6 +86,62 @@ func ParseShardMode(s string) (ShardMode, error) {
 	return 0, fmt.Errorf("kpbs: unknown shard mode %q (want auto, on or off)", s)
 }
 
+// MatcherEngine selects the candidate-iteration kernel inside the
+// incremental matchers the peeler runs on (matching.Engine; see
+// DESIGN.md §11).
+type MatcherEngine int
+
+const (
+	// EngineAuto — the zero value and the default — picks the bitset
+	// kernels on instances dense enough for word-parallel sweeps to win,
+	// and the scalar kernels otherwise. The two arms produce byte-identical
+	// schedules, so the choice is purely a performance knob.
+	EngineAuto MatcherEngine = iota
+	// EngineScalar forces the scalar kernels (the differential oracle arm).
+	EngineScalar
+	// EngineBitset forces the bitset kernels where representable.
+	EngineBitset
+)
+
+// String returns the engine's flag spelling.
+func (e MatcherEngine) String() string {
+	switch e {
+	case EngineAuto:
+		return "auto"
+	case EngineScalar:
+		return "scalar"
+	case EngineBitset:
+		return "bitset"
+	}
+	return fmt.Sprintf("MatcherEngine(%d)", int(e))
+}
+
+// ParseMatcherEngine parses the -engine flag spelling used by the cmds.
+func ParseMatcherEngine(s string) (MatcherEngine, error) {
+	switch s {
+	case "auto":
+		return EngineAuto, nil
+	case "scalar":
+		return EngineScalar, nil
+	case "bitset":
+		return EngineBitset, nil
+	}
+	return 0, fmt.Errorf("kpbs: unknown matcher engine %q (want auto, scalar or bitset)", s)
+}
+
+// matchingEngine maps the option onto the matching package's engine enum.
+func (e MatcherEngine) matchingEngine() (matching.Engine, error) {
+	switch e {
+	case EngineAuto:
+		return matching.EngineAuto, nil
+	case EngineScalar:
+		return matching.EngineScalar, nil
+	case EngineBitset:
+		return matching.EngineBitset, nil
+	}
+	return 0, fmt.Errorf("kpbs: unknown matcher engine %v", e)
+}
+
 // Options configure Solve beyond the instance parameters.
 type Options struct {
 	// Algorithm to run; GGP by default.
@@ -106,6 +163,12 @@ type Options struct {
 	// schedules, but carries no monolith-relative guarantee beyond the
 	// per-component approximation bounds — see DESIGN.md §9.
 	Shard ShardMode
+	// Engine selects the matching kernels of the peeling algorithms:
+	// EngineAuto — the zero value — resolves by instance density, and the
+	// scalar/bitset overrides pin one arm (schedules are byte-identical
+	// either way; the scalar arm exists as the differential oracle and
+	// bench baseline). Greedy ignores the option.
+	Engine MatcherEngine
 	// Obs attaches the observability layer: per-solve metrics and per-peel
 	// trace events (step index, matching size, bottleneck weight, residual
 	// edges, warm-start reuse) are recorded through it. nil — the default —
@@ -126,11 +189,14 @@ func Solve(g *bipartite.Graph, k int, beta int64, opts Options) (*Schedule, erro
 	default:
 		return nil, fmt.Errorf("kpbs: unknown algorithm %v", opts.Algorithm)
 	}
+	eng, err := opts.Engine.matchingEngine()
+	if err != nil {
+		return nil, err
+	}
 	// A nil opts.Obs yields a nil view whose methods all no-op; the solve
 	// itself never branches on whether it is being observed.
 	so := opts.Obs.Solver(opts.Algorithm.String())
 	var s *Schedule
-	var err error
 	if opts.Shard != ShardOff {
 		sharded, used, serr := solveSharded(g, k, beta, opts, so)
 		if used {
@@ -151,11 +217,11 @@ func Solve(g *bipartite.Graph, k int, beta int64, opts Options) (*Schedule, erro
 	}
 	switch opts.Algorithm {
 	case GGP:
-		s, err = solvePeeling(g, k, beta, matchAny, false, so)
+		s, err = solvePeeling(g, k, beta, matchAny, false, eng, so)
 	case OGGP:
-		s, err = solvePeeling(g, k, beta, matchBottleneck, false, so)
+		s, err = solvePeeling(g, k, beta, matchBottleneck, false, eng, so)
 	case MinSteps:
-		s, err = solvePeeling(g, k, beta, matchBottleneck, true, so)
+		s, err = solvePeeling(g, k, beta, matchBottleneck, true, eng, so)
 	case Greedy:
 		s, err = solveGreedy(g, k, beta)
 	}
@@ -175,7 +241,7 @@ func Solve(g *bipartite.Graph, k int, beta int64, opts Options) (*Schedule, erro
 // solvePeeling is the common GGP/OGGP/MinSteps pipeline: normalize,
 // augment to weight-regular, peel, then convert the normalized steps back
 // to a schedule in original units.
-func solvePeeling(g *bipartite.Graph, k int, beta int64, kind matcherKind, unitWeights bool, so *obs.SolverObs) (*Schedule, error) {
+func solvePeeling(g *bipartite.Graph, k int, beta int64, kind matcherKind, unitWeights bool, eng matching.Engine, so *obs.SolverObs) (*Schedule, error) {
 	in, err := buildInstance(g, k, beta, unitWeights)
 	if err != nil {
 		return nil, err
@@ -183,7 +249,7 @@ func solvePeeling(g *bipartite.Graph, k int, beta int64, kind matcherKind, unitW
 	if in == nil {
 		return &Schedule{Beta: beta}, nil
 	}
-	steps, err := in.peel(kind, so)
+	steps, err := in.peel(kind, eng, so)
 	if err != nil {
 		return nil, err
 	}

@@ -7,6 +7,7 @@ import (
 	"testing/quick"
 
 	"redistgo/internal/bipartite"
+	"redistgo/internal/matching"
 )
 
 func mustGraph(t testing.TB, m [][]int64) *bipartite.Graph {
@@ -195,7 +196,7 @@ func TestAugmentationPropositionOne(t *testing.T) {
 		if err != nil || in == nil {
 			return false
 		}
-		steps, err := in.peel(matchAny, nil)
+		steps, err := in.peel(matchAny, matching.EngineAuto, nil)
 		if err != nil {
 			t.Logf("seed %d: %v", seed, err)
 			return false

@@ -1,0 +1,317 @@
+package matching
+
+import (
+	"math/rand"
+	"testing"
+
+	"redistgo/internal/bipartite"
+)
+
+// --- engine selection -------------------------------------------------------
+
+func TestEngineResolution(t *testing.T) {
+	// Dense 16x16: 256 edges >= 8*16*1 = 128 -> auto picks bitset.
+	if !BitsetEligible(16, 16, 256) {
+		t.Fatal("dense 16x16 should be bitset-eligible")
+	}
+	// Sparse 16x16: 40 edges < 128 -> auto stays scalar.
+	if BitsetEligible(16, 16, 40) {
+		t.Fatal("sparse 16x16 should not be bitset-eligible")
+	}
+	// Huge sparse instances exceed the cell cap: the side tables would be
+	// O(nL*nR), so even a forced bitset request must fall back to scalar.
+	if bitsetRepresentable(50_000, 50_000) {
+		t.Fatal("50k x 50k must not be bitset-representable")
+	}
+	// 512x512 sits exactly at the cell cap (1<<18); 600x600 exceeds it.
+	inc := NewIncrementalEngine(512, 512, nil, nil, EngineBitset)
+	if !inc.UsesBitset() {
+		t.Fatal("explicit bitset request on a representable shape ignored")
+	}
+	big := NewIncrementalEngine(600, 600, nil, nil, EngineBitset)
+	if big.UsesBitset() {
+		t.Fatal("bitset request on a non-representable shape must fall back")
+	}
+	if got := rowWords(65); got != 2 {
+		t.Fatalf("rowWords(65) = %d, want 2", got)
+	}
+	if got := rowWords(64); got != 1 {
+		t.Fatalf("rowWords(64) = %d, want 1", got)
+	}
+	for _, tc := range []struct {
+		e    Engine
+		want string
+	}{{EngineAuto, "auto"}, {EngineScalar, "scalar"}, {EngineBitset, "bitset"}} {
+		if tc.e.String() != tc.want {
+			t.Fatalf("Engine(%d).String() = %q, want %q", tc.e, tc.e.String(), tc.want)
+		}
+	}
+}
+
+// TestBitsetRowsMatchAdjacency cross-checks the Incremental bitset rows
+// against the independent bipartite.AdjacencyRows builder on graphs whose
+// width straddles a word boundary.
+func TestBitsetRowsMatchAdjacency(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, n := range []int{5, 63, 64, 65, 66} {
+		g := randomRegularish(rng, n, 3*n, 9)
+		el, er, _ := edgeArrays(g)
+		inc := NewIncrementalEngine(n, n, el, er, EngineBitset)
+		if !inc.UsesBitset() {
+			t.Fatalf("n=%d: bitset arm not selected", n)
+		}
+		want := g.AdjacencyRows(nil)
+		if len(want) != len(inc.rows) {
+			t.Fatalf("n=%d: %d row words, want %d", n, len(inc.rows), len(want))
+		}
+		for i := range want {
+			if inc.rows[i] != want[i] {
+				t.Fatalf("n=%d: row word %d = %#x, want %#x", n, i, inc.rows[i], want[i])
+			}
+		}
+	}
+}
+
+// --- scalar vs bitset differentials ----------------------------------------
+
+// TestIncrementalEngineDifferential runs both Incremental arms through the
+// same Augment / Deactivate interleaving and requires identical matched
+// edges at every step — the matching-level form of the byte-identical
+// schedules contract.
+func TestIncrementalEngineDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 30; trial++ {
+		n := 1 + rng.Intn(70)
+		g := randomRegularish(rng, n, rng.Intn(4*n), 9)
+		el, er, _ := edgeArrays(g)
+		m := len(el)
+		sc := NewIncrementalEngine(n, n, el, er, EngineScalar)
+		bs := NewIncrementalEngine(n, n, el, er, EngineBitset)
+		if sc.UsesBitset() || !bs.UsesBitset() {
+			t.Fatalf("trial %d: arms not pinned (scalar=%v bitset=%v)", trial, sc.UsesBitset(), bs.UsesBitset())
+		}
+		compare := func(stage string) {
+			t.Helper()
+			if sc.Size() != bs.Size() {
+				t.Fatalf("trial %d %s: sizes %d vs %d", trial, stage, sc.Size(), bs.Size())
+			}
+			for l := 0; l < n; l++ {
+				if sc.MatchedEdge(l) != bs.MatchedEdge(l) {
+					t.Fatalf("trial %d %s: left %d matched to %d (scalar) vs %d (bitset)",
+						trial, stage, l, sc.MatchedEdge(l), bs.MatchedEdge(l))
+				}
+			}
+		}
+		if a, b := sc.Augment(), bs.Augment(); a != b {
+			t.Fatalf("trial %d: Augment %d vs %d", trial, a, b)
+		}
+		compare("initial")
+		// Deactivate edges in a random order, re-augmenting after each batch.
+		for _, e := range rng.Perm(m) {
+			sc.Deactivate(e)
+			bs.Deactivate(e)
+			if rng.Intn(3) == 0 {
+				if a, b := sc.Augment(), bs.Augment(); a != b {
+					t.Fatalf("trial %d: re-Augment %d vs %d", trial, a, b)
+				}
+				compare("after deactivation")
+			}
+		}
+		sc.Reset()
+		bs.Reset()
+		if a, b := sc.Augment(), bs.Augment(); a != b {
+			t.Fatalf("trial %d: post-Reset Augment %d vs %d", trial, a, b)
+		}
+		compare("after reset")
+	}
+}
+
+// TestBottleneckIncEngineDifferential drives both BottleneckInc arms
+// through a peeling-shaped loop (rematch, subtract the bottleneck, drop
+// zeros) and requires identical matched edges each round.
+func TestBottleneckIncEngineDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	for trial := 0; trial < 25; trial++ {
+		n := 1 + rng.Intn(66)
+		g := randomRegularish(rng, n, rng.Intn(4*n), 7)
+		el, er, w0 := edgeArrays(g)
+		wSc := append([]int64(nil), w0...)
+		wBs := append([]int64(nil), w0...)
+		sc := NewBottleneckIncEngine(n, n, el, er, wSc, EngineScalar)
+		bs := NewBottleneckIncEngine(n, n, el, er, wBs, EngineBitset)
+		if sc.UsesBitset() || !bs.UsesBitset() {
+			t.Fatalf("trial %d: arms not pinned", trial)
+		}
+		for round := 0; ; round++ {
+			okS := sc.Rematch(n)
+			okB := bs.Rematch(n)
+			if okS != okB {
+				t.Fatalf("trial %d round %d: Rematch %v (scalar) vs %v (bitset)", trial, round, okS, okB)
+			}
+			if !okS {
+				break
+			}
+			var min int64 = 1 << 62
+			for l := 0; l < n; l++ {
+				eS, eB := sc.MatchedEdge(l), bs.MatchedEdge(l)
+				if eS != eB {
+					t.Fatalf("trial %d round %d: left %d matched to %d (scalar) vs %d (bitset)",
+						trial, round, l, eS, eB)
+				}
+				if wSc[eS] < min {
+					min = wSc[eS]
+				}
+			}
+			for l := 0; l < n; l++ {
+				e := sc.MatchedEdge(l)
+				if wSc[e] != wBs[e] {
+					t.Fatalf("trial %d round %d: weight arrays diverged at edge %d", trial, round, e)
+				}
+				wSc[e] -= min
+				wBs[e] -= min
+				if wSc[e] == 0 {
+					sc.Deactivate(e)
+					bs.Deactivate(e)
+				}
+			}
+		}
+	}
+}
+
+// --- forced-edge fast path --------------------------------------------------
+
+// TestForcedPassMatchesPermutation is the satellite check for the degree-1
+// fast path: on a permutation matrix every edge is forced, so the forced
+// pass alone must complete the matching — zero Hopcroft–Karp BFS phases —
+// on both engine arms.
+func TestForcedPassMatchesPermutation(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for _, n := range []int{1, 17, 64, 65, 100} {
+		perm := rng.Perm(n)
+		el := make([]int, n)
+		er := make([]int, n)
+		for i := range el {
+			el[i] = i
+			er[i] = perm[i]
+		}
+		for _, eng := range []Engine{EngineScalar, EngineBitset} {
+			inc := NewIncrementalEngine(n, n, el, er, eng)
+			if got := inc.Augment(); got != n {
+				t.Fatalf("n=%d %v: matched %d, want %d", n, eng, got, n)
+			}
+			if runs := inc.BFSRuns(); runs != 0 {
+				t.Fatalf("n=%d %v: %d BFS phases, want 0 (forced pass must match everything)", n, eng, runs)
+			}
+			for i := 0; i < n; i++ {
+				if inc.MatchedEdge(i) != i {
+					t.Fatalf("n=%d %v: left %d matched to edge %d, want %d", n, eng, i, inc.MatchedEdge(i), i)
+				}
+			}
+		}
+	}
+}
+
+// TestForcedPassPropagatesChain checks the cascade: a chain graph where
+// only left 0 starts at degree 1, and each forced match exposes the next
+// forced vertex. The whole chain must resolve without a single BFS.
+func TestForcedPassPropagatesChain(t *testing.T) {
+	const n = 200
+	var el, er []int
+	for i := 0; i < n; i++ {
+		el = append(el, i)
+		er = append(er, i)
+		if i > 0 {
+			el = append(el, i)
+			er = append(er, i-1)
+		}
+	}
+	for _, eng := range []Engine{EngineScalar, EngineBitset} {
+		inc := NewIncrementalEngine(n, n, el, er, eng)
+		if got := inc.Augment(); got != n {
+			t.Fatalf("%v: matched %d, want %d", eng, got, n)
+		}
+		if runs := inc.BFSRuns(); runs != 0 {
+			t.Fatalf("%v: %d BFS phases, want 0 (cascade must resolve the chain)", eng, runs)
+		}
+		for i := 0; i < n; i++ {
+			e := inc.MatchedEdge(i)
+			if e < 0 || er[e] != i {
+				t.Fatalf("%v: left %d not matched to its diagonal right", eng, i)
+			}
+		}
+	}
+}
+
+// TestForcedPathDisabled pins the SetForcedPath(false) escape hatch used by
+// the benchmark baseline: the matching must still complete, just through
+// BFS phases instead of the forced cascade.
+func TestForcedPathDisabled(t *testing.T) {
+	const n = 32
+	el := make([]int, n)
+	er := make([]int, n)
+	for i := range el {
+		el[i] = i
+		er[i] = i
+	}
+	inc := NewIncrementalEngine(n, n, el, er, EngineScalar)
+	inc.SetForcedPath(false)
+	if got := inc.Augment(); got != n {
+		t.Fatalf("matched %d, want %d", got, n)
+	}
+	if inc.BFSRuns() == 0 {
+		t.Fatal("forced path disabled but no BFS phases ran")
+	}
+}
+
+// --- BottleneckScratch allocation regression --------------------------------
+
+// TestBottleneckScratchSteadyStateAllocs is the regression test for the
+// hoisted Figure-6 scratch: after a warm-up probe, the only allocation a
+// Perfect call may perform is the returned matching copy. The duplicated
+// per-call closures and adjacency rebuilds this replaced cost ~10 extra
+// allocations per probe.
+func TestBottleneckScratchSteadyStateAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	g := randomRegularish(rng, 48, 400, 50)
+	var s BottleneckScratch
+	if _, ok := s.Perfect(g); !ok {
+		t.Fatal("warm-up probe found no perfect matching")
+	}
+	avg := testing.AllocsPerRun(20, func() {
+		if _, ok := s.Perfect(g); !ok {
+			t.Fatal("probe found no perfect matching")
+		}
+	})
+	// One alloc: the EdgeOfLeft copy handed to the caller.
+	if avg > 1 {
+		t.Fatalf("steady-state Perfect performs %.1f allocs/run, want <= 1", avg)
+	}
+}
+
+// TestBottleneckScratchMatchesPackageFuncs checks the scratch-based entry
+// points against the allocate-per-call wrappers on random graphs.
+func TestBottleneckScratchMatchesPackageFuncs(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	var s BottleneckScratch
+	for trial := 0; trial < 40; trial++ {
+		n := 1 + rng.Intn(12)
+		g := bipartite.New(n, n)
+		for i := 0; i < rng.Intn(3*n+1); i++ {
+			g.AddEdge(rng.Intn(n), rng.Intn(n), 1+rng.Int63n(9))
+		}
+		wantM, wantOK := BottleneckPerfect(g)
+		gotM, gotOK := s.Perfect(g)
+		if wantOK != gotOK {
+			t.Fatalf("trial %d: ok %v vs %v", trial, gotOK, wantOK)
+		}
+		if !wantOK {
+			continue
+		}
+		for l := 0; l < n; l++ {
+			if wantM.EdgeOfLeft[l] != gotM.EdgeOfLeft[l] {
+				t.Fatalf("trial %d: left %d matched to %d, want %d",
+					trial, l, gotM.EdgeOfLeft[l], wantM.EdgeOfLeft[l])
+			}
+		}
+	}
+}

@@ -1,6 +1,9 @@
 package matching
 
-import "sort"
+import (
+	"math/bits"
+	"sort"
+)
 
 // BottleneckInc is the incremental form of the paper's Figure-6 bottleneck
 // matching procedure, built for the OGGP peeling loop. The cold-start
@@ -22,6 +25,18 @@ import "sort"
 //     growing any valid matching inside that prefix with augmenting paths
 //     reaches that size (Berge), so the minimum matched weight still equals
 //     the optimal bottleneck value.
+//
+// Augmentation traverses candidates in the same canonical order as
+// Incremental — right endpoint ascending, lowest inserted edge index per
+// (l, r) cell — through either of two interchangeable kernels: the scalar
+// arm keeps each left node's inserted edges position-sorted (insertion
+// shifts the tail, O(degree) worst case and cheap at scheduler sizes), the
+// bitset arm keeps one uint64 row per left node plus a per-cell minimum
+// inserted edge index, and sweeps candidates a word at a time. Identical
+// traversal order makes the two arms byte-identical (DESIGN.md §11);
+// EngineAuto picks by density. Which parallel edge represents a cell never
+// affects the bottleneck value: every inserted edge outweighs the group
+// that reached the target, so any representative preserves optimality.
 //
 // The caller owns the weight slice. Between two Rematch calls it may only
 // (a) subtract one uniform amount from every currently matched edge and
@@ -46,8 +61,10 @@ type BottleneckInc struct {
 	tmpA     []int // merge scratch: unchanged-weight run
 	tmpB     []int // merge scratch: previously-matched run
 
-	// CSR adjacency rebuilt per Rematch as edges are inserted: the inserted
-	// edges of left node l are adj[base[l] : base[l]+fill[l]].
+	// Scalar adjacency, rebuilt per Rematch as edges are inserted: the
+	// inserted edges of left node l occupy adj[base[l] : base[l]+fill[l]],
+	// kept in canonical (right, edge) ascending order by positioned
+	// insertion. fill doubles as the has-inserted-edges gate for both arms.
 	base []int
 	adj  []int
 	fill []int
@@ -67,8 +84,20 @@ type BottleneckInc struct {
 	visited   []int
 	stamp     int
 	stackL    []int // left node at each DFS depth
-	stackIter []int // next adjacency slot to try at that depth
+	stackIter []int // scalar arm: next adjacency slot to try at that depth
 	stackEdge []int // edge chosen at that depth (valid once a child is entered)
+
+	// Bitset kernel state (allocated only when useBits). rows holds the
+	// inserted cells of each left node; cellEdge the minimum inserted edge
+	// index per cell (bit-guarded: read only while the row bit is set).
+	// visMask replaces the visit stamps, stackR the per-depth candidate
+	// cursor (last right tried at that depth).
+	useBits  bool
+	words    int
+	rows     []uint64
+	cellEdge []int
+	visMask  []uint64
+	stackR   []int
 
 	// Growth gating: an augmenting path must start at a free left node with
 	// inserted edges and end at a free right node with inserted edges, so
@@ -80,9 +109,16 @@ type BottleneckInc struct {
 }
 
 // NewBottleneckInc builds the matcher over the edge set (edgeL[i],
-// edgeR[i]) with weights w. All three slices are retained, not copied; w is
-// mutated by the caller under the contract documented on the type.
+// edgeR[i]) with weights w and the kernel chosen by density (EngineAuto).
+// All three slices are retained, not copied; w is mutated by the caller
+// under the contract documented on the type.
 func NewBottleneckInc(nL, nR int, edgeL, edgeR []int, w []int64) *BottleneckInc {
+	return NewBottleneckIncEngine(nL, nR, edgeL, edgeR, w, EngineAuto)
+}
+
+// NewBottleneckIncEngine is NewBottleneckInc with an explicit kernel
+// choice; see Engine for the override semantics.
+func NewBottleneckIncEngine(nL, nR int, edgeL, edgeR []int, w []int64, engine Engine) *BottleneckInc {
 	m := len(edgeL)
 	b := &BottleneckInc{
 		nL:       nL,
@@ -112,6 +148,14 @@ func NewBottleneckInc(nL, nR int, edgeL, edgeR []int, w []int64) *BottleneckInc 
 	b.stackL = make([]int, depth+1)
 	b.stackIter = make([]int, depth+1)
 	b.stackEdge = make([]int, depth+1)
+	if resolveEngine(engine, nL, nR, m) {
+		b.useBits = true
+		b.words = rowWords(nR)
+		b.rows = make([]uint64, nL*b.words)
+		b.cellEdge = make([]int, nL*nR)
+		b.visMask = make([]uint64, b.words)
+		b.stackR = make([]int, depth+1)
+	}
 	for _, l := range edgeL {
 		b.base[l+1]++
 	}
@@ -167,6 +211,9 @@ func (b *BottleneckInc) Size() int { return b.size }
 
 // MatchedEdge returns the edge matched at left node l, or -1.
 func (b *BottleneckInc) MatchedEdge(l int) int { return b.matchL[l] }
+
+// UsesBitset reports which kernel arm this matcher resolved to.
+func (b *BottleneckInc) UsesBitset() bool { return b.useBits }
 
 // Deactivate removes edge e from the graph. If e was matched the pair is
 // released. The sorted order is compacted lazily by the next Rematch.
@@ -243,6 +290,11 @@ func (b *BottleneckInc) Rematch(target int) bool {
 		b.matchR[r] = -1
 		b.rTouched[r] = false
 	}
+	if b.useBits {
+		for i := range b.rows {
+			b.rows[i] = 0
+		}
+	}
 	b.size = 0
 	b.freeTouchL = 0
 	b.freeTouchR = 0
@@ -269,12 +321,40 @@ func (b *BottleneckInc) Rematch(target int) bool {
 
 // insert adds edge e to the working adjacency, adopting it immediately if
 // it belonged to the previous matching and both endpoints are still free.
+// The scalar arm shifts the insertion-sorted tail to keep canonical
+// (right, edge) order; the bitset arm sets the cell bit and keeps the
+// cell's minimum inserted edge index.
 //
 //redistlint:hotpath
 func (b *BottleneckInc) insert(e int) {
 	l, r := b.edgeL[e], b.edgeR[e]
-	b.adj[b.base[l]+b.fill[l]] = e
-	b.fill[l]++
+	if b.useBits {
+		wi := l*b.words + r>>6
+		bit := uint64(1) << uint(r&63)
+		c := l*b.nR + r
+		if b.rows[wi]&bit == 0 {
+			b.rows[wi] |= bit
+			b.cellEdge[c] = e
+		} else if e < b.cellEdge[c] {
+			b.cellEdge[c] = e
+		}
+		b.fill[l]++
+	} else {
+		lo, hi := b.base[l], b.base[l]+b.fill[l]
+		end := hi
+		for lo < hi {
+			mid := int(uint(lo+hi) >> 1)
+			me := b.adj[mid]
+			if mr := b.edgeR[me]; mr < r || (mr == r && me < e) {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		copy(b.adj[lo+1:end+1], b.adj[lo:end])
+		b.adj[lo] = e
+		b.fill[l]++
+	}
 	if !b.lTouched[l] {
 		b.lTouched[l] = true
 		if b.matchL[l] < 0 {
@@ -307,8 +387,14 @@ func (b *BottleneckInc) grow(target int) {
 			if b.matchL[l] >= 0 || b.fill[l] == 0 {
 				continue
 			}
-			b.stamp++
-			if b.augment(l) {
+			var ok bool
+			if b.useBits {
+				ok = b.augmentBits(l)
+			} else {
+				b.stamp++
+				ok = b.augment(l)
+			}
+			if ok {
 				b.size++
 				b.freeTouchL-- // l was free and touched (fill[l] > 0)
 				progress = true
@@ -322,12 +408,10 @@ func (b *BottleneckInc) grow(target int) {
 
 // augment searches an augmenting path from free left node root over the
 // inserted edges (Kuhn DFS with visit stamps), iteratively with an
-// explicit stack. The traversal order is exactly the recursive version's
-// — adjacency slots in insertion order, descending into the matched left
-// node of each newly visited right node — so schedules are byte-identical
-// to the recursive implementation it replaced; only the path is recorded
-// on preallocated stacks instead of the goroutine stack, whose growth a
-// 50k-deep recursion used to exhaust.
+// explicit stack. The traversal tries adjacency slots in canonical order,
+// descending into the matched left node of each newly visited right node;
+// the path is recorded on preallocated stacks instead of the goroutine
+// stack, whose growth a 50k-deep recursion used to exhaust.
 //
 //redistlint:hotpath
 func (b *BottleneckInc) augment(root int) bool {
@@ -371,6 +455,74 @@ func (b *BottleneckInc) augment(root int) bool {
 		b.stackIter[top] = b.base[nl]
 	}
 	return false
+}
+
+// augmentBits mirrors augment over the bitset rows: the per-depth cursor
+// stackR replaces the slot iterator, nextCell finds the smallest inserted,
+// unvisited right above it with word sweeps, and cellEdge supplies the
+// canonical (minimum inserted) edge of the cell — exactly the first slot
+// the scalar scan would try, and the only one it ever uses per cell thanks
+// to the visit stamp, so the two arms take identical paths.
+//
+//redistlint:hotpath
+func (b *BottleneckInc) augmentBits(root int) bool {
+	for w := range b.visMask {
+		b.visMask[w] = 0
+	}
+	top := 0
+	b.stackL[0] = root
+	b.stackR[0] = -1
+	for top >= 0 {
+		l := b.stackL[top]
+		r := b.nextCell(l, b.stackR[top])
+		if r < 0 {
+			top-- // row exhausted: dead end, backtrack
+			continue
+		}
+		b.stackR[top] = r
+		b.visMask[r>>6] |= 1 << uint(r&63)
+		e := b.cellEdge[l*b.nR+r]
+		b.stackEdge[top] = e
+		me := b.matchR[r]
+		if me < 0 {
+			if b.rTouched[r] {
+				b.freeTouchR--
+			}
+			for t := top; t >= 0; t-- {
+				pe := b.stackEdge[t]
+				b.matchL[b.stackL[t]] = pe
+				b.matchR[b.edgeR[pe]] = pe
+			}
+			return true
+		}
+		top++
+		nl := b.edgeL[me]
+		b.stackL[top] = nl
+		b.stackR[top] = -1
+	}
+	return false
+}
+
+// nextCell returns the smallest inserted, unvisited right neighbor of l
+// strictly greater than after, or -1.
+//
+//redistlint:hotpath
+func (b *BottleneckInc) nextCell(l, after int) int {
+	W := b.words
+	row := b.rows[l*W : l*W+W]
+	w := 0
+	mask := ^uint64(0)
+	if after >= 0 {
+		w = (after + 1) >> 6
+		mask = ^uint64(0) << uint((after+1)&63)
+	}
+	for ; w < W; w++ {
+		if cand := row[w] &^ b.visMask[w] & mask; cand != 0 {
+			return w<<6 + bits.TrailingZeros64(cand)
+		}
+		mask = ^uint64(0)
+	}
+	return -1
 }
 
 // Matching returns a copy of the current matching in the package's standard

@@ -61,8 +61,10 @@ func TestBottleneckIncDeepAugmentingPath(t *testing.T) {
 
 // TestBottleneckIncIterativeMatchesRecursiveOrder locks the augment
 // traversal order: on a small graph where several augmenting paths exist,
-// the matching must equal the one the recursive implementation chose
-// (adjacency slots in insertion order, first free right endpoint wins).
+// the matching must equal the one the recursive implementation chose.
+// Adjacency slots are now kept in canonical (right, edge-index) order —
+// which coincides with insertion order here — and the first free right
+// endpoint wins.
 func TestBottleneckIncIterativeMatchesRecursiveOrder(t *testing.T) {
 	// Left 0 and 1 both connect to rights 0 and 1; left 2 only to right 0.
 	// Equal weights put all edges in one insertion group; the documented

@@ -72,8 +72,7 @@ func (m Matching) IsPerfect(g *bipartite.Graph) bool {
 
 const inf = int(^uint(0) >> 1)
 
-// hk is the Hopcroft–Karp working state over an adjacency restricted to a
-// subset of edges.
+// hk is the Hopcroft–Karp working state over the graph's full edge set.
 type hk struct {
 	nLeft, nRight int
 	// adj[l] lists (right node, edge index) pairs.
@@ -88,31 +87,25 @@ type hk struct {
 	size   int
 }
 
-func newHK(g *bipartite.Graph, include func(edge int) bool) *hk {
+func newHK(g *bipartite.Graph) *hk {
 	h := &hk{nLeft: g.LeftCount(), nRight: g.RightCount()}
-	counts := make([]int, h.nLeft)
-	total := 0
-	for i := 0; i < g.EdgeCount(); i++ {
-		if include == nil || include(i) {
-			counts[g.Edge(i).L]++
-			total++
-		}
-	}
 	h.off = make([]int, h.nLeft+1)
-	for i, c := range counts {
-		h.off[i+1] = h.off[i] + c
+	for i := 0; i < g.EdgeCount(); i++ {
+		h.off[g.Edge(i).L+1]++
 	}
+	for i := 0; i < h.nLeft; i++ {
+		h.off[i+1] += h.off[i]
+	}
+	total := g.EdgeCount()
 	h.adjR = make([]int, total)
 	h.adjE = make([]int, total)
 	fill := make([]int, h.nLeft)
 	copy(fill, h.off[:h.nLeft])
 	for i := 0; i < g.EdgeCount(); i++ {
-		if include == nil || include(i) {
-			e := g.Edge(i)
-			h.adjR[fill[e.L]] = e.R
-			h.adjE[fill[e.L]] = i
-			fill[e.L]++
-		}
+		e := g.Edge(i)
+		h.adjR[fill[e.L]] = e.R
+		h.adjE[fill[e.L]] = i
+		fill[e.L]++
 	}
 	h.matchL = make([]int, h.nLeft)
 	h.matchR = make([]int, h.nRight)
@@ -195,7 +188,7 @@ func (h *hk) matching() Matching {
 
 // Maximum returns a maximum-cardinality matching of g (Hopcroft–Karp).
 func Maximum(g *bipartite.Graph) Matching {
-	h := newHK(g, nil)
+	h := newHK(g)
 	h.run(g)
 	return h.matching()
 }
@@ -213,52 +206,67 @@ func Perfect(g *bipartite.Graph) (Matching, bool) {
 	return m, true
 }
 
-// kuhnAugment tries to find an augmenting path from left node l within the
-// active edge set, using iterative-deepening-free simple DFS (Kuhn).
-// visitedR marks right nodes seen in this search; stamp avoids clearing.
-type kuhn struct {
-	g        *bipartite.Graph
-	adj      [][]int // active edge indices per left node
-	matchL   []int
-	matchR   []int
-	visitedR []int
-	stamp    int
-	size     int
+// BottleneckScratch holds the working state of the Figure-6 bottleneck
+// procedure so repeated probes — one per peeling iteration in the
+// reference oracle — stop re-allocating the adjacency, match arrays and
+// visit stamps every call. The zero value is ready to use; internal
+// buffers grow to the largest graph seen and are reused thereafter, so at
+// steady state a probe's only allocation is the returned matching copy.
+// Not safe for concurrent use; each goroutine needs its own scratch.
+type BottleneckScratch struct {
+	order   []int
+	weights []int64
+	sorter  edgeIdxByWeightDesc
+
+	// Kuhn state over the inserted prefix. adj is CSR with full-degree
+	// offsets in base; the inserted edges of left node l occupy
+	// adj[base[l] : base[l]+fill[l]] in insertion (weight) order — the
+	// exact traversal order of the per-call implementation this replaced.
+	base, fill []int
+	adj        []int
+	matchL     []int
+	matchR     []int
+	visitedR   []int
+	stamp      int
+	size       int
 }
 
-func newKuhn(g *bipartite.Graph) *kuhn {
-	k := &kuhn{
-		g:        g,
-		adj:      make([][]int, g.LeftCount()),
-		matchL:   make([]int, g.LeftCount()),
-		matchR:   make([]int, g.RightCount()),
-		visitedR: make([]int, g.RightCount()),
+// ensure sizes every buffer for an nL×nR graph with m edges. Growth-only:
+// a scratch that has seen the largest graph of a workload never allocates
+// again.
+func (s *BottleneckScratch) ensure(nL, nR, m int) {
+	if cap(s.order) < m {
+		s.order = make([]int, m)
+		s.weights = make([]int64, m)
+		s.adj = make([]int, m)
 	}
-	for i := range k.matchL {
-		k.matchL[i] = -1
+	if cap(s.base) < nL+1 {
+		s.base = make([]int, nL+1)
+		s.fill = make([]int, nL)
+		s.matchL = make([]int, nL)
 	}
-	for i := range k.matchR {
-		k.matchR[i] = -1
+	if cap(s.matchR) < nR {
+		s.matchR = make([]int, nR)
+		s.visitedR = make([]int, nR)
+		s.stamp = 0
 	}
-	return k
 }
 
-func (k *kuhn) addEdge(edge int) {
-	l := k.g.Edge(edge).L
-	k.adj[l] = append(k.adj[l], edge)
-}
-
-func (k *kuhn) augment(l int) bool {
-	for _, edge := range k.adj[l] {
-		r := k.g.Edge(edge).R
-		if k.visitedR[r] == k.stamp {
+// augment searches an augmenting path from left node l over the inserted
+// edges (Kuhn DFS with visit stamps).
+func (s *BottleneckScratch) augment(g *bipartite.Graph, l int) bool {
+	end := s.base[l] + s.fill[l]
+	for i := s.base[l]; i < end; i++ {
+		edge := s.adj[i]
+		r := g.Edge(edge).R
+		if s.visitedR[r] == s.stamp {
 			continue
 		}
-		k.visitedR[r] = k.stamp
-		me := k.matchR[r]
-		if me < 0 || k.augment(k.g.Edge(me).L) {
-			k.matchL[l] = edge
-			k.matchR[r] = edge
+		s.visitedR[r] = s.stamp
+		me := s.matchR[r]
+		if me < 0 || s.augment(g, g.Edge(me).L) {
+			s.matchL[l] = edge
+			s.matchR[r] = edge
 			return true
 		}
 	}
@@ -267,14 +275,14 @@ func (k *kuhn) augment(l int) bool {
 
 // tryGrow attempts one augmentation from any free left node; returns true
 // if the matching grew.
-func (k *kuhn) tryGrow() bool {
-	for l := range k.adj {
-		if k.matchL[l] >= 0 || len(k.adj[l]) == 0 {
+func (s *BottleneckScratch) tryGrow(g *bipartite.Graph, nL int) bool {
+	for l := 0; l < nL; l++ {
+		if s.matchL[l] >= 0 || s.fill[l] == 0 {
 			continue
 		}
-		k.stamp++
-		if k.augment(l) {
-			k.size++
+		s.stamp++
+		if s.augment(g, l) {
+			s.size++
 			return true
 		}
 	}
@@ -286,45 +294,90 @@ func (k *kuhn) tryGrow() bool {
 // each insertion we try to grow the matching; we stop as soon as the
 // matching reaches target. The resulting matching maximizes the minimum
 // edge weight among all matchings of that cardinality.
-func bottleneck(g *bipartite.Graph, target int) (Matching, bool) {
+func (s *BottleneckScratch) bottleneck(g *bipartite.Graph, target int) (Matching, bool) {
+	nL, nR, m := g.LeftCount(), g.RightCount(), g.EdgeCount()
+	s.ensure(nL, nR, m)
 	if target == 0 {
-		return Matching{EdgeOfLeft: newKuhn(g).matchL}, true
+		out := make([]int, nL)
+		for i := range out {
+			out[i] = -1
+		}
+		return Matching{EdgeOfLeft: out}, true
 	}
-	order := make([]int, g.EdgeCount())
-	weights := make([]int64, g.EdgeCount())
+	order := s.order[:m]
+	weights := s.weights[:m]
 	for i := range order {
 		order[i] = i
 		weights[i] = g.Edge(i).Weight
 	}
 	// Index tiebreak for equal weights: without it the permutation of a
 	// weight class is at the mercy of the sort implementation, and the
-	// chosen matching (hence OGGP's output schedule) with it.
-	sort.Sort(edgeIdxByWeightDesc{idx: order, w: weights})
-	k := newKuhn(g)
+	// chosen matching (hence OGGP's output schedule) with it. The sorter is
+	// a retained field so the sort.Interface conversion does not allocate
+	// on every probe.
+	s.sorter.idx, s.sorter.w = order, weights
+	sort.Sort(&s.sorter)
+	base := s.base[:nL+1]
+	for i := range base {
+		base[i] = 0
+	}
+	for i := 0; i < m; i++ {
+		base[g.Edge(i).L+1]++
+	}
+	for i := 0; i < nL; i++ {
+		base[i+1] += base[i]
+	}
+	fill := s.fill[:nL]
+	for i := range fill {
+		fill[i] = 0
+	}
+	matchL := s.matchL[:nL]
+	for i := range matchL {
+		matchL[i] = -1
+	}
+	matchR := s.matchR[:nR]
+	for i := range matchR {
+		matchR[i] = -1
+	}
+	s.size = 0
 	i := 0
-	for i < len(order) {
+	for i < m {
 		// Insert the whole group of equal-weight edges before augmenting:
 		// augmentation order within a weight class cannot change the
 		// bottleneck value, and batching keeps the loop simple.
 		w := g.Edge(order[i]).Weight
-		for i < len(order) && g.Edge(order[i]).Weight == w {
-			k.addEdge(order[i])
+		for i < m && g.Edge(order[i]).Weight == w {
+			e := order[i]
+			l := g.Edge(e).L
+			s.adj[base[l]+fill[l]] = e
+			fill[l]++
 			i++
 		}
-		for k.size < target && k.tryGrow() {
+		for s.size < target && s.tryGrow(g, nL) {
 		}
-		if k.size == target {
-			return Matching{EdgeOfLeft: append([]int(nil), k.matchL...), Size: k.size}, true
+		if s.size == target {
+			return Matching{EdgeOfLeft: append([]int(nil), matchL...), Size: s.size}, true
 		}
 	}
 	return Matching{}, false
 }
 
-// BottleneckMaximum returns a maximum-cardinality matching of g whose
-// minimum edge weight is maximum among all maximum matchings.
-func BottleneckMaximum(g *bipartite.Graph) Matching {
+// Perfect returns a perfect matching of g maximizing the minimum edge
+// weight, or ok=false if g has no perfect matching, reusing the scratch's
+// buffers.
+func (s *BottleneckScratch) Perfect(g *bipartite.Graph) (Matching, bool) {
+	if g.LeftCount() != g.RightCount() {
+		return Matching{}, false
+	}
+	return s.bottleneck(g, g.LeftCount())
+}
+
+// Maximum returns a maximum-cardinality matching of g whose minimum edge
+// weight is maximum among all maximum matchings, reusing the scratch's
+// buffers for the bottleneck phase.
+func (s *BottleneckScratch) Maximum(g *bipartite.Graph) Matching {
 	max := Maximum(g)
-	m, ok := bottleneck(g, max.Size)
+	m, ok := s.bottleneck(g, max.Size)
 	if !ok {
 		// Unreachable: the full edge set admits a matching of size max.Size.
 		return max
@@ -332,22 +385,29 @@ func BottleneckMaximum(g *bipartite.Graph) Matching {
 	return m
 }
 
+// BottleneckMaximum returns a maximum-cardinality matching of g whose
+// minimum edge weight is maximum among all maximum matchings.
+func BottleneckMaximum(g *bipartite.Graph) Matching {
+	var s BottleneckScratch
+	return s.Maximum(g)
+}
+
 // BottleneckPerfect returns a perfect matching of g maximizing the minimum
 // edge weight, or ok=false if g has no perfect matching.
 func BottleneckPerfect(g *bipartite.Graph) (Matching, bool) {
-	if g.LeftCount() != g.RightCount() {
-		return Matching{}, false
-	}
-	return bottleneck(g, g.LeftCount())
+	var s BottleneckScratch
+	return s.Perfect(g)
 }
 
 // Validate checks that m is a well-formed matching of g: edge indices in
-// range, consistency of EdgeOfLeft, and no shared right endpoints.
+// range, consistency of EdgeOfLeft, and no shared right endpoints. The
+// seen-rights set is a bitset row (bipartite.RowWords), not a map — the
+// fuzz targets call Validate in their innermost loops.
 func Validate(g *bipartite.Graph, m Matching) bool {
 	if len(m.EdgeOfLeft) != g.LeftCount() {
 		return false
 	}
-	seenR := make(map[int]bool)
+	seenR := make([]uint64, g.RowWords())
 	count := 0
 	for l, e := range m.EdgeOfLeft {
 		if e < 0 {
@@ -360,10 +420,11 @@ func Validate(g *bipartite.Graph, m Matching) bool {
 		if edge.L != l {
 			return false
 		}
-		if seenR[edge.R] {
+		bit := uint64(1) << uint(edge.R&63)
+		if seenR[edge.R>>6]&bit != 0 {
 			return false
 		}
-		seenR[edge.R] = true
+		seenR[edge.R>>6] |= bit
 		count++
 	}
 	return count == m.Size

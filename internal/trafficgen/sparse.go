@@ -45,6 +45,56 @@ func BlockDiagonal(rng *rand.Rand, shards, shardSize int, leak float64, minW, ma
 	return m
 }
 
+// Chain builds an n×n traffic matrix shaped like a path: node i sends to
+// receiver i, and for i > 0 also to receiver i-1, with weights uniform in
+// [minW, maxW]. The bipartite graph is a caterpillar whose perfect
+// matching is unique and discoverable purely by degree-1 elimination —
+// sender 0 is forced onto receiver 0, which forces sender 1 onto
+// receiver 1, and so on down the chain. Pipeline-style redistributions
+// (each stage hands off to itself and its predecessor) look exactly like
+// this, and the forced-edge fast path of the matching core resolves them
+// without a single BFS phase (BenchmarkBitsetSolve/SparseChainGGP).
+func Chain(rng *rand.Rand, n int, minW, maxW int64) [][]int64 {
+	if n <= 0 {
+		panic(fmt.Sprintf("trafficgen: chain length must be positive, got %d", n))
+	}
+	if minW <= 0 || maxW < minW {
+		panic(fmt.Sprintf("trafficgen: bad weight range [%d,%d]", minW, maxW))
+	}
+	m := make([][]int64, n)
+	for i := range m {
+		m[i] = make([]int64, n)
+		m[i][i] = uniform(rng, minW, maxW)
+		if i > 0 {
+			m[i][i-1] = uniform(rng, minW, maxW)
+		}
+	}
+	return m
+}
+
+// StarForest builds a hubs×(hubs·leaves) traffic matrix of disjoint fans:
+// hub h sends to its own `leaves` receivers and nobody else, weights
+// uniform in [minW, maxW]. Every receiver has in-degree 1, so maximum
+// matchings are found entirely by forced-edge elimination — the
+// fan-out-to-fresh-replicas pattern of a scale-up redistribution
+// (BenchmarkBitsetSolve/SparseStarGGP).
+func StarForest(rng *rand.Rand, hubs, leaves int, minW, maxW int64) [][]int64 {
+	if hubs <= 0 || leaves <= 0 {
+		panic(fmt.Sprintf("trafficgen: star shape must be positive, got %d hubs x %d leaves", hubs, leaves))
+	}
+	if minW <= 0 || maxW < minW {
+		panic(fmt.Sprintf("trafficgen: bad weight range [%d,%d]", minW, maxW))
+	}
+	m := make([][]int64, hubs)
+	for h := range m {
+		m[h] = make([]int64, hubs*leaves)
+		for j := 0; j < leaves; j++ {
+			m[h][h*leaves+j] = uniform(rng, minW, maxW)
+		}
+	}
+	return m
+}
+
 // PowerLawSparse builds an nLeft×nRight sparse traffic matrix with
 // (up to) edges flows whose endpoints follow a Zipf law with the given
 // exponent s > 1: node 0 on each side is the hottest, the tail barely

@@ -34,6 +34,59 @@ func TestBlockDiagonalStructure(t *testing.T) {
 	}
 }
 
+func TestChainStructure(t *testing.T) {
+	const n = 17
+	rng := rand.New(rand.NewSource(8))
+	m := Chain(rng, n, 1, 50)
+	if len(m) != n || len(m[0]) != n {
+		t.Fatalf("matrix %dx%d, want %dx%d", len(m), len(m[0]), n, n)
+	}
+	for i := range m {
+		for j := range m[i] {
+			onChain := j == i || j == i-1
+			if onChain && m[i][j] <= 0 {
+				t.Fatalf("chain entry (%d,%d) empty", i, j)
+			}
+			if !onChain && m[i][j] != 0 {
+				t.Fatalf("off-chain entry (%d,%d)=%d", i, j, m[i][j])
+			}
+		}
+	}
+}
+
+func TestStarForestStructure(t *testing.T) {
+	const hubs, leaves = 5, 7
+	rng := rand.New(rand.NewSource(8))
+	m := StarForest(rng, hubs, leaves, 2, 9)
+	if len(m) != hubs || len(m[0]) != hubs*leaves {
+		t.Fatalf("matrix %dx%d, want %dx%d", len(m), len(m[0]), hubs, hubs*leaves)
+	}
+	for h := range m {
+		for j := range m[h] {
+			inFan := j/leaves == h
+			if inFan && m[h][j] < 2 {
+				t.Fatalf("fan entry (%d,%d)=%d", h, j, m[h][j])
+			}
+			if !inFan && m[h][j] != 0 {
+				t.Fatalf("cross-fan entry (%d,%d)=%d", h, j, m[h][j])
+			}
+		}
+	}
+	// Every receiver belongs to exactly one hub: column sums of the 0/1
+	// support must all be 1.
+	for j := 0; j < hubs*leaves; j++ {
+		deg := 0
+		for h := 0; h < hubs; h++ {
+			if m[h][j] > 0 {
+				deg++
+			}
+		}
+		if deg != 1 {
+			t.Fatalf("receiver %d has in-degree %d, want 1", j, deg)
+		}
+	}
+}
+
 func TestPowerLawSparseIsSparseAndSkewed(t *testing.T) {
 	const n, edges = 64, 200
 	rng := rand.New(rand.NewSource(9))
