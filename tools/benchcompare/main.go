@@ -163,6 +163,7 @@ func run(args []string, stdout io.Writer) error {
 
 	seen := map[string]*variant{}
 	sc := bufio.NewScanner(in)
+	//redistlint:allow ctxpoll bounded by the benchmark log being scanned; Scan returns false at EOF
 	for sc.Scan() {
 		m := benchLine.FindStringSubmatch(sc.Text())
 		if m == nil {

@@ -24,10 +24,15 @@ func (f finding) String() string {
 // itself. Scoping — which packages and file kinds a rule applies to — is
 // wired separately in main.go so the fixture tests can run a rule on any
 // package.
+//
+// Exactly one of run and runAll is set. run is a per-package rule; runAll
+// is a whole-program rule (lockorder, hotpath-interproc) that sees every
+// in-scope package at once, so it can build a cross-package call graph.
 type analyzer struct {
-	name string
-	doc  string
-	run  func(p *lintPackage) []finding
+	name   string
+	doc    string
+	run    func(p *lintPackage) []finding
+	runAll func(pkgs []*lintPackage) []finding
 }
 
 const (
@@ -100,9 +105,12 @@ func suppress(findings []finding, allows map[string][]*allowDirective) (kept, su
 	return kept, suppressed
 }
 
-// sortFindings orders findings by file, line, column, analyzer.
+// sortFindings orders findings by file, line, column, analyzer, message.
+// The message tiebreak (plus SliceStable) makes the order a pure function
+// of the finding set, so output is byte-identical however the packages
+// were iterated.
 func sortFindings(fs []finding) {
-	sort.Slice(fs, func(i, j int) bool {
+	sort.SliceStable(fs, func(i, j int) bool {
 		a, b := fs[i], fs[j]
 		if a.Pos.Filename != b.Pos.Filename {
 			return a.Pos.Filename < b.Pos.Filename
@@ -113,16 +121,47 @@ func sortFindings(fs []finding) {
 		if a.Pos.Column != b.Pos.Column {
 			return a.Pos.Column < b.Pos.Column
 		}
-		return a.Analyzer < b.Analyzer
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
 	})
 }
 
-// runOn applies an analyzer to a package and filters the result through
-// the package's allow directives. The fixture tests use it directly.
+// runOn applies an analyzer (per-package or whole-program) to a package
+// and filters the result through the package's allow directives. The
+// fixture tests use it directly.
 func runOn(a *analyzer, p *lintPackage) (kept, suppressed []finding, malformed []finding) {
 	allows, bad := collectAllows(p)
-	kept, suppressed = suppress(a.run(p), allows)
+	var raw []finding
+	if a.run != nil {
+		raw = a.run(p)
+	} else {
+		raw = a.runAll([]*lintPackage{p})
+	}
+	kept, suppressed = suppress(raw, allows)
 	return kept, suppressed, bad
+}
+
+// jsonFinding is the -json wire form of one finding.
+type jsonFinding struct {
+	File       string `json:"file"`
+	Line       int    `json:"line"`
+	Col        int    `json:"col"`
+	Analyzer   string `json:"analyzer"`
+	Message    string `json:"message"`
+	Suppressed bool   `json:"suppressed,omitempty"`
+}
+
+func toJSONFindings(kept, suppressed []finding) []jsonFinding {
+	out := make([]jsonFinding, 0, len(kept)+len(suppressed))
+	for _, f := range kept {
+		out = append(out, jsonFinding{File: f.Pos.Filename, Line: f.Pos.Line, Col: f.Pos.Column, Analyzer: f.Analyzer, Message: f.Message})
+	}
+	for _, f := range suppressed {
+		out = append(out, jsonFinding{File: f.Pos.Filename, Line: f.Pos.Line, Col: f.Pos.Column, Analyzer: f.Analyzer, Message: f.Message, Suppressed: true})
+	}
+	return out
 }
 
 // fileOf returns the *ast.File containing pos.

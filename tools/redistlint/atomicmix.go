@@ -1,0 +1,118 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// atomicmixAnalyzer bars mixed atomic/plain access to one memory
+// location. A field or variable updated through sync/atomic anywhere is
+// a lock-free location: a plain read elsewhere is a data race the race
+// detector only catches when the interleaving happens to occur, and a
+// plain write tears the protocol entirely. The fix is one of: use the
+// typed atomics (atomic.Int64, atomic.Pointer — immune by construction,
+// and what this repo standardizes on), make every access atomic, or put
+// the field behind a mutex and drop the atomics.
+//
+// Pass one collects every &x passed to a sync/atomic function and
+// resolves x to its object (struct field or variable). Pass two flags
+// every other mention of a collected object that is not itself an
+// argument position of a sync/atomic call. Tests are in scope: a test
+// poking a lock-free field non-atomically races with the code under
+// test. The analysis is per-package, which is exact for unexported
+// fields and variables (nothing else can touch them).
+var atomicmixAnalyzer = &analyzer{
+	name: "atomicmix",
+	doc:  "a field accessed via sync/atomic must never be accessed non-atomically",
+	run:  runAtomicmix,
+}
+
+func runAtomicmix(p *lintPackage) []finding {
+	// Pass 1: objects used atomically, and the positions of the idents
+	// inside sync/atomic argument expressions (those uses are sanctioned).
+	tracked := make(map[types.Object]bool)
+	sanctioned := make(map[token.Pos]bool)
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isAtomicCall(p, call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				ast.Inspect(arg, func(m ast.Node) bool {
+					if id, ok := m.(*ast.Ident); ok {
+						sanctioned[id.Pos()] = true
+					}
+					return true
+				})
+				ue, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok || ue.Op != token.AND {
+					continue
+				}
+				if obj := addressedObject(p, ue.X); obj != nil {
+					tracked[obj] = true
+				}
+			}
+			return true
+		})
+	}
+	if len(tracked) == 0 {
+		return nil
+	}
+
+	// Pass 2: any other mention of a tracked object is a plain access.
+	var out []finding
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok || sanctioned[id.Pos()] {
+				return true
+			}
+			obj := p.Info.Uses[id]
+			if obj == nil || !tracked[obj] {
+				return true
+			}
+			out = append(out, finding{
+				Pos:      p.Fset.Position(id.Pos()),
+				Analyzer: "atomicmix",
+				Message:  fmt.Sprintf("non-atomic access to %s, which is accessed with sync/atomic elsewhere (use atomic.Int64/atomic.Pointer or a mutex)", objectLabel(obj)),
+			})
+			return true
+		})
+	}
+	return out
+}
+
+// isAtomicCall matches any function call into sync/atomic.
+func isAtomicCall(p *lintPackage, call *ast.CallExpr) bool {
+	se, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := p.Info.Uses[se.Sel].(*types.Func)
+	if !ok {
+		return false
+	}
+	return fn.Pkg() != nil && fn.Pkg().Path() == "sync/atomic"
+}
+
+// addressedObject resolves &x to x's object when x is a field selection
+// or a plain variable.
+func addressedObject(p *lintPackage, x ast.Expr) types.Object {
+	switch x := ast.Unparen(x).(type) {
+	case *ast.SelectorExpr:
+		return p.Info.Uses[x.Sel]
+	case *ast.Ident:
+		return p.Info.Uses[x]
+	}
+	return nil
+}
+
+func objectLabel(obj types.Object) string {
+	if v, ok := obj.(*types.Var); ok && v.IsField() {
+		return "field " + obj.Name()
+	}
+	return "variable " + obj.Name()
+}

@@ -1,0 +1,141 @@
+package dataflow
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Source is one type-checked package handed to Build: its parsed files
+// and type information. The caller keeps whatever richer package value it
+// has; DeclInfo.Src indexes back into the slice passed to Build.
+type Source struct {
+	Files []*ast.File
+	Info  *types.Info
+}
+
+// DeclInfo locates a function declaration: the index of its Source in the
+// slice passed to Build, and the declaration itself.
+type DeclInfo struct {
+	Src  int
+	Decl *ast.FuncDecl
+}
+
+// CallGraph is the static call graph of a set of packages: for every
+// declared function, the callees that can be resolved at compile time
+// (direct calls and method calls on concrete receivers). Interface
+// dispatch, calls through function values, and calls made inside
+// function literals are NOT included — the documented soundness limit of
+// every analysis built on top.
+type CallGraph struct {
+	decls   map[*types.Func]DeclInfo
+	callees map[*types.Func][]*types.Func
+	funcs   []*types.Func // declared functions in source order
+}
+
+// Build constructs the call graph. Functions are visited in the order
+// their sources and files are given, so Funcs and Callees are
+// deterministic for a fixed input order.
+func Build(srcs []Source) *CallGraph {
+	g := &CallGraph{
+		decls:   map[*types.Func]DeclInfo{},
+		callees: map[*types.Func][]*types.Func{},
+	}
+	for si, src := range srcs {
+		for _, f := range src.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				obj, ok := src.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				g.decls[obj] = DeclInfo{Src: si, Decl: fd}
+				g.funcs = append(g.funcs, obj)
+				g.callees[obj] = collectCallees(src.Info, fd.Body)
+			}
+		}
+	}
+	return g
+}
+
+// Decl returns the declaration site of f, if f is declared in the built
+// sources.
+func (g *CallGraph) Decl(f *types.Func) (DeclInfo, bool) {
+	d, ok := g.decls[f]
+	return d, ok
+}
+
+// Callees returns f's statically resolved callees in first-call order,
+// deduplicated. Callees without a declaration in the built sources
+// (stdlib, other modules) are included; Decl distinguishes them.
+func (g *CallGraph) Callees(f *types.Func) []*types.Func {
+	return g.callees[f]
+}
+
+// Funcs returns every declared function in source order.
+func (g *CallGraph) Funcs() []*types.Func {
+	return g.funcs
+}
+
+// collectCallees walks a body for resolvable calls, skipping function
+// literal bodies (they execute at another time; see CallGraph doc).
+func collectCallees(info *types.Info, body *ast.BlockStmt) []*types.Func {
+	var out []*types.Func
+	seen := map[*types.Func]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if f := StaticCallee(info, call); f != nil && !seen[f] {
+			seen[f] = true
+			out = append(out, f)
+		}
+		return true
+	})
+	return out
+}
+
+// StaticCallee resolves the function a call statically dispatches to:
+// package-level functions (qualified or not) and methods on concrete
+// receiver types. It returns nil for interface method calls, calls
+// through function-typed values, builtins, and conversions.
+func StaticCallee(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if f, ok := info.Uses[fun].(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			if sel.Kind() != types.MethodVal {
+				return nil // field of function type: dynamic call
+			}
+			if isInterface(sel.Recv()) {
+				return nil // dynamic dispatch
+			}
+			if f, ok := sel.Obj().(*types.Func); ok {
+				return f
+			}
+			return nil
+		}
+		// No selection: a package-qualified reference like pkg.Fn.
+		if f, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return f
+		}
+	}
+	return nil
+}
+
+func isInterface(t types.Type) bool {
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	_, ok := t.Underlying().(*types.Interface)
+	return ok
+}

@@ -1,0 +1,355 @@
+// Package dataflow is the control-flow and dataflow substrate of
+// redistlint v2. It provides three pieces, all stdlib-only (go/ast +
+// go/types, matching the linter's no-third-party constraint):
+//
+//   - an intraprocedural control-flow graph over a function body (New),
+//     with basic blocks of statements/expressions in evaluation order;
+//   - a forward worklist fixpoint solver over that CFG (Solve), generic in
+//     the fact representation so analyses choose may- (union) or must-
+//     (intersection) semantics;
+//   - a static call graph across a set of type-checked packages (Build),
+//     resolving direct function calls and concrete method calls.
+//
+// The CFG deliberately models only what the analyzers consume:
+//
+//   - compound statements are decomposed — a block's Nodes hold simple
+//     statements and the init/cond/tag/comm expressions of the compounds,
+//     never the compound node itself, with one exception: a *ast.RangeStmt
+//     appears as its own node and stands for the range HEADER only (X
+//     evaluated, Key/Value assigned once per iteration); its Body is built
+//     into separate blocks. Transfer functions must treat a RangeStmt node
+//     as its header.
+//   - function literals are opaque values: their bodies are not part of
+//     the enclosing CFG (they run at some other time, on some other
+//     goroutine). Analyses that care (goroleak) inspect them explicitly.
+//   - defer statements appear as nodes at their syntactic position (their
+//     arguments are evaluated there); the deferred call itself runs at
+//     return, so order-sensitive analyses like lock tracking skip them.
+//   - panics and calls to runtime.Goexit/os.Exit are not modeled as
+//     terminators; the paths they cut short are analyzed as if they fell
+//     through, which is conservative for the may-analyses and harmless
+//     for the must-analyses used here.
+package dataflow
+
+import (
+	"go/ast"
+	"go/token"
+	"sort"
+)
+
+// Block is one basic block: a maximal run of nodes with a single entry
+// and ordered successor edges.
+type Block struct {
+	Index int
+	Nodes []ast.Node
+	Succs []*Block
+}
+
+// CFG is the control-flow graph of one function body. Blocks[0] is the
+// entry; blocks with no predecessors other than the entry are
+// unreachable code and are never visited by Solve.
+type CFG struct {
+	Entry  *Block
+	Blocks []*Block
+}
+
+// New builds the control-flow graph of a function body.
+func New(body *ast.BlockStmt) *CFG {
+	b := &builder{
+		cfg:    &CFG{},
+		labels: map[string]*Block{},
+		gotos:  map[string][]*Block{},
+	}
+	b.cur = b.newBlock()
+	b.cfg.Entry = b.cur
+	b.stmtList(body.List)
+	// Resolve gotos after the whole body is built so forward jumps work.
+	// Iterate labels in sorted order so edge order is deterministic.
+	names := make([]string, 0, len(b.gotos))
+	for name := range b.gotos {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		target := b.labels[name]
+		if target == nil {
+			continue // goto to a label outside the handled forms; drop the edge
+		}
+		for _, from := range b.gotos[name] {
+			from.Succs = append(from.Succs, target)
+		}
+	}
+	return b.cfg
+}
+
+// loopScope is one enclosing breakable construct: loops carry both break
+// and continue targets, switch/select only break.
+type loopScope struct {
+	label      string
+	breakTo    *Block
+	continueTo *Block // nil for switch/select
+}
+
+type builder struct {
+	cfg    *CFG
+	cur    *Block
+	scopes []loopScope
+	labels map[string]*Block   // label name -> first block of the labeled statement
+	gotos  map[string][]*Block // label name -> blocks ending in goto
+	// pending is the label of the immediately preceding LabeledStmt, to be
+	// claimed by the next loop/switch/select as its break/continue anchor.
+	pending string
+	// fallTo is the body block of the next case clause while building a
+	// switch case, the target of a fallthrough statement.
+	fallTo *Block
+}
+
+func (b *builder) newBlock() *Block {
+	nb := &Block{Index: len(b.cfg.Blocks)}
+	b.cfg.Blocks = append(b.cfg.Blocks, nb)
+	return nb
+}
+
+func (b *builder) jump(from, to *Block) {
+	from.Succs = append(from.Succs, to)
+}
+
+func (b *builder) add(n ast.Node) {
+	b.cur.Nodes = append(b.cur.Nodes, n)
+}
+
+// takeLabel claims the pending label for the construct being built.
+func (b *builder) takeLabel() string {
+	l := b.pending
+	b.pending = ""
+	return l
+}
+
+func (b *builder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+func (b *builder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+
+	case *ast.LabeledStmt:
+		// The labeled statement starts a fresh block: it is a goto target
+		// and, for loops/switch/select, the break/continue anchor.
+		nb := b.newBlock()
+		b.jump(b.cur, nb)
+		b.cur = nb
+		b.labels[s.Label.Name] = nb
+		b.pending = s.Label.Name
+		b.stmt(s.Stmt)
+		b.pending = ""
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		b.add(s.Cond)
+		head := b.cur
+		after := b.newBlock()
+		then := b.newBlock()
+		b.jump(head, then)
+		b.cur = then
+		b.stmt(s.Body)
+		b.jump(b.cur, after)
+		if s.Else != nil {
+			els := b.newBlock()
+			b.jump(head, els)
+			b.cur = els
+			b.stmt(s.Else)
+			b.jump(b.cur, after)
+		} else {
+			b.jump(head, after)
+		}
+		b.cur = after
+
+	case *ast.ForStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		head := b.newBlock()
+		b.jump(b.cur, head)
+		body := b.newBlock()
+		exit := b.newBlock()
+		cont := head
+		var post *Block
+		if s.Post != nil {
+			post = b.newBlock()
+			cont = post
+		}
+		b.cur = head
+		if s.Cond != nil {
+			b.add(s.Cond)
+			b.jump(head, exit)
+		}
+		// `for {}` has no edge to exit from the head: the only way out is
+		// break/return, which the must-analyses rely on.
+		b.jump(head, body)
+		b.scopes = append(b.scopes, loopScope{label: label, breakTo: exit, continueTo: cont})
+		b.cur = body
+		b.stmt(s.Body)
+		b.jump(b.cur, cont)
+		if post != nil {
+			b.cur = post
+			b.stmt(s.Post)
+			b.jump(b.cur, head)
+		}
+		b.scopes = b.scopes[:len(b.scopes)-1]
+		b.cur = exit
+
+	case *ast.RangeStmt:
+		label := b.takeLabel()
+		head := b.newBlock()
+		b.jump(b.cur, head)
+		head.Nodes = append(head.Nodes, s) // the range header; see package doc
+		body := b.newBlock()
+		exit := b.newBlock()
+		b.jump(head, body)
+		b.jump(head, exit)
+		b.scopes = append(b.scopes, loopScope{label: label, breakTo: exit, continueTo: head})
+		b.cur = body
+		b.stmt(s.Body)
+		b.jump(b.cur, head)
+		b.scopes = b.scopes[:len(b.scopes)-1]
+		b.cur = exit
+
+	case *ast.SwitchStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		if s.Tag != nil {
+			b.add(s.Tag)
+		}
+		b.caseClauses(label, s.Body.List, nil)
+
+	case *ast.TypeSwitchStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		b.caseClauses(label, s.Body.List, s.Assign)
+
+	case *ast.SelectStmt:
+		label := b.takeLabel()
+		head := b.cur
+		after := b.newBlock()
+		b.scopes = append(b.scopes, loopScope{label: label, breakTo: after})
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CommClause)
+			cb := b.newBlock()
+			b.jump(head, cb)
+			b.cur = cb
+			if cc.Comm != nil {
+				b.stmt(cc.Comm)
+			}
+			b.stmtList(cc.Body)
+			b.jump(b.cur, after)
+		}
+		b.scopes = b.scopes[:len(b.scopes)-1]
+		// A select with no clauses blocks forever: after stays unreachable,
+		// exactly as execution would have it.
+		b.cur = after
+
+	case *ast.BranchStmt:
+		switch s.Tok {
+		case token.BREAK:
+			if t := b.branchTarget(s, false); t != nil {
+				b.jump(b.cur, t)
+			}
+		case token.CONTINUE:
+			if t := b.branchTarget(s, true); t != nil {
+				b.jump(b.cur, t)
+			}
+		case token.GOTO:
+			b.gotos[s.Label.Name] = append(b.gotos[s.Label.Name], b.cur)
+		case token.FALLTHROUGH:
+			if b.fallTo != nil {
+				b.jump(b.cur, b.fallTo)
+			}
+		}
+		b.cur = b.newBlock() // anything after an unconditional jump is dead
+
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.cur = b.newBlock() // dead
+
+	case *ast.EmptyStmt:
+		// nothing
+
+	default:
+		// Simple statements: assignments, declarations, expression and send
+		// statements, incdec, go, defer. All are single nodes.
+		b.add(s)
+	}
+}
+
+// caseClauses builds the shared switch/type-switch shape: the current
+// block fans out to one body block per case, every body joins at after,
+// fallthrough chains a case into the next one, and a missing default adds
+// the skip edge head -> after.
+func (b *builder) caseClauses(label string, clauses []ast.Stmt, assign ast.Stmt) {
+	if assign != nil {
+		b.add(assign) // the type-switch guard expression
+	}
+	head := b.cur
+	after := b.newBlock()
+	b.scopes = append(b.scopes, loopScope{label: label, breakTo: after})
+	bodies := make([]*Block, len(clauses))
+	for i := range clauses {
+		bodies[i] = b.newBlock()
+	}
+	hasDefault := false
+	for i, c := range clauses {
+		cc := c.(*ast.CaseClause)
+		b.jump(head, bodies[i])
+		if cc.List == nil {
+			hasDefault = true
+		}
+		b.cur = bodies[i]
+		for _, e := range cc.List {
+			b.add(e)
+		}
+		savedFall := b.fallTo
+		if i+1 < len(bodies) {
+			b.fallTo = bodies[i+1]
+		} else {
+			b.fallTo = nil
+		}
+		b.stmtList(cc.Body)
+		b.fallTo = savedFall
+		b.jump(b.cur, after)
+	}
+	if !hasDefault {
+		b.jump(head, after)
+	}
+	b.scopes = b.scopes[:len(b.scopes)-1]
+	b.cur = after
+}
+
+// branchTarget resolves a break or continue to its block: the innermost
+// applicable scope, or the scope carrying the statement's label.
+func (b *builder) branchTarget(s *ast.BranchStmt, isContinue bool) *Block {
+	for i := len(b.scopes) - 1; i >= 0; i-- {
+		sc := b.scopes[i]
+		if isContinue && sc.continueTo == nil {
+			continue // switch/select: continue passes through to the loop
+		}
+		if s.Label != nil && sc.label != s.Label.Name {
+			continue
+		}
+		if isContinue {
+			return sc.continueTo
+		}
+		return sc.breakTo
+	}
+	return nil
+}

@@ -1,0 +1,442 @@
+package dataflow
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+// parseBody parses src as the body of a function and returns its CFG.
+func parseBody(t *testing.T, src string) *CFG {
+	t.Helper()
+	file := "package p\nfunc f() {\n" + src + "\n}\n"
+	f, err := parser.ParseFile(token.NewFileSet(), "t.go", file, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return New(f.Decls[0].(*ast.FuncDecl).Body)
+}
+
+// flagFacts is a toy must-analysis over the test snippets: `x = 1` sets
+// flag x, `x = 0` clears it, and the fact at a `probe()` call is what the
+// tests assert on. Join is intersection, mirroring lockorder's held-set.
+type flagFacts map[string]bool
+
+func applyFlags(n ast.Node, f flagFacts) flagFacts {
+	as, ok := n.(*ast.AssignStmt)
+	if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return f
+	}
+	id, ok := as.Lhs[0].(*ast.Ident)
+	if !ok {
+		return f
+	}
+	lit, ok := as.Rhs[0].(*ast.BasicLit)
+	if !ok {
+		return f
+	}
+	out := make(flagFacts, len(f)+1)
+	for k := range f {
+		out[k] = true
+	}
+	if lit.Value == "0" {
+		delete(out, id.Name)
+	} else {
+		out[id.Name] = true
+	}
+	return out
+}
+
+func isProbe(n ast.Node) bool {
+	es, ok := n.(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	return ok && id.Name == "probe"
+}
+
+// probeFacts solves the flag analysis and returns the sorted flag names
+// in effect at each probe() call, in source order, or nil entries for
+// unreachable probes.
+func probeFacts(t *testing.T, c *CFG) [][]string {
+	t.Helper()
+	analysis := Analysis{
+		Entry: flagFacts{},
+		Transfer: func(b *Block, in Fact) Fact {
+			f := in.(flagFacts)
+			for _, n := range b.Nodes {
+				f = applyFlags(n, f)
+			}
+			return f
+		},
+		Join: func(a, b Fact) Fact {
+			fa, fb := a.(flagFacts), b.(flagFacts)
+			out := flagFacts{}
+			for k := range fa {
+				if fb[k] {
+					out[k] = true
+				}
+			}
+			return out
+		},
+		Equal: func(a, b Fact) bool {
+			return reflect.DeepEqual(a, b)
+		},
+	}
+	in := c.Solve(analysis)
+
+	// Collect (pos, flags) at each reachable probe, then order by position.
+	type hit struct {
+		pos   token.Pos
+		flags []string
+	}
+	var hits []hit
+	for _, b := range c.ReachableBlocks(in) {
+		f := in[b].(flagFacts)
+		for _, n := range b.Nodes {
+			if isProbe(n) {
+				var flags []string
+				for k := range f {
+					flags = append(flags, k)
+				}
+				sort.Strings(flags)
+				if flags == nil {
+					flags = []string{}
+				}
+				hits = append(hits, hit{n.Pos(), flags})
+			}
+			f = applyFlags(n, f)
+		}
+	}
+	sort.Slice(hits, func(i, j int) bool { return hits[i].pos < hits[j].pos })
+	var out [][]string
+	for _, h := range hits {
+		out = append(out, h.flags)
+	}
+	return out
+}
+
+func TestIfElseIntersection(t *testing.T) {
+	// a is set on both arms, b on one: only a survives the join.
+	c := parseBody(t, `
+		if cond {
+			a = 1
+			b = 1
+		} else {
+			a = 1
+		}
+		probe()
+	`)
+	got := probeFacts(t, c)
+	want := [][]string{{"a"}}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}
+
+func TestIfWithoutElse(t *testing.T) {
+	// The skip edge carries the empty set, so nothing survives.
+	c := parseBody(t, `
+		if cond {
+			a = 1
+		}
+		probe()
+	`)
+	if got := probeFacts(t, c); !reflect.DeepEqual(got, [][]string{{}}) {
+		t.Errorf("got %v, want [[]]", got)
+	}
+}
+
+func TestInfiniteLoopExitUnreachable(t *testing.T) {
+	// `for {}` with no break: the probe after the loop must be unreachable.
+	c := parseBody(t, `
+		a = 1
+		for {
+			b = 1
+		}
+		probe()
+	`)
+	if got := probeFacts(t, c); len(got) != 0 {
+		t.Errorf("probe after for{} should be unreachable, got facts %v", got)
+	}
+}
+
+func TestLoopBreakAndBackEdge(t *testing.T) {
+	// a set before the loop survives; b set after the conditional break
+	// does not reach the probe inside the loop head on the first
+	// iteration, so the intersection drops it.
+	c := parseBody(t, `
+		a = 1
+		for {
+			probe()
+			if cond {
+				break
+			}
+			b = 1
+		}
+		probe()
+	`)
+	got := probeFacts(t, c)
+	want := [][]string{{"a"}, {"a"}}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}
+
+func TestCondLoopZeroTrip(t *testing.T) {
+	// A `for cond {}` loop may run zero times: facts set in the body must
+	// not survive to the exit.
+	c := parseBody(t, `
+		for cond {
+			a = 1
+		}
+		probe()
+	`)
+	if got := probeFacts(t, c); !reflect.DeepEqual(got, [][]string{{}}) {
+		t.Errorf("got %v, want [[]]", got)
+	}
+}
+
+func TestThreeClauseLoopAndContinue(t *testing.T) {
+	// continue must route through the post statement, not skip it: the
+	// clear in the post kills a on every path back to the head.
+	c := parseBody(t, `
+		for i = 1; cond; a = 0 {
+			a = 1
+			if cond2 {
+				continue
+			}
+			probe()
+		}
+		probe()
+	`)
+	got := probeFacts(t, c)
+	want := [][]string{{"a", "i"}, {"i"}}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}
+
+func TestRangeHeaderNode(t *testing.T) {
+	// The range statement appears as a header node and its body is
+	// decomposed; zero-trip semantics hold at the exit.
+	c := parseBody(t, `
+		for _, v = range xs {
+			a = 1
+		}
+		probe()
+	`)
+	found := false
+	for _, b := range c.Blocks {
+		for _, n := range b.Nodes {
+			if _, ok := n.(*ast.RangeStmt); ok {
+				found = true
+			}
+			if _, ok := n.(*ast.AssignStmt); ok && found {
+				// body assign must be in a different block than the header
+				if len(b.Nodes) > 1 {
+					if _, isRange := b.Nodes[0].(*ast.RangeStmt); isRange {
+						t.Errorf("range body statement landed in the header block")
+					}
+				}
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("no RangeStmt header node in CFG")
+	}
+	if got := probeFacts(t, c); !reflect.DeepEqual(got, [][]string{{}}) {
+		t.Errorf("got %v, want [[]]", got)
+	}
+}
+
+func TestSwitchFallthroughAndDefault(t *testing.T) {
+	// Case 1 sets a and falls through into case 2, which probes: the
+	// probe sees a only on the fallthrough path, and the head edge joins
+	// it away. A default arm makes the no-match edge explicit.
+	c := parseBody(t, `
+		switch x {
+		case 1:
+			a = 1
+			fallthrough
+		case 2:
+			probe()
+		default:
+			b = 1
+		}
+		probe()
+	`)
+	got := probeFacts(t, c)
+	want := [][]string{{}, {}}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}
+
+func TestSwitchNoDefaultSkipEdge(t *testing.T) {
+	// Without a default the tag may match nothing: sets inside cases must
+	// not survive to the join.
+	c := parseBody(t, `
+		switch x {
+		case 1:
+			a = 1
+		case 2:
+			a = 1
+		}
+		probe()
+	`)
+	if got := probeFacts(t, c); !reflect.DeepEqual(got, [][]string{{}}) {
+		t.Errorf("got %v, want [[]]", got)
+	}
+}
+
+func TestSelectAllArmsSet(t *testing.T) {
+	// Every select arm sets a, so a must survive the join; there is no
+	// "no arm" path.
+	c := parseBody(t, `
+		select {
+		case v = <-ch:
+			a = 1
+		case ch2 <- w:
+			a = 1
+		}
+		probe()
+	`)
+	if got := probeFacts(t, c); !reflect.DeepEqual(got, [][]string{{"a"}}) {
+		t.Errorf("got %v, want [[a]]", got)
+	}
+}
+
+func TestReturnCutsPath(t *testing.T) {
+	// The early-return path does not flow into the probe, so the clear on
+	// that path is irrelevant.
+	c := parseBody(t, `
+		a = 1
+		if cond {
+			a = 0
+			return
+		}
+		probe()
+	`)
+	if got := probeFacts(t, c); !reflect.DeepEqual(got, [][]string{{"a"}}) {
+		t.Errorf("got %v, want [[a]]", got)
+	}
+}
+
+func TestGotoForwardEdge(t *testing.T) {
+	// goto skips the clear: a survives on the goto path but the fallthrough
+	// path clears it, so the join drops it — both paths must be wired.
+	c := parseBody(t, `
+		a = 1
+		if cond {
+			goto done
+		}
+		a = 0
+	done:
+		probe()
+	`)
+	if got := probeFacts(t, c); !reflect.DeepEqual(got, [][]string{{}}) {
+		t.Errorf("got %v, want [[]]", got)
+	}
+}
+
+func TestLabeledBreak(t *testing.T) {
+	// break out of the outer labeled loop from the inner loop: the probe
+	// after the outer loop is reachable with a set.
+	c := parseBody(t, `
+	outer:
+		for {
+			a = 1
+			for {
+				break outer
+			}
+		}
+		probe()
+	`)
+	if got := probeFacts(t, c); !reflect.DeepEqual(got, [][]string{{"a"}}) {
+		t.Errorf("got %v, want [[a]]", got)
+	}
+}
+
+func TestLabeledContinue(t *testing.T) {
+	// continue outer from the inner loop must target the outer head; the
+	// probe after the inner loop is unreachable (no plain exit), while the
+	// loop itself keeps running.
+	c := parseBody(t, `
+	outer:
+		for cond {
+			for {
+				continue outer
+			}
+			probe()
+		}
+		probe()
+	`)
+	got := probeFacts(t, c)
+	if !reflect.DeepEqual(got, [][]string{{}}) {
+		t.Errorf("got %v, want [[]] (inner-loop exit unreachable, outer exit empty)", got)
+	}
+}
+
+func newTestInfo() *types.Info {
+	return &types.Info{
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+	}
+}
+
+func typeCheck(fset *token.FileSet, f *ast.File, info *types.Info) (*types.Package, error) {
+	conf := types.Config{}
+	return conf.Check("p", fset, []*ast.File{f}, info)
+}
+
+func TestStaticCalleeResolution(t *testing.T) {
+	// Build over a small two-function source and check the call edge and
+	// decl lookup round-trip, plus closure-body exclusion.
+	src := `package p
+func callee() {}
+func caller() {
+	callee()
+	f := func() { callee() }
+	f()
+}
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "t.go", src, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := newTestInfo()
+	pkg, err := typeCheck(fset, f, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = pkg
+	g := Build([]Source{{Files: []*ast.File{f}, Info: info}})
+	funcs := g.Funcs()
+	if len(funcs) != 2 {
+		t.Fatalf("got %d funcs, want 2", len(funcs))
+	}
+	caller := funcs[1]
+	if caller.Name() != "caller" {
+		t.Fatalf("func order: got %s, want caller second", caller.Name())
+	}
+	callees := g.Callees(caller)
+	if len(callees) != 1 || callees[0].Name() != "callee" {
+		t.Errorf("callees of caller = %v, want exactly [callee] (closure body excluded, f() dynamic)", callees)
+	}
+	if _, ok := g.Decl(callees[0]); !ok {
+		t.Errorf("Decl(callee) not found")
+	}
+}

@@ -1,0 +1,66 @@
+package dataflow
+
+// Fact is an analysis-specific dataflow fact. The solver treats facts as
+// opaque values; nil means "block not yet reached" and never flows into
+// Join or Equal.
+type Fact any
+
+// Analysis is one forward dataflow problem over a CFG.
+type Analysis struct {
+	// Entry is the fact at function entry (never nil).
+	Entry Fact
+	// Transfer applies the block's nodes to the incoming fact and returns
+	// the outgoing fact. It must not mutate in.
+	Transfer func(b *Block, in Fact) Fact
+	// Join merges two facts at a control-flow merge point: set union for
+	// may-analyses (taint), set intersection for must-analyses (locks
+	// held). It must not mutate its arguments.
+	Join func(a, b Fact) Fact
+	// Equal reports whether two facts are equal, for fixpoint detection.
+	Equal func(a, b Fact) bool
+}
+
+// Solve runs the forward worklist fixpoint and returns the fact at entry
+// to each reachable block. Unreachable blocks are absent from the result.
+// Termination is the analysis's responsibility: Transfer and Join must be
+// monotone over a finite lattice (all redistlint analyses use finite sets
+// of locals or lock classes, so chains are bounded by set size).
+func (c *CFG) Solve(a Analysis) map[*Block]Fact {
+	in := map[*Block]Fact{c.Entry: a.Entry}
+	work := []*Block{c.Entry}
+	queued := map[*Block]bool{c.Entry: true}
+	//redistlint:allow ctxpoll bounded fixpoint: facts are monotone over a finite lattice, so every block is re-queued finitely often
+	for len(work) > 0 {
+		b := work[0]
+		work = work[1:]
+		queued[b] = false
+		out := a.Transfer(b, in[b])
+		for _, s := range b.Succs {
+			prev, seen := in[s]
+			next := out
+			if seen {
+				next = a.Join(prev, out)
+			}
+			if !seen || !a.Equal(prev, next) {
+				in[s] = next
+				if !queued[s] {
+					work = append(work, s)
+					queued[s] = true
+				}
+			}
+		}
+	}
+	return in
+}
+
+// ReachableBlocks returns the solved blocks in index order, so analyses
+// can replay transfer functions deterministically for reporting.
+func (c *CFG) ReachableBlocks(in map[*Block]Fact) []*Block {
+	var out []*Block
+	for _, b := range c.Blocks {
+		if _, ok := in[b]; ok {
+			out = append(out, b)
+		}
+	}
+	return out
+}

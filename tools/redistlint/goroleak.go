@@ -1,0 +1,195 @@
+package main
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// goroleakAnalyzer demands a join path for every goroutine the server
+// layers start. A `go` statement whose goroutine can outlive its spawner
+// unnoticed is how drains hang and tests flake, so every one must carry
+// a visible completion mechanism:
+//
+//   - a sync.WaitGroup Done/Add inside the goroutine (paired with a Wait
+//     elsewhere — the analyzer checks the Done side, the cheap half to
+//     forget),
+//   - a channel operation inside the goroutine (send, receive, close, or
+//     ranging over a channel): the goroutine is observable or bounded by
+//     channel lifecycle,
+//   - observing a context.Context inside the goroutine (ctx-bounded
+//     loops), or
+//   - when the spawned function's body is out of reach (another package,
+//     a function value), receiving one of those mechanisms as an
+//     argument: a context, *sync.WaitGroup, or channel.
+//
+// The body scan is one level deep: the goroutine function itself, plus
+// closures it defines (defer func() { wg.Done() }() is the common
+// shape). A join buried two calls down needs an //redistlint:allow
+// goroleak comment naming it.
+var goroleakAnalyzer = &analyzer{
+	name: "goroleak",
+	doc:  "every go statement needs a join path: WaitGroup, channel op, or context observation",
+	run:  runGoroleak,
+}
+
+func runGoroleak(p *lintPackage) []finding {
+	decls := declIndex(p)
+	var out []finding
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if goStmtHasJoin(p, decls, gs) {
+				return true
+			}
+			out = append(out, finding{
+				Pos:      p.Fset.Position(gs.Pos()),
+				Analyzer: "goroleak",
+				Message:  "go statement has no detectable join path (WaitGroup Done, channel op, or context); goroutine may leak",
+			})
+			return true
+		})
+	}
+	return out
+}
+
+// declIndex maps each function object declared in the package to its
+// declaration, for resolving `go pkgLocalFn(...)`.
+func declIndex(p *lintPackage) map[types.Object]*ast.FuncDecl {
+	out := make(map[types.Object]*ast.FuncDecl)
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				if obj := p.Info.Defs[fd.Name]; obj != nil {
+					out[obj] = fd
+				}
+			}
+		}
+	}
+	return out
+}
+
+func goStmtHasJoin(p *lintPackage, decls map[types.Object]*ast.FuncDecl, gs *ast.GoStmt) bool {
+	// go func() { ... }(): scan the literal's body.
+	if lit, ok := ast.Unparen(gs.Call.Fun).(*ast.FuncLit); ok {
+		return scanForJoin(p, lit.Body)
+	}
+	// go name(...) / go recv.method(...): scan the body when the callee is
+	// declared in this package.
+	if callee := staticCalleeObj(p, gs.Call); callee != nil {
+		if fd, ok := decls[callee]; ok {
+			return scanForJoin(p, fd.Body)
+		}
+	}
+	// Out-of-reach body: accept a join mechanism passed in as an argument.
+	for _, arg := range gs.Call.Args {
+		if tv, ok := p.Info.Types[arg]; ok && isJoinCarrierType(tv.Type) {
+			return true
+		}
+	}
+	return false
+}
+
+// staticCalleeObj resolves the called function object for direct and
+// method calls (mirroring dataflow.StaticCallee, but returning the
+// generic object so it can key declIndex).
+func staticCalleeObj(p *lintPackage, call *ast.CallExpr) types.Object {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if f, ok := p.Info.Uses[fun].(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := p.Info.Selections[fun]; ok && sel.Kind() == types.MethodVal {
+			return sel.Obj()
+		}
+		if f, ok := p.Info.Uses[fun.Sel].(*types.Func); ok {
+			return f
+		}
+	}
+	return nil
+}
+
+// scanForJoin looks for any recognized join mechanism in a goroutine
+// body, descending into nested closures (the deferred-Done idiom).
+func scanForJoin(p *lintPackage, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			found = true
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				found = true
+			}
+		case *ast.RangeStmt:
+			if tv, ok := p.Info.Types[n.X]; ok {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					found = true
+				}
+			}
+		case *ast.CallExpr:
+			if isCloseBuiltin(p, n) || isWaitGroupDone(p, n) {
+				found = true
+			}
+		case ast.Expr:
+			if tv, ok := p.Info.Types[n]; ok && isContextType(tv.Type) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+func isCloseBuiltin(p *lintPackage, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := p.Info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "close"
+}
+
+// isWaitGroupDone matches wg.Done() and wg.Add(-1) on sync.WaitGroup.
+func isWaitGroupDone(p *lintPackage, call *ast.CallExpr) bool {
+	se, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || (se.Sel.Name != "Done" && se.Sel.Name != "Add") {
+		return false
+	}
+	sel, ok := p.Info.Selections[se]
+	if !ok || sel.Kind() != types.MethodVal {
+		return false
+	}
+	obj := sel.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	recv := namedTypeOf(sel.Recv())
+	return recv != nil && recv.Obj().Name() == "WaitGroup"
+}
+
+// isJoinCarrierType reports whether an argument type can carry a join
+// mechanism into an out-of-package goroutine body: context.Context,
+// *sync.WaitGroup, or any channel.
+func isJoinCarrierType(t types.Type) bool {
+	if isContextType(t) {
+		return true
+	}
+	if _, ok := t.Underlying().(*types.Chan); ok {
+		return true
+	}
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		if n := namedTypeOf(ptr.Elem()); n != nil {
+			obj := n.Obj()
+			return obj.Pkg() != nil && obj.Pkg().Path() == "sync" && obj.Name() == "WaitGroup"
+		}
+	}
+	return false
+}

@@ -36,56 +36,63 @@ var hotpathAnalyzer = &analyzer{
 
 func runHotpath(p *lintPackage) []finding {
 	var out []finding
-	report := func(n ast.Node, what string) {
-		out = append(out, finding{
-			Pos:      p.Fset.Position(n.Pos()),
-			Analyzer: "hotpath",
-			Message:  fmt.Sprintf("%s in hotpath-annotated function", what),
-		})
-	}
 	for _, f := range p.Files {
 		for _, decl := range f.Decls {
 			fn, ok := decl.(*ast.FuncDecl)
 			if !ok || fn.Body == nil || !hasHotpathMarker(fn.Doc) {
 				continue
 			}
-			ast.Inspect(fn.Body, func(n ast.Node) bool {
-				switch n := n.(type) {
-				case *ast.CallExpr:
-					if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok {
-						if b, ok := p.Info.Uses[id].(*types.Builtin); ok {
-							switch b.Name() {
-							case "append", "make", "new":
-								report(n, b.Name())
-							}
-						}
-					}
-					if se, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok {
-						if name := obsLookupReceiver(p, se); name != "" {
-							report(n, "obs."+name+" method call (lookup/allocation; pass pre-resolved nil-safe handles instead)")
-						}
-					}
-				case *ast.UnaryExpr:
-					if _, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok && n.Op.String() == "&" {
-						report(n, "&composite literal (escapes to heap)")
-						return false
-					}
-				case *ast.FuncLit:
-					report(n, "closure")
-					return false // the literal itself is the finding
-				case *ast.CompositeLit:
-					if tv, ok := p.Info.Types[n]; ok {
-						switch tv.Type.Underlying().(type) {
-						case *types.Slice, *types.Map:
-							report(n, "allocating composite literal")
-						}
-					}
-				}
-				return true
+			scanHotpathBody(p, fn.Body, func(n ast.Node, what string) {
+				out = append(out, finding{
+					Pos:      p.Fset.Position(n.Pos()),
+					Analyzer: "hotpath",
+					Message:  fmt.Sprintf("%s in hotpath-annotated function", what),
+				})
 			})
 		}
 	}
 	return out
+}
+
+// scanHotpathBody walks one function body for the constructs the hotpath
+// contract forbids and reports each via report. Shared by the hotpath
+// analyzer (annotated functions) and hotpath-interproc (un-annotated
+// functions reachable from annotated ones).
+func scanHotpathBody(p *lintPackage, body *ast.BlockStmt, report func(n ast.Node, what string)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok {
+				if b, ok := p.Info.Uses[id].(*types.Builtin); ok {
+					switch b.Name() {
+					case "append", "make", "new":
+						report(n, b.Name())
+					}
+				}
+			}
+			if se, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok {
+				if name := obsLookupReceiver(p, se); name != "" {
+					report(n, "obs."+name+" method call (lookup/allocation; pass pre-resolved nil-safe handles instead)")
+				}
+			}
+		case *ast.UnaryExpr:
+			if _, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok && n.Op.String() == "&" {
+				report(n, "&composite literal (escapes to heap)")
+				return false
+			}
+		case *ast.FuncLit:
+			report(n, "closure")
+			return false // the literal itself is the finding
+		case *ast.CompositeLit:
+			if tv, ok := p.Info.Types[n]; ok {
+				switch tv.Type.Underlying().(type) {
+				case *types.Slice, *types.Map:
+					report(n, "allocating composite literal")
+				}
+			}
+		}
+		return true
+	})
 }
 
 // obsPkgPath is the observability package whose registry/observer entry

@@ -1,0 +1,88 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+
+	"redistgo/tools/redistlint/dataflow"
+)
+
+// hotpathInterprocAnalyzer extends the hotpath contract through the call
+// graph. The per-function hotpath analyzer checks only annotated bodies,
+// so an annotated function could launder an allocation through a helper
+// one call away. This analyzer closes that hole: every function
+// statically reachable from a //redistlint:hotpath function is held to
+// the same no-allocation rules, whether or not it carries the
+// annotation itself. Findings name the hotpath root so the reader knows
+// which contract is at stake; the fix is to hoist the allocation to the
+// caller's setup phase, annotate the callee (placing it under the
+// per-function analyzer and the AllocsPerRun tests), or suppress with
+// the amortization argument.
+//
+// Reachability is the static call graph's: direct calls and concrete
+// method calls, transitively; interface dispatch, function values, and
+// calls made inside closures are invisible (the closure itself is
+// already a hotpath violation at its creation site). Callees annotated
+// //redistlint:hotpath are skipped here — the hotpath analyzer already
+// covers them, and double findings would need double suppressions.
+var hotpathInterprocAnalyzer = &analyzer{
+	name:   "hotpath-interproc",
+	doc:    "no-alloc hotpath contract propagated to statically reachable un-annotated callees",
+	runAll: runHotpathInterproc,
+}
+
+func runHotpathInterproc(pkgs []*lintPackage) []finding {
+	srcs := make([]dataflow.Source, len(pkgs))
+	for i, p := range pkgs {
+		srcs[i] = dataflow.Source{Files: p.Files, Info: p.Info}
+	}
+	g := dataflow.Build(srcs)
+
+	annotated := make(map[*types.Func]bool)
+	for _, fn := range g.Funcs() {
+		d, _ := g.Decl(fn)
+		if hasHotpathMarker(d.Decl.Doc) {
+			annotated[fn] = true
+		}
+	}
+
+	var out []finding
+	scanned := make(map[*types.Func]bool)
+	for _, root := range g.Funcs() {
+		if !annotated[root] {
+			continue
+		}
+		// BFS from the annotated root; report each callee once, attributed
+		// to the first root that reaches it (source order).
+		seen := map[*types.Func]bool{root: true}
+		queue := []*types.Func{root}
+		for i := 0; i < len(queue); i++ {
+			for _, callee := range g.Callees(queue[i]) {
+				if seen[callee] {
+					continue
+				}
+				seen[callee] = true
+				d, ok := g.Decl(callee)
+				if !ok {
+					continue // stdlib or other module: out of reach
+				}
+				queue = append(queue, callee)
+				if annotated[callee] || scanned[callee] {
+					continue
+				}
+				scanned[callee] = true
+				p := pkgs[d.Src]
+				scanHotpathBody(p, d.Decl.Body, func(n ast.Node, what string) {
+					out = append(out, finding{
+						Pos:      p.Fset.Position(n.Pos()),
+						Analyzer: "hotpath-interproc",
+						Message: fmt.Sprintf("%s in %s, reachable from hotpath function %s",
+							what, callee.Name(), root.Name()),
+					})
+				})
+			}
+		}
+	}
+	return out
+}

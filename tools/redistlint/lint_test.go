@@ -1,9 +1,14 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
 	"os"
 	"regexp"
 	"strconv"
+	"strings"
 	"testing"
 )
 
@@ -11,11 +16,16 @@ import (
 // it exercises. The allowbad fixture is special-cased below: its findings
 // come from directive parsing, not from any analyzer.
 var fixtureAnalyzers = map[string]*analyzer{
-	"determinism": determinismAnalyzer,
-	"safemath":    safemathAnalyzer,
-	"hotpath":     hotpathAnalyzer,
-	"ctxpoll":     ctxpollAnalyzer,
-	"errcheck":    errcheckAnalyzer,
+	"determinism":      determinismAnalyzer,
+	"safemath":         safemathAnalyzer,
+	"hotpath":          hotpathAnalyzer,
+	"hotpathinterproc": hotpathInterprocAnalyzer,
+	"ctxpoll":          ctxpollAnalyzer,
+	"errcheck":         errcheckAnalyzer,
+	"lockorder":        lockorderAnalyzer,
+	"goroleak":         goroleakAnalyzer,
+	"wiretaint":        wiretaintAnalyzer,
+	"atomicmix":        atomicmixAnalyzer,
 }
 
 // expectation is one parsed `// want "regexp"` comment: the fixture's
@@ -144,6 +154,103 @@ func TestMalformedAllowDirectives(t *testing.T) {
 		if !seen {
 			t.Errorf("allowbad:%d: expected a malformed-directive finding, got none", line)
 		}
+	}
+}
+
+// fixturePatterns lists every fixture package explicitly (testdata is
+// excluded from ./... wildcards), for the whole-tree determinism and
+// JSON-output tests below.
+func fixturePatterns(t *testing.T) []string {
+	t.Helper()
+	entries, err := os.ReadDir("testdata/src")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []string
+	for _, e := range entries {
+		if e.IsDir() && e.Name() != "allowbad" {
+			out = append(out, "./testdata/src/"+e.Name())
+		}
+	}
+	return out
+}
+
+// TestDeterministicOutput runs the full analyzer suite twice over the
+// whole fixture tree and requires byte-identical reports: finding order
+// must be a pure function of the findings, never of map or package
+// iteration order.
+func TestDeterministicOutput(t *testing.T) {
+	render := func() string {
+		pkgs, err := load(".", fixturePatterns(t))
+		if err != nil {
+			t.Fatal(err)
+		}
+		kept, suppressed := lintAll(pkgs, nil)
+		var sb strings.Builder
+		for _, f := range kept {
+			fmt.Fprintln(&sb, f)
+		}
+		for _, f := range suppressed {
+			fmt.Fprintf(&sb, "suppressed: %s\n", f)
+		}
+		return sb.String()
+	}
+	first := render()
+	second := render()
+	if first != second {
+		t.Errorf("two identical runs produced different output:\n--- first ---\n%s--- second ---\n%s", first, second)
+	}
+	if first == "" {
+		t.Fatal("fixture tree produced no findings; determinism test is vacuous")
+	}
+}
+
+// TestLintRepoClean runs every analyzer over the real module and
+// requires zero kept findings: the repo must satisfy its own invariants,
+// with every deliberate exception carrying a reasoned allow directive.
+func TestLintRepoClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	pkgs, err := load("../..", []string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	kept, _ := lintAll(pkgs, nil)
+	for _, f := range kept {
+		t.Errorf("repo not lint-clean: %s", f)
+	}
+}
+
+// TestJSONOutput checks the -json report shape end to end: valid JSON,
+// one object per finding with the fields CI annotation needs, and the
+// same count as the text report.
+func TestJSONOutput(t *testing.T) {
+	args := append([]string{"-json", "-v"}, fixturePatterns(t)...)
+	var buf bytes.Buffer
+	err := run(args, &buf)
+	var exit exitError
+	if err != nil && !errors.As(err, &exit) {
+		t.Fatalf("run -json: %v", err)
+	}
+	var got []jsonFinding
+	if jsonErr := json.Unmarshal(buf.Bytes(), &got); jsonErr != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", jsonErr, buf.String())
+	}
+	if len(got) == 0 {
+		t.Fatal("fixture tree produced no JSON findings")
+	}
+	kept := 0
+	for _, f := range got {
+		if f.File == "" || f.Line <= 0 || f.Col <= 0 || f.Analyzer == "" || f.Message == "" {
+			t.Errorf("incomplete JSON finding: %+v", f)
+		}
+		if !f.Suppressed {
+			kept++
+		}
+	}
+	if int(exit) != kept {
+		t.Errorf("exit error reports %d findings, JSON carries %d unsuppressed", int(exit), kept)
 	}
 }
 

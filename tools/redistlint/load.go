@@ -13,6 +13,7 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"sort"
 	"strings"
 )
 
@@ -88,8 +89,17 @@ func load(dir string, patterns []string) ([]*lintPackage, error) {
 		return os.Open(e)
 	})
 
-	var out []*lintPackage
+	// Process packages in path order so findings, progress, and any
+	// whole-program analysis built over the package slice are independent
+	// of map iteration order.
+	paths := make([]string, 0, len(wanted))
 	for path := range wanted {
+		paths = append(paths, path)
+	}
+	sort.Strings(paths)
+
+	var out []*lintPackage
+	for _, path := range paths {
 		p := full[path]
 		if p == nil {
 			return nil, fmt.Errorf("package %s missing from deps listing", path)
@@ -164,6 +174,7 @@ func goList(dir string, flags, patterns []string) ([]*listedPackage, error) {
 	}
 	var pkgs []*listedPackage
 	dec := json.NewDecoder(&stdout)
+	//redistlint:allow ctxpoll decode loop is bounded by the buffered go-list output and ends at io.EOF
 	for {
 		var p listedPackage
 		if err := dec.Decode(&p); err == io.EOF {

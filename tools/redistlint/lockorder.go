@@ -1,0 +1,427 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"sort"
+
+	"redistgo/tools/redistlint/dataflow"
+)
+
+// lockorderAnalyzer makes the repo's mutex discipline checkable: across
+// the concurrency-bearing packages (serve, engine, cluster, tokenbucket,
+// obs) every pair of lock classes must be acquired in one global order,
+// and no path may re-enter a lock it already holds — directly or by
+// calling, with the lock held, a function whose (transitive, statically
+// resolved) callees acquire it.
+//
+// Lock classes abstract over instances: a mutex stored in field mu of
+// type T is the class "pkg.T.mu" whatever the receiver value, a
+// package-level mutex is "pkg.name", and a local/parameter mutex is
+// keyed by its definition position. The held set is computed by a
+// must-analysis over the dataflow CFG (intersection at joins), so a lock
+// is only "held" when every path to the program point holds it.
+//
+// Soundness limits, deliberate: Unlock via defer runs at return, so
+// defer nodes are skipped and the lock stays held for the rest of the
+// function (exactly the runtime behavior); function literals and go
+// statements run on other goroutines or at other times and are excluded
+// from both the CFG facts and the call summaries; interface dispatch and
+// function values are invisible to the static call graph; RLock/RUnlock
+// share their class with Lock/Unlock (two RLocks of one RWMutex deadlock
+// once a writer queues between them, so re-entry is still reported);
+// TryLock never blocks and is ignored; mutexes reached through indexing
+// (locks[i]) are untracked.
+var lockorderAnalyzer = &analyzer{
+	name:   "lockorder",
+	doc:    "global mutex acquisition order; no re-entry of a held lock, directly or through calls",
+	runAll: runLockorder,
+}
+
+// lockOp is one mutex acquire or release with its resolved class.
+type lockOp struct {
+	class   string
+	acquire bool
+}
+
+// lockEvent is one ordered event inside a CFG node: a lock operation or
+// a statically resolved call.
+type lockEvent struct {
+	op   *lockOp
+	call *types.Func
+	pos  token.Pos
+}
+
+// heldSet is the must-analysis fact: the lock classes held on every path
+// to a program point.
+type heldSet map[string]bool
+
+func (h heldSet) with(c string) heldSet {
+	out := make(heldSet, len(h)+1)
+	for k := range h {
+		out[k] = true
+	}
+	out[c] = true
+	return out
+}
+
+func (h heldSet) without(c string) heldSet {
+	out := make(heldSet, len(h))
+	for k := range h {
+		if k != c {
+			out[k] = true
+		}
+	}
+	return out
+}
+
+func (h heldSet) sorted() []string {
+	out := make([]string, 0, len(h))
+	for k := range h {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func runLockorder(pkgs []*lintPackage) []finding {
+	srcs := make([]dataflow.Source, len(pkgs))
+	for i, p := range pkgs {
+		srcs[i] = dataflow.Source{Files: p.Files, Info: p.Info}
+	}
+	g := dataflow.Build(srcs)
+
+	// Per-function direct-acquire summaries, then transitive closure over
+	// the call graph for the "call with lock held" check.
+	direct := make(map[*types.Func]map[string]bool)
+	for _, fn := range g.Funcs() {
+		d, _ := g.Decl(fn)
+		direct[fn] = collectAcquires(pkgs[d.Src], d.Decl.Body)
+	}
+	trans := transitiveAcquires(g, direct)
+
+	type lockEdge struct{ from, to string }
+	edgePos := make(map[lockEdge]token.Position)
+	edgeVia := make(map[lockEdge]string)
+	var edges []lockEdge
+	record := func(from, to string, pos token.Position, via string) {
+		e := lockEdge{from, to}
+		if _, ok := edgePos[e]; !ok {
+			edgePos[e] = pos
+			edgeVia[e] = via
+			edges = append(edges, e)
+		}
+	}
+
+	var out []finding
+	for _, fn := range g.Funcs() {
+		d, _ := g.Decl(fn)
+		p := pkgs[d.Src]
+		cfg := dataflow.New(d.Decl.Body)
+		in := cfg.Solve(dataflow.Analysis{
+			Entry: heldSet{},
+			Transfer: func(b *dataflow.Block, in dataflow.Fact) dataflow.Fact {
+				h := in.(heldSet)
+				for _, n := range b.Nodes {
+					for _, ev := range nodeLockEvents(p, n) {
+						if ev.op == nil || ev.op.class == "" {
+							continue
+						}
+						if ev.op.acquire {
+							h = h.with(ev.op.class)
+						} else {
+							h = h.without(ev.op.class)
+						}
+					}
+				}
+				return h
+			},
+			Join: func(a, b dataflow.Fact) dataflow.Fact {
+				ha, hb := a.(heldSet), b.(heldSet)
+				out := heldSet{}
+				for k := range ha {
+					if hb[k] {
+						out[k] = true
+					}
+				}
+				return out
+			},
+			Equal: func(a, b dataflow.Fact) bool {
+				ha, hb := a.(heldSet), b.(heldSet)
+				if len(ha) != len(hb) {
+					return false
+				}
+				for k := range ha {
+					if !hb[k] {
+						return false
+					}
+				}
+				return true
+			},
+		})
+		// Replay each reachable block to report at exact positions.
+		for _, b := range cfg.ReachableBlocks(in) {
+			h := in[b].(heldSet)
+			for _, n := range b.Nodes {
+				for _, ev := range nodeLockEvents(p, n) {
+					pos := p.Fset.Position(ev.pos)
+					switch {
+					case ev.op != nil && ev.op.class == "":
+						// untracked mutex; see doc
+					case ev.op != nil && ev.op.acquire:
+						if h[ev.op.class] {
+							out = append(out, finding{
+								Pos:      pos,
+								Analyzer: "lockorder",
+								Message:  fmt.Sprintf("lock %s acquired while already held (self-deadlock)", ev.op.class),
+							})
+						} else {
+							for _, held := range h.sorted() {
+								record(held, ev.op.class, pos, "")
+							}
+						}
+						h = h.with(ev.op.class)
+					case ev.op != nil:
+						h = h.without(ev.op.class)
+					case ev.call != nil && len(h) > 0:
+						acq := trans(ev.call)
+						for _, c := range sortedClassSet(acq) {
+							if h[c] {
+								out = append(out, finding{
+									Pos:      pos,
+									Analyzer: "lockorder",
+									Message:  fmt.Sprintf("call to %s acquires lock %s, which is already held here (self-deadlock)", ev.call.Name(), c),
+								})
+							} else {
+								for _, held := range h.sorted() {
+									record(held, c, pos, fmt.Sprintf(" (via call to %s)", ev.call.Name()))
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+
+	// An acquisition-order edge that can reach its own source is half of
+	// an AB/BA cycle; report every participating edge at its site.
+	adj := make(map[string][]string)
+	for _, e := range edges {
+		adj[e.from] = append(adj[e.from], e.to)
+	}
+	for _, e := range edges {
+		if classReaches(adj, e.to, e.from) {
+			out = append(out, finding{
+				Pos:      edgePos[e],
+				Analyzer: "lockorder",
+				Message: fmt.Sprintf("lock order cycle: %s acquired while holding %s%s, but the reverse order also occurs",
+					e.to, e.from, edgeVia[e]),
+			})
+		}
+	}
+	return out
+}
+
+// nodeLockEvents extracts the ordered lock operations and static calls of
+// one CFG node. Defer and go statements are skipped (their calls run at
+// another time / on another goroutine); a RangeStmt node stands for its
+// header, so only the ranged expression is inspected.
+func nodeLockEvents(p *lintPackage, n ast.Node) []lockEvent {
+	switch s := n.(type) {
+	case *ast.DeferStmt, *ast.GoStmt:
+		return nil
+	case *ast.RangeStmt:
+		n = s.X
+	}
+	var evs []lockEvent
+	ast.Inspect(n, func(m ast.Node) bool {
+		if _, ok := m.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := m.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if op, ok := lockOpOf(p, call); ok {
+			evs = append(evs, lockEvent{op: &op, pos: call.Pos()})
+			return true
+		}
+		if fn := dataflow.StaticCallee(p.Info, call); fn != nil {
+			evs = append(evs, lockEvent{call: fn, pos: call.Pos()})
+		}
+		return true
+	})
+	return evs
+}
+
+var lockAcquireMethods = map[string]bool{"Lock": true, "RLock": true}
+var lockReleaseMethods = map[string]bool{"Unlock": true, "RUnlock": true}
+
+// lockOpOf recognizes a call as a sync.Mutex/RWMutex (R)Lock/(R)Unlock
+// and resolves its lock class.
+func lockOpOf(p *lintPackage, call *ast.CallExpr) (lockOp, bool) {
+	se, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return lockOp{}, false
+	}
+	name := se.Sel.Name
+	if !lockAcquireMethods[name] && !lockReleaseMethods[name] {
+		return lockOp{}, false
+	}
+	sel, ok := p.Info.Selections[se]
+	if !ok || sel.Kind() != types.MethodVal {
+		return lockOp{}, false
+	}
+	obj := sel.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return lockOp{}, false
+	}
+	return lockOp{class: lockClassOf(p, se.X), acquire: lockAcquireMethods[name]}, true
+}
+
+// lockClassOf maps the receiver expression of a lock operation to its
+// class key. "" means untracked (indexed or otherwise unresolvable).
+func lockClassOf(p *lintPackage, x ast.Expr) string {
+	x = ast.Unparen(x)
+	// A receiver whose type is not itself a sync mutex reached a promoted
+	// method through an embedded field: key by the embedding type.
+	if tv, ok := p.Info.Types[x]; ok && !isSyncMutexType(tv.Type) {
+		if n := namedTypeOf(tv.Type); n != nil {
+			return namedTypeString(n) + ".Mutex"
+		}
+		return ""
+	}
+	switch x := x.(type) {
+	case *ast.SelectorExpr:
+		if tv, ok := p.Info.Types[x.X]; ok {
+			if n := namedTypeOf(tv.Type); n != nil {
+				return namedTypeString(n) + "." + x.Sel.Name
+			}
+		}
+	case *ast.Ident:
+		obj := p.Info.Uses[x]
+		if obj == nil {
+			obj = p.Info.Defs[x]
+		}
+		if obj == nil {
+			return ""
+		}
+		if obj.Parent() == p.Types.Scope() {
+			return p.Types.Name() + "." + obj.Name()
+		}
+		pos := p.Fset.Position(obj.Pos())
+		return fmt.Sprintf("%s@%s:%d", obj.Name(), filepath.Base(pos.Filename), pos.Line)
+	}
+	return ""
+}
+
+func isSyncMutexType(t types.Type) bool {
+	n := namedTypeOf(t)
+	if n == nil {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" &&
+		(obj.Name() == "Mutex" || obj.Name() == "RWMutex")
+}
+
+func namedTypeOf(t types.Type) *types.Named {
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return nil
+	}
+	return n
+}
+
+func namedTypeString(n *types.Named) string {
+	obj := n.Obj()
+	if obj.Pkg() == nil {
+		return obj.Name()
+	}
+	return obj.Pkg().Name() + "." + obj.Name()
+}
+
+// collectAcquires gathers the lock classes a body acquires directly,
+// excluding closures, defers, and go statements (see analyzer doc).
+func collectAcquires(p *lintPackage, body *ast.BlockStmt) map[string]bool {
+	out := make(map[string]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.FuncLit, *ast.DeferStmt, *ast.GoStmt:
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if op, ok := lockOpOf(p, call); ok && op.acquire && op.class != "" {
+				out[op.class] = true
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// transitiveAcquires returns a memoized lookup of every lock class a
+// function may acquire through statically resolved calls.
+func transitiveAcquires(g *dataflow.CallGraph, direct map[*types.Func]map[string]bool) func(*types.Func) map[string]bool {
+	memo := make(map[*types.Func]map[string]bool)
+	return func(root *types.Func) map[string]bool {
+		if m, ok := memo[root]; ok {
+			return m
+		}
+		out := make(map[string]bool)
+		seen := map[*types.Func]bool{root: true}
+		queue := []*types.Func{root}
+		for i := 0; i < len(queue); i++ {
+			fn := queue[i]
+			for c := range direct[fn] {
+				out[c] = true
+			}
+			for _, callee := range g.Callees(fn) {
+				if !seen[callee] {
+					seen[callee] = true
+					queue = append(queue, callee)
+				}
+			}
+		}
+		memo[root] = out
+		return out
+	}
+}
+
+func sortedClassSet(s map[string]bool) []string {
+	out := make([]string, 0, len(s))
+	for k := range s {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// classReaches reports whether to is reachable from fromStart in the
+// acquisition-order graph.
+func classReaches(adj map[string][]string, from, to string) bool {
+	if from == to {
+		return true
+	}
+	seen := map[string]bool{from: true}
+	queue := []string{from}
+	for i := 0; i < len(queue); i++ {
+		for _, next := range adj[queue[i]] {
+			if next == to {
+				return true
+			}
+			if !seen[next] {
+				seen[next] = true
+				queue = append(queue, next)
+			}
+		}
+	}
+	return false
+}

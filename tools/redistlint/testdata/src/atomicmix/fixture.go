@@ -1,0 +1,55 @@
+// Package atomicmix is a redistlint self-test fixture for the
+// mixed-atomic-access rule.
+package atomicmix
+
+import "sync/atomic"
+
+type counters struct {
+	hits  int64        // accessed via sync/atomic: every access must be
+	clean int64        // never touched atomically: plain access is fine
+	typed atomic.Int64 // the repo's standard: misuse is unrepresentable
+}
+
+func (c *counters) bump() {
+	atomic.AddInt64(&c.hits, 1)
+}
+
+// plainRead races with bump: the load can observe a torn or stale value
+// and the race detector only catches it when the interleaving occurs.
+func (c *counters) plainRead() int64 {
+	return c.hits // want `non-atomic access to field hits`
+}
+
+// atomicRead is the corrected form.
+func (c *counters) atomicRead() int64 {
+	return atomic.LoadInt64(&c.hits)
+}
+
+// plainOnly never mixes: silent.
+func (c *counters) plainOnly() {
+	c.clean++
+}
+
+// typedOnly uses the typed atomic: no address ever escapes to a plain
+// access, silent by construction.
+func (c *counters) typedOnly() int64 {
+	c.typed.Add(1)
+	return c.typed.Load()
+}
+
+var inFlight int64
+
+func incInFlight() {
+	atomic.AddInt64(&inFlight, 1)
+}
+
+func peekInFlight() int64 {
+	return inFlight // want `non-atomic access to variable inFlight`
+}
+
+// reset documents the one sanctioned plain write: before any goroutine
+// can see the struct.
+func (c *counters) reset() {
+	//redistlint:allow atomicmix fixture: pre-publication zeroing; no goroutine has the receiver yet
+	c.hits = 0
+}

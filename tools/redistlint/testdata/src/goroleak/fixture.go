@@ -1,0 +1,88 @@
+// Package goroleak is a redistlint self-test fixture for the
+// goroutine-join rule.
+package goroleak
+
+import (
+	"context"
+	"sync"
+)
+
+// leak spins a goroutine nothing can observe or stop.
+func leak() {
+	go func() { // want `go statement has no detectable join path`
+		for i := 0; i < 1<<20; i++ {
+			_ = i
+		}
+	}()
+}
+
+// waitgroupJoin is the canonical shape: Done inside (via the deferred
+// closure), Wait outside.
+func waitgroupJoin() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+	}()
+	wg.Wait()
+}
+
+// channelJoin signals completion by closing a channel.
+func channelJoin() {
+	done := make(chan struct{})
+	go func() {
+		close(done)
+	}()
+	<-done
+}
+
+// ctxJoin is a context-bounded loop: cancellable, hence joined.
+func ctxJoin(ctx context.Context) {
+	go func() {
+		for ctx.Err() == nil {
+		}
+	}()
+}
+
+// namedLeak launches a package function whose body has no join either;
+// the analyzer follows the declaration.
+func namedLeak() {
+	go spin() // want `go statement has no detectable join path`
+}
+
+func spin() {
+	for i := 0; i < 1<<20; i++ {
+		_ = i
+	}
+}
+
+// namedJoin follows the declaration and finds the channel range: the
+// goroutine ends when the channel closes.
+func namedJoin(ch chan int) {
+	go drain(ch)
+}
+
+func drain(ch chan int) {
+	for range ch {
+	}
+}
+
+// carrierArg: the callee is a function value (body out of reach), but a
+// context argument carries the join mechanism in.
+func carrierArg(ctx context.Context, fn func(context.Context)) {
+	go fn(ctx)
+}
+
+// valueLeak: a function value with no join-carrying argument is
+// unprovable, and reported.
+func valueLeak(fn func()) {
+	go fn() // want `go statement has no detectable join path`
+}
+
+// justified documents a deliberate fire-and-forget.
+func justified() {
+	//redistlint:allow goroleak fixture: fire-and-forget by design; lifetime bounded by process exit in this toy
+	go func() {
+		_ = 1
+	}()
+}

@@ -1,0 +1,54 @@
+// Package hotpathinterproc is a redistlint self-test fixture for the
+// interprocedural extension of the hotpath no-allocation contract.
+package hotpathinterproc
+
+type buf struct {
+	xs []int
+}
+
+//redistlint:hotpath
+func (b *buf) hotRoot(n int) {
+	b.step(n)
+	b.cleanStep(n)
+	b.justifiedStep(n)
+	b.hotLeaf(n)
+}
+
+// step is un-annotated but statically reachable from hotRoot: the
+// contract propagates to it.
+func (b *buf) step(n int) {
+	b.xs = append(b.xs, n) // want `append in step, reachable from hotpath function hotRoot`
+	b.deeper(n)
+}
+
+// deeper is two calls down from the annotation; still reported.
+func (b *buf) deeper(n int) {
+	s := make([]int, n) // want `make in deeper, reachable from hotpath function hotRoot`
+	_ = s
+}
+
+// cleanStep allocates nothing: reachable but silent.
+func (b *buf) cleanStep(n int) {
+	for i := range b.xs {
+		b.xs[i] = n
+	}
+}
+
+// justifiedStep carries the amortization argument.
+func (b *buf) justifiedStep(n int) {
+	//redistlint:allow hotpath-interproc fixture: capacity retained across runs, amortized zero allocations
+	b.xs = append(b.xs, n)
+}
+
+// hotLeaf is annotated itself: the per-function hotpath analyzer owns
+// it, so hotpath-interproc must NOT double-report its violations.
+//
+//redistlint:hotpath
+func (b *buf) hotLeaf(n int) {
+	b.xs = append(b.xs, n) // hotpath's finding, not hotpath-interproc's
+}
+
+// unreachable allocates but no hotpath function can reach it: silent.
+func (b *buf) unreachable(n int) []int {
+	return make([]int, n)
+}

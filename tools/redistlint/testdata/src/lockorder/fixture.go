@@ -1,0 +1,113 @@
+// Package lockorder is a redistlint self-test fixture for the mutex
+// acquisition-order rule.
+package lockorder
+
+import "sync"
+
+type store struct {
+	a sync.Mutex
+	b sync.Mutex
+	c sync.Mutex
+	d sync.Mutex
+	e sync.Mutex
+	f sync.Mutex
+	g sync.RWMutex
+}
+
+// abOrder and baOrder together form an AB/BA cycle: each inner
+// acquisition is one half of the deadlock and both are reported.
+func (s *store) abOrder() {
+	s.a.Lock()
+	s.b.Lock() // want `lock order cycle: lockorder\.store\.b acquired while holding lockorder\.store\.a`
+	s.b.Unlock()
+	s.a.Unlock()
+}
+
+func (s *store) baOrder() {
+	s.b.Lock()
+	s.a.Lock() // want `lock order cycle: lockorder\.store\.a acquired while holding lockorder\.store\.b`
+	s.a.Unlock()
+	s.b.Unlock()
+}
+
+// relock re-enters a lock it already holds: a guaranteed self-deadlock.
+func (s *store) relock() {
+	s.c.Lock()
+	s.c.Lock() // want `lock lockorder\.store\.c acquired while already held`
+	s.c.Unlock()
+	s.c.Unlock()
+}
+
+// lockedHelperCall holds c (the deferred unlock runs at return) and then
+// calls a helper whose transitive summary acquires c.
+func (s *store) lockedHelperCall() {
+	s.c.Lock()
+	defer s.c.Unlock()
+	s.touchC() // want `call to touchC acquires lock lockorder\.store\.c, which is already held`
+}
+
+func (s *store) touchC() {
+	s.c.Lock()
+	defer s.c.Unlock()
+}
+
+// consistentOne/consistentTwo take d before e everywhere: one global
+// order, no cycle, silent.
+func (s *store) consistentOne() {
+	s.d.Lock()
+	s.e.Lock()
+	s.e.Unlock()
+	s.d.Unlock()
+}
+
+func (s *store) consistentTwo() int {
+	s.d.Lock()
+	defer s.d.Unlock()
+	s.e.Lock()
+	defer s.e.Unlock()
+	return 0
+}
+
+// unlockThenCall releases before calling the helper: c is no longer held
+// at the call, so the transitive acquire is fine.
+func (s *store) unlockThenCall() {
+	s.c.Lock()
+	s.c.Unlock()
+	s.touchC()
+}
+
+// readThenWrite is the sanctioned RWMutex pairing: the read section
+// closes before the write section opens.
+func (s *store) readThenWrite() {
+	s.g.RLock()
+	s.g.RUnlock()
+	s.g.Lock()
+	s.g.Unlock()
+}
+
+// branchHeld locks f on only one path: the must-join at the merge point
+// clears it, so the helper call below is (by design) not reported — the
+// analysis only trusts locks held on EVERY path.
+func (s *store) branchHeld(cond bool) {
+	if cond {
+		s.f.Lock()
+		s.f.Unlock()
+	}
+	s.touchF()
+}
+
+func (s *store) touchF() {
+	s.f.Lock()
+	defer s.f.Unlock()
+}
+
+// relockJustified demonstrates a suppressed finding: the re-entry is
+// intentional here and carries the mandatory reason.
+func (s *store) relockJustified(never bool) {
+	s.f.Lock()
+	if never {
+		//redistlint:allow lockorder fixture: deliberately unreachable re-entry kept to exercise suppression
+		s.f.Lock()
+	}
+	s.f.Unlock()
+}

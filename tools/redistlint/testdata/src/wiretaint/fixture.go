@@ -1,0 +1,76 @@
+// Package wiretaint is a redistlint self-test fixture for the wire-input
+// taint rule.
+package wiretaint
+
+import (
+	"encoding/binary"
+	"io"
+
+	"redistgo/internal/bipartite"
+	"redistgo/internal/kpbs"
+	"redistgo/internal/wire"
+)
+
+// rawIntoGraph feeds undecoded payload bytes straight into graph
+// construction: every core call with a frame-derived argument fires.
+func rawIntoGraph(r io.Reader) (*bipartite.Graph, error) {
+	fr, err := wire.Read(r)
+	if err != nil {
+		return nil, err
+	}
+	n := int(binary.BigEndian.Uint32(fr.Payload))
+	g := bipartite.New(n, n)              // want `tainted wire payload reaches bipartite\.New`
+	g.AddEdge(0, 0, int64(fr.Payload[4])) // want `tainted wire payload reaches bipartite\.AddEdge`
+	return g, nil
+}
+
+// decodedClean is the sanctioned path: DecodeSolveReq validates the
+// payload, so everything derived from the request is clean.
+func decodedClean(r io.Reader) (*kpbs.Schedule, error) {
+	fr, err := wire.Read(r)
+	if err != nil {
+		return nil, err
+	}
+	req, err := wire.DecodeSolveReq(fr.Payload)
+	if err != nil {
+		return nil, err
+	}
+	g := req.Graph()
+	return kpbs.Solve(g, req.K, req.Beta, kpbs.Options{Algorithm: kpbs.GGP})
+}
+
+// overwritten: re-binding a tainted variable to a clean source kills the
+// taint (the analysis is flow-sensitive).
+func overwritten(fr wire.Frame, clean []byte) *bipartite.Graph {
+	b := fr.Payload
+	b = clean
+	g := bipartite.New(1, 1)
+	g.AddEdge(0, 0, int64(len(b)))
+	return g
+}
+
+// branchMay taints on only one path; the may-join keeps the taint, so
+// the sink still fires.
+func branchMay(fr wire.Frame, cond bool, clean []byte) {
+	b := clean
+	if cond {
+		b = fr.Payload
+	}
+	g := bipartite.New(1, 1)
+	g.AddEdge(0, 0, int64(len(b))) // want `tainted wire payload reaches bipartite\.AddEdge`
+}
+
+// pureLocal never touches the wire: silent.
+func pureLocal(n int) (*kpbs.Schedule, error) {
+	g := bipartite.New(n, n)
+	g.AddEdge(0, 0, 1)
+	return kpbs.SolveWRGP(g, false)
+}
+
+// lengthOnly forwards just the payload length; the operator has judged
+// that harmless (it is bounded at read time), and the allow records it.
+func lengthOnly(fr wire.Frame) *bipartite.Graph {
+	n := len(fr.Payload)
+	//redistlint:allow wiretaint fixture: only the payload length flows in, bounded by wire.MaxPayload at read time
+	return bipartite.New(n, n)
+}

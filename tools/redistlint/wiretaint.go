@@ -1,0 +1,342 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"redistgo/tools/redistlint/dataflow"
+)
+
+// wiretaintAnalyzer keeps raw network bytes out of the solver. A
+// wire.Frame is attacker-controlled until one of the wire package's
+// Decode* functions has validated it (node-count caps, length checks,
+// version gates live there), so values derived from a frame — the frame
+// itself, its Payload, anything computed from either — are tainted and
+// may not flow into the scheduling core: calls into
+// redistgo/internal/{bipartite,kpbs,engine}.
+//
+// The analysis is an intraprocedural may-analysis over the dataflow CFG:
+// a local variable is tainted when ANY path taints it (union at joins).
+// Sources are expressions of type wire.Frame (conservatively including
+// locally built frames — encoding helpers do not call into the solver,
+// so this costs nothing). Taint propagates through selectors, slices,
+// arithmetic, and calls to anything except the sanitizers (wire.Decode*
+// returns validated instances). Sinks are checked at every call whose
+// callee lives in a core package and receives a tainted argument.
+//
+// Limits: function literals are opaque (a closure capturing a frame is
+// not tracked); taint does not cross function boundaries (a helper that
+// forwards raw payload into the solver must be caught where the payload
+// enters it — keep such helpers taking decoded instances, not bytes).
+var wiretaintAnalyzer = &analyzer{
+	name: "wiretaint",
+	doc:  "wire.Frame-derived values must pass a wire Decode* before reaching bipartite/kpbs/engine",
+	run:  runWiretaint,
+}
+
+const wirePkgPath = "redistgo/internal/wire"
+
+// wiretaintSinkPkgs are the packages whose entry points must only see
+// validated data.
+var wiretaintSinkPkgs = map[string]bool{
+	"redistgo/internal/bipartite": true,
+	"redistgo/internal/kpbs":      true,
+	"redistgo/internal/engine":    true,
+}
+
+// taintSet is the may-analysis fact: locals holding frame-derived data.
+type taintSet map[*types.Var]bool
+
+func (t taintSet) with(v *types.Var) taintSet {
+	if t[v] {
+		return t
+	}
+	out := make(taintSet, len(t)+1)
+	for k := range t {
+		out[k] = true
+	}
+	out[v] = true
+	return out
+}
+
+func (t taintSet) without(v *types.Var) taintSet {
+	if !t[v] {
+		return t
+	}
+	out := make(taintSet, len(t))
+	for k := range t {
+		if k != v {
+			out[k] = true
+		}
+	}
+	return out
+}
+
+func runWiretaint(p *lintPackage) []finding {
+	var out []finding
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			fn, ok := d.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			out = append(out, wiretaintFunc(p, fn)...)
+		}
+	}
+	return out
+}
+
+func wiretaintFunc(p *lintPackage, fn *ast.FuncDecl) []finding {
+	// Parameters of type wire.Frame start tainted; everything else starts
+	// clean (Frame-typed expressions re-taint on use anyway).
+	entry := taintSet{}
+	cfg := dataflow.New(fn.Body)
+	in := cfg.Solve(dataflow.Analysis{
+		Entry: entry,
+		Transfer: func(b *dataflow.Block, in dataflow.Fact) dataflow.Fact {
+			t := in.(taintSet)
+			for _, n := range b.Nodes {
+				t = taintTransfer(p, n, t)
+			}
+			return t
+		},
+		Join: func(a, b dataflow.Fact) dataflow.Fact {
+			ta, tb := a.(taintSet), b.(taintSet)
+			out := make(taintSet, len(ta)+len(tb))
+			for k := range ta {
+				out[k] = true
+			}
+			for k := range tb {
+				out[k] = true
+			}
+			return out
+		},
+		Equal: func(a, b dataflow.Fact) bool {
+			ta, tb := a.(taintSet), b.(taintSet)
+			if len(ta) != len(tb) {
+				return false
+			}
+			for k := range ta {
+				if !tb[k] {
+					return false
+				}
+			}
+			return true
+		},
+	})
+
+	var out []finding
+	for _, b := range cfg.ReachableBlocks(in) {
+		t := in[b].(taintSet)
+		for _, n := range b.Nodes {
+			out = append(out, taintSinksInNode(p, n, t)...)
+			t = taintTransfer(p, n, t)
+		}
+	}
+	return out
+}
+
+// taintTransfer applies one CFG node to the taint fact: assignments and
+// declarations move taint between locals; a range header taints its
+// key/value when the ranged expression is tainted.
+func taintTransfer(p *lintPackage, n ast.Node, t taintSet) taintSet {
+	switch s := n.(type) {
+	case *ast.AssignStmt:
+		if len(s.Lhs) == len(s.Rhs) {
+			for i, lhs := range s.Lhs {
+				t = assignTaint(p, lhs, exprTainted(p, s.Rhs[i], t), t)
+			}
+		} else if len(s.Rhs) == 1 {
+			tainted := exprTainted(p, s.Rhs[0], t)
+			for _, lhs := range s.Lhs {
+				t = assignTaint(p, lhs, tainted, t)
+			}
+		}
+	case *ast.DeclStmt:
+		gd, ok := s.Decl.(*ast.GenDecl)
+		if !ok {
+			return t
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			for i, name := range vs.Names {
+				tainted := false
+				if len(vs.Values) == len(vs.Names) {
+					tainted = exprTainted(p, vs.Values[i], t)
+				} else if len(vs.Values) == 1 {
+					tainted = exprTainted(p, vs.Values[0], t)
+				}
+				t = assignTaint(p, name, tainted, t)
+			}
+		}
+	case *ast.RangeStmt:
+		tainted := exprTainted(p, s.X, t)
+		for _, e := range []ast.Expr{s.Key, s.Value} {
+			if e != nil {
+				t = assignTaint(p, e, tainted, t)
+			}
+		}
+	}
+	return t
+}
+
+func assignTaint(p *lintPackage, lhs ast.Expr, tainted bool, t taintSet) taintSet {
+	id, ok := ast.Unparen(lhs).(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return t
+	}
+	obj := p.Info.Defs[id]
+	if obj == nil {
+		obj = p.Info.Uses[id]
+	}
+	v, ok := obj.(*types.Var)
+	if !ok {
+		return t
+	}
+	if tainted {
+		return t.with(v)
+	}
+	return t.without(v)
+}
+
+// exprTainted reports whether e may carry frame-derived data under fact
+// t. Sanitizer calls cut propagation; Frame-typed expressions source it.
+func exprTainted(p *lintPackage, e ast.Expr, t taintSet) bool {
+	if e == nil {
+		return false
+	}
+	switch e := e.(type) {
+	case *ast.CallExpr:
+		if isWireSanitizer(p, e) {
+			return false
+		}
+		if tv, ok := p.Info.Types[e]; ok && typeContainsFrame(tv.Type) {
+			return true
+		}
+		if se, ok := ast.Unparen(e.Fun).(*ast.SelectorExpr); ok && exprTainted(p, se.X, t) {
+			return true
+		}
+		for _, arg := range e.Args {
+			if exprTainted(p, arg, t) {
+				return true
+			}
+		}
+		return false
+	case *ast.FuncLit:
+		return false
+	case *ast.Ident:
+		if v, ok := p.Info.Uses[e].(*types.Var); ok && t[v] {
+			return true
+		}
+	}
+	if tv, ok := p.Info.Types[e]; ok && typeContainsFrame(tv.Type) {
+		return true
+	}
+	tainted := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if tainted {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			// Recurse so nested sanitizer calls stay clean.
+			if exprTainted(p, n, t) {
+				tainted = true
+			}
+			return false
+		case *ast.Ident:
+			if v, ok := p.Info.Uses[n].(*types.Var); ok && t[v] {
+				tainted = true
+			}
+			if tv, ok := p.Info.Types[n]; ok && typeContainsFrame(tv.Type) {
+				tainted = true
+			}
+		}
+		return !tainted
+	})
+	return tainted
+}
+
+// taintSinksInNode reports calls in n that hand tainted values to a core
+// package. Defer and go arguments are evaluated at the statement, so
+// both are checked; closures are not entered.
+func taintSinksInNode(p *lintPackage, n ast.Node, t taintSet) []finding {
+	if rs, ok := n.(*ast.RangeStmt); ok {
+		n = rs.X
+	}
+	var out []finding
+	ast.Inspect(n, func(m ast.Node) bool {
+		if _, ok := m.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := m.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sink := sinkCallee(p, call)
+		if sink == "" {
+			return true
+		}
+		for _, arg := range call.Args {
+			if exprTainted(p, arg, t) {
+				out = append(out, finding{
+					Pos:      p.Fset.Position(call.Pos()),
+					Analyzer: "wiretaint",
+					Message:  fmt.Sprintf("tainted wire payload reaches %s without passing a wire Decode* validator", sink),
+				})
+				break
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// sinkCallee returns "pkg.Func" when call targets a core package, else "".
+func sinkCallee(p *lintPackage, call *ast.CallExpr) string {
+	fn := dataflow.StaticCallee(p.Info, call)
+	if fn == nil || fn.Pkg() == nil || !wiretaintSinkPkgs[fn.Pkg().Path()] {
+		return ""
+	}
+	return fn.Pkg().Name() + "." + fn.Name()
+}
+
+// isWireSanitizer matches calls to the wire package's Decode* validators.
+func isWireSanitizer(p *lintPackage, call *ast.CallExpr) bool {
+	fn := dataflow.StaticCallee(p.Info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	return fn.Pkg().Path() == wirePkgPath && strings.HasPrefix(fn.Name(), "Decode")
+}
+
+// typeContainsFrame reports whether t is wire.Frame (by value, pointer,
+// slice, or array).
+func typeContainsFrame(t types.Type) bool {
+	switch u := t.(type) {
+	case *types.Pointer:
+		return typeContainsFrame(u.Elem())
+	case *types.Slice:
+		return typeContainsFrame(u.Elem())
+	case *types.Array:
+		return typeContainsFrame(u.Elem())
+	case *types.Tuple:
+		for i := 0; i < u.Len(); i++ {
+			if typeContainsFrame(u.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	case *types.Named:
+		obj := u.Obj()
+		return obj.Pkg() != nil && obj.Pkg().Path() == wirePkgPath && obj.Name() == "Frame"
+	}
+	return false
+}
