@@ -7,9 +7,9 @@
 GO ?= go
 BENCH_COUNT ?= 5
 
-.PHONY: check lint vet build test race race-obs bench-smoke bench bench-compare bench-compare-smoke bench-shard bench-shard-smoke bench-bitset bench-bitset-smoke fuzz-smoke trace-demo soak-smoke
+.PHONY: check lint vet build test race race-obs bench-smoke bench bench-compare bench-compare-smoke bench-shard bench-shard-smoke bench-bitset bench-bitset-smoke fuzz-smoke trace-demo soak-smoke soak-obs-smoke
 
-check: lint build race race-obs bench-smoke bench-compare-smoke bench-shard-smoke bench-bitset-smoke soak-smoke
+check: lint build race race-obs bench-smoke bench-compare-smoke bench-shard-smoke bench-bitset-smoke soak-smoke soak-obs-smoke
 
 # Static gate: formatting, go vet, and the project linter (see
 # tools/redistlint and the "Enforced invariants" section of DESIGN.md).
@@ -142,6 +142,17 @@ trace-demo:
 # protocol error, or unclean drain.
 soak-smoke:
 	$(GO) run ./cmd/redist-soak -spawn -clients 4 -requests 10 -n 10
+
+# The observability variant of soak-smoke: trace contexts on every
+# request (server must echo each trace id and report handling time), the
+# live endpoint bound (the soak binary scrapes its own /metrics and
+# validates the Prometheus exposition before exiting), and a Chrome
+# trace written on shutdown, which must be non-empty — the per-request
+# span pipeline proven end to end over real loopback TCP.
+soak-obs-smoke:
+	$(GO) run ./cmd/redist-soak -spawn -clients 8 -requests 10 -n 10 -tracectx -obs :0 -trace soak_obs_trace.json
+	@sh -c 'test -s soak_obs_trace.json || { echo "soak-obs-smoke: empty trace file"; exit 1; }'
+	rm -f soak_obs_trace.json
 
 # Short actual fuzzing session of the solver pipeline and the batch
 # engine differential (seed corpora are always replayed by `make race`).

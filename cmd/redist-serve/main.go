@@ -17,9 +17,11 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 	"os/signal"
 	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -60,6 +62,22 @@ func envOrFloat(key string, def float64) float64 {
 	return v
 }
 
+// parseLogLevel maps the -log-level flag value onto a slog.Level.
+func parseLogLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(s) {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "info":
+		return slog.LevelInfo, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	default:
+		return 0, fmt.Errorf("unknown log level %q (want debug, info, warn or error)", s)
+	}
+}
+
 func run(args []string, stdout io.Writer) (err error) {
 	fs := flag.NewFlagSet("redist-serve", flag.ContinueOnError)
 	addr := fs.String("addr", envOr("ADDR", "127.0.0.1:0"), "TCP listen address (env REDIST_SERVE_ADDR)")
@@ -73,10 +91,16 @@ func run(args []string, stdout io.Writer) (err error) {
 	maxNodes := fs.Int("max-nodes", envOrInt("MAX_NODES", 0), "cap on each side of a requested instance; 0 keeps the codec bound only (env REDIST_SERVE_MAX_NODES)")
 	shard := fs.String("shard", envOr("SHARD", "auto"), "component sharding for served solves: off, auto or on (env REDIST_SERVE_SHARD)")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight solves before closing sessions")
+	logLevel := fs.String("log-level", envOr("LOG_LEVEL", "info"), "structured log verbosity: debug, info, warn or error (env REDIST_SERVE_LOG_LEVEL)")
 	obsFlags := obsflag.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	lvl, err := parseLogLevel(*logLevel)
+	if err != nil {
+		return err
+	}
+	logger := slog.New(slog.NewTextHandler(stdout, &slog.HandlerOptions{Level: lvl}))
 	observer, obsFinish, err := obsFlags.Start(stdout)
 	if err != nil {
 		return err
@@ -103,10 +127,12 @@ func run(args []string, stdout io.Writer) (err error) {
 		MaxNodes:    *maxNodes,
 		Shard:       shardMode,
 		Obs:         observer,
+		Log:         logger,
 	})
 	if err != nil {
 		return err
 	}
+	obsFlags.SetReady(true)
 	fmt.Fprintf(stdout, "redist-serve listening on %s\n", srv.Addr())
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
@@ -115,6 +141,7 @@ func run(args []string, stdout io.Writer) (err error) {
 	stop() // a second signal kills immediately instead of re-draining
 
 	fmt.Fprintf(stdout, "redist-serve draining (up to %s)...\n", *drainTimeout)
+	obsFlags.SetReady(false)
 	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
 	if err := srv.Shutdown(drainCtx); err != nil {

@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"net/http"
 	"os"
 	"sync"
 	"time"
@@ -30,6 +31,7 @@ import (
 	"redistgo"
 	"redistgo/internal/bipartite"
 	"redistgo/internal/kpbs"
+	"redistgo/internal/obs"
 	"redistgo/internal/obsflag"
 	"redistgo/internal/serve"
 	"redistgo/internal/tokenbucket"
@@ -44,12 +46,18 @@ func main() {
 	}
 }
 
-// clientStats is one session's tally, merged into the final report.
+// clientStats is one session's tally, merged into the final report. The
+// latency histograms are populated only with -tracectx: rttUS is the
+// client-observed round trip, serverUS the handling time the server
+// echoed in the response's trace context — their gap is the wire.
 type clientStats struct {
-	ok       int
-	rejects  map[string]int
-	mismatch int
-	fatal    error
+	ok        int
+	rejects   map[string]int
+	mismatch  int
+	traceErrs int
+	fatal     error
+	rttUS     *obs.Histogram
+	serverUS  *obs.Histogram
 }
 
 func run(args []string, stdout io.Writer) (err error) {
@@ -67,6 +75,7 @@ func run(args []string, stdout io.Writer) (err error) {
 	spawnGlobalRate := fs.Float64("spawn-global-rate", 0, "with -spawn: service-wide admission requests/s (exercises over-quota rejects)")
 	spawnTenantRate := fs.Float64("spawn-tenant-rate", 0, "with -spawn: per-tenant admission requests/s")
 	spawnWorkers := fs.Int("spawn-workers", 0, "with -spawn: solver pool size; 0 means GOMAXPROCS")
+	tracectx := fs.Bool("tracectx", false, "attach a trace context to every request, verify the server echoes it, and print an end-of-run per-tenant SLO summary")
 	obsFlags := obsflag.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -118,19 +127,21 @@ func run(args []string, stdout io.Writer) (err error) {
 			defer wg.Done()
 			stats[ci] = soakClient(target, int32(ci+1), soakParams{
 				requests: *requests, rate: *rate, n: *n, k: *k, beta: *beta,
-				shard: shardMode, rng: rand.New(rand.NewSource(*seed + int64(ci)*7919)),
+				shard: shardMode, trace: *tracectx,
+				rng: rand.New(rand.NewSource(*seed + int64(ci)*7919)),
 			})
 		}(ci)
 	}
 	wg.Wait()
 
-	ok, mismatches := 0, 0
+	ok, mismatches, traceErrs := 0, 0, 0
 	rejects := map[string]int{}
 	var fatal error
 	for ci, st := range stats {
 		ok += st.ok
 		mismatch := st.mismatch
 		mismatches += mismatch
+		traceErrs += st.traceErrs
 		for code, c := range st.rejects {
 			rejects[code] += c
 		}
@@ -139,6 +150,15 @@ func run(args []string, stdout io.Writer) (err error) {
 		}
 	}
 	fmt.Fprintf(stdout, "verified %d responses byte-identical, %d mismatches, rejects: %v\n", ok, mismatches, rejects)
+	if *tracectx {
+		printSLOSummary(stdout, stats)
+	}
+
+	if ep := obsFlags.Endpoint(); ep != "" {
+		if serr := scrapeMetrics(stdout, ep); serr != nil && err == nil {
+			err = serr
+		}
+	}
 
 	if srv != nil {
 		drainCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
@@ -154,9 +174,57 @@ func run(args []string, stdout io.Writer) (err error) {
 	if mismatches > 0 {
 		return fmt.Errorf("%d responses diverged from the local solve", mismatches)
 	}
+	if traceErrs > 0 {
+		return fmt.Errorf("%d responses carried a wrong or missing trace context echo", traceErrs)
+	}
 	if ok == 0 && len(rejects) == 0 {
 		return fmt.Errorf("no responses verified")
 	}
+	return nil
+}
+
+// printSLOSummary renders the per-tenant latency quantiles gathered under
+// -tracectx: the client-observed round trip, the server's own handling
+// time (echoed in the trace context), and the gap between their p50s —
+// wire plus queueing outside the server's clock.
+func printSLOSummary(w io.Writer, stats []clientStats) {
+	fmt.Fprintln(w, "per-tenant SLO summary (µs):")
+	fmt.Fprintf(w, "  %-7s %8s %8s %8s %8s %8s %8s %8s %10s\n",
+		"tenant", "count", "rtt_p50", "rtt_p95", "rtt_p99", "srv_p50", "srv_p95", "srv_p99", "delta_p50")
+	for ci, st := range stats {
+		if st.rttUS.Count() == 0 {
+			continue
+		}
+		rtt50 := st.rttUS.Quantile(0.5)
+		srv50 := st.serverUS.Quantile(0.5)
+		fmt.Fprintf(w, "  %-7d %8d %8d %8d %8d %8d %8d %8d %9d\n",
+			ci+1, st.rttUS.Count(),
+			rtt50, st.rttUS.Quantile(0.95), st.rttUS.Quantile(0.99),
+			srv50, st.serverUS.Quantile(0.95), st.serverUS.Quantile(0.99),
+			rtt50-srv50)
+	}
+}
+
+// scrapeMetrics fetches /metrics from the obs endpoint and fails on
+// anything that is not well-formed Prometheus text exposition — the soak
+// doubles as the smoke test for the exposition path.
+func scrapeMetrics(w io.Writer, endpoint string) error {
+	resp, err := http.Get("http://" + endpoint + "/metrics")
+	if err != nil {
+		return fmt.Errorf("metrics scrape: %w", err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return fmt.Errorf("metrics scrape: %w", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("metrics scrape: status %d", resp.StatusCode)
+	}
+	if err := obs.ValidatePrometheus(string(body)); err != nil {
+		return fmt.Errorf("metrics scrape: %w", err)
+	}
+	fmt.Fprintf(w, "metrics scrape ok: %d bytes of valid Prometheus exposition\n", len(body))
 	return nil
 }
 
@@ -167,13 +235,18 @@ type soakParams struct {
 	k        int
 	beta     int64
 	shard    kpbs.ShardMode
+	trace    bool
 	rng      *rand.Rand
 }
 
 // soakClient runs one tenant session to completion. Refusals (quota,
 // busy) are counted, not fatal: a throttled soak is a working soak.
 func soakClient(addr string, tenant int32, p soakParams) clientStats {
-	st := clientStats{rejects: map[string]int{}}
+	st := clientStats{
+		rejects:  map[string]int{},
+		rttUS:    obs.NewHistogram(obs.DurationBuckets),
+		serverUS: obs.NewHistogram(obs.DurationBuckets),
+	}
 	var pace *tokenbucket.Limiter
 	if p.rate > 0 {
 		if l, err := tokenbucket.New(p.rate, 1); err == nil {
@@ -210,7 +283,17 @@ func soakClient(addr string, tenant int32, p soakParams) clientStats {
 			ID: uint64(i + 1), K: p.k, Beta: p.beta, Algorithm: alg,
 			N1: g.LeftCount(), N2: g.RightCount(), Edges: g.Edges(),
 		}
-		_, raw, err := cl.Solve(req)
+		if p.trace {
+			// Trace ids come from the client's own deterministic stream; the
+			// send timestamp is stamped by SolveFull at write time.
+			_, _ = p.rng.Read(req.Trace.ID[:]) // math/rand Read never fails
+			if req.Trace.Zero() {              // astronomically unlikely, but Zero means "untraced"
+				req.Trace.ID[0] = 1
+			}
+		}
+		t0 := time.Now()
+		resp, raw, err := cl.SolveFull(req)
+		rtt := time.Since(t0)
 		var rej *serve.RejectError
 		switch {
 		case errors.As(err, &rej):
@@ -220,12 +303,26 @@ func soakClient(addr string, tenant int32, p soakParams) clientStats {
 			st.fatal = fmt.Errorf("request %d: %w", i+1, err)
 			return st
 		}
+		if p.trace {
+			// The response must echo the request's trace id, with TS rewritten
+			// to the server's handling time.
+			if resp.Trace.ID != req.Trace.ID {
+				st.traceErrs++
+				continue
+			}
+			st.rttUS.Observe(rtt.Microseconds())
+			st.serverUS.Observe(resp.Trace.TS)
+		}
 		local, err := kpbs.Solve(g, p.k, p.beta, kpbs.Options{Algorithm: alg, Shard: p.shard})
 		if err != nil {
 			st.fatal = fmt.Errorf("request %d: local solve: %w", i+1, err)
 			return st
 		}
-		want, err := wire.EncodeSolveResp(req.ID, local)
+		// Re-encode the local solve under the echoed trace context: the
+		// codec is injective given (id, schedule, trace), so byte equality
+		// still proves the served schedule identical even though the
+		// server's handling-time stamp is unpredictable.
+		want, err := wire.EncodeSolveResp(req.ID, local, resp.Trace)
 		if err != nil {
 			st.fatal = fmt.Errorf("request %d: local encode: %w", i+1, err)
 			return st

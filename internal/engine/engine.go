@@ -27,6 +27,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"redistgo/internal/bipartite"
 	"redistgo/internal/kpbs"
@@ -45,9 +46,17 @@ type Instance struct {
 
 // Result is the outcome for the instance at the same index of the batch:
 // exactly one of Schedule and Err is non-nil.
+//
+// Wait and Solve are the job's measured pool-queue wait and solve time.
+// They are populated only by an observed Pool (PoolOptions.Obs non-nil) —
+// the durations come from the observer's spans, keeping the engine itself
+// clock-free under the determinism lint — and are always zero for
+// SolveBatch results and unobserved pools.
 type Result struct {
 	Schedule *kpbs.Schedule
 	Err      error
+	Wait     time.Duration
+	Solve    time.Duration
 }
 
 // Options configure SolveBatch.

@@ -70,12 +70,15 @@ var ErrPoolClosed = errors.New("engine: pool closed")
 var ErrQueueFull = errors.New("engine: pool queue full")
 
 // poolJob is one queued solve: the instance, the submitter's context
-// (checked again when a worker picks the job up), and the buffered result
-// channel the outcome is delivered on.
+// (checked again when a worker picks the job up), the buffered result
+// channel the outcome is delivered on, and the queue-wait span opened at
+// submission (before the channel send — a worker may claim the job the
+// instant it lands in the buffer).
 type poolJob struct {
 	inst   Instance
 	ctx    context.Context
 	result chan Result
+	wait   obs.WaitSpan
 }
 
 // NewPool starts the workers and returns the running pool. Release with
@@ -130,13 +133,14 @@ func (p *Pool) worker(w int) {
 // buffered, so delivery never blocks a worker on a departed submitter.
 func (p *Pool) run(w int, job poolJob) {
 	if err := job.ctx.Err(); err != nil {
-		p.obs.Abandon()
+		job.wait.Abandon()
 		job.result <- Result{Err: err}
 		return
 	}
-	sp := p.obs.Dequeue(w)
+	sp, wait := job.wait.Dequeue(w)
 	res := solveOne(job.inst, p.defObs, p.shard)
-	sp.Done(res.Err)
+	res.Wait = wait
+	res.Solve = sp.Done(res.Err)
 	job.result <- res
 }
 
@@ -148,7 +152,7 @@ func (p *Pool) TrySubmit(ctx context.Context, inst Instance) (<-chan Result, err
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	job := poolJob{inst: inst, ctx: ctx, result: make(chan Result, 1)}
+	job := poolJob{inst: inst, ctx: ctx, result: make(chan Result, 1), wait: p.obs.StartWait()}
 	// The read lock excludes the closed-flag flip, so a job admitted here
 	// is either processed by a draining worker or failed by Close's final
 	// sweep — never silently dropped.
@@ -179,7 +183,7 @@ func (p *Pool) Submit(ctx context.Context, inst Instance) Result {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	job := poolJob{inst: inst, ctx: ctx, result: make(chan Result, 1)}
+	job := poolJob{inst: inst, ctx: ctx, result: make(chan Result, 1), wait: p.obs.StartWait()}
 	p.mu.RLock()
 	if p.closed {
 		p.mu.RUnlock()

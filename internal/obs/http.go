@@ -16,15 +16,38 @@ import (
 // listener; in-flight requests are abandoned (the endpoint is a debug
 // surface, not a service).
 type Server struct {
-	ln  net.Listener
-	srv *http.Server
+	ln    net.Listener
+	srv   *http.Server
+	ready atomic.Bool
+
+	closeOnce sync.Once
+	closeErr  error
 }
 
 // Addr returns the bound address, e.g. "127.0.0.1:6060".
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
-// Close shuts the endpoint down. Safe to call twice.
-func (s *Server) Close() error { return s.srv.Close() }
+// SetReady flips what /readyz reports. Servers start not-ready; the
+// daemon marks itself ready once its accept loop is up and not-ready
+// again when shutdown begins, so a load balancer drains before the
+// listener disappears.
+func (s *Server) SetReady(ok bool) {
+	if s == nil {
+		return
+	}
+	s.ready.Store(ok)
+}
+
+// Close shuts the endpoint down. Idempotent and safe to call from
+// multiple goroutines concurrently — also concurrently with in-flight
+// handlers, which http.Server.Close abandons.
+func (s *Server) Close() error {
+	s.closeOnce.Do(func() {
+		s.ready.Store(false)
+		s.closeErr = s.srv.Close()
+	})
+	return s.closeErr
+}
 
 // published is the registry expvar reads from. expvar.Publish is global
 // and panics on re-registration, so the "redistgo" var is published once
@@ -43,8 +66,11 @@ var (
 // Routes:
 //
 //	/              plain-text index
-//	/metrics       registry snapshot, sorted "name value" lines
+//	/metrics       Prometheus text exposition format 0.0.4
+//	/metrics.txt   registry snapshot, sorted "name value" lines
 //	/metrics.json  registry snapshot as JSON
+//	/healthz       liveness: 200 while the process serves requests
+//	/readyz        readiness: 200 only after SetReady(true)
 //	/debug/vars    standard expvar (memstats, cmdline) + "redistgo"
 //	/debug/trace   the trace so far, Chrome trace_event JSON
 //	/debug/pprof/  the standard pprof handlers
@@ -62,6 +88,7 @@ func Serve(addr string, o *Observer) (*Server, error) {
 		}))
 	})
 
+	s := &Server{}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Path != "/" {
@@ -69,15 +96,32 @@ func Serve(addr string, o *Observer) (*Server, error) {
 			return
 		}
 		fmt.Fprint(w, "redistgo observability endpoint\n\n"+
-			"/metrics       counters and gauges, plain text\n"+
+			"/metrics       Prometheus text format (with per-tenant SLO series)\n"+
+			"/metrics.txt   counters and gauges, plain text\n"+
 			"/metrics.json  full snapshot with histograms, JSON\n"+
+			"/healthz       liveness probe\n"+
+			"/readyz        readiness probe\n"+
 			"/debug/vars    expvar (includes the redistgo snapshot)\n"+
 			"/debug/trace   Chrome trace_event JSON (load in chrome://tracing)\n"+
 			"/debug/pprof/  pprof profiles\n")
 	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = WritePrometheus(w, o) // client went away; nothing to report to
+	})
+	mux.HandleFunc("/metrics.txt", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprint(w, o.Metrics.Snapshot().String())
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, _ *http.Request) {
+		if !s.ready.Load() {
+			http.Error(w, "not ready", http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprintln(w, "ok")
 	})
 	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
@@ -99,7 +143,7 @@ func Serve(addr string, o *Observer) (*Server, error) {
 	if err != nil {
 		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
 	}
-	s := &Server{ln: ln, srv: &http.Server{Handler: mux}}
+	s.ln, s.srv = ln, &http.Server{Handler: mux}
 	go func() {
 		_ = s.srv.Serve(ln) // returns http.ErrServerClosed on Close
 	}()

@@ -107,6 +107,12 @@ func newHistogram(bounds []int64) *Histogram {
 	return &Histogram{bounds: b, buckets: make([]atomic.Int64, len(b)+1)}
 }
 
+// NewHistogram builds a standalone histogram with the given strictly
+// increasing upper bounds, not attached to any Registry. Per-tenant SLO
+// slots use these so that tenant cardinality never leaks into registry
+// metric names (the tenant id becomes a Prometheus label instead).
+func NewHistogram(bounds []int64) *Histogram { return newHistogram(bounds) }
+
 // Observe records one value. No-op on a nil histogram.
 func (h *Histogram) Observe(v int64) {
 	if h == nil {
@@ -151,6 +157,69 @@ func (h *Histogram) snapshot() []int64 {
 		out[i] = h.buckets[i].Load()
 	}
 	return out
+}
+
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) of the observed values by
+// linear interpolation inside the bucket containing the target rank.
+// Bucket i spans (bounds[i-1], bounds[i]] with a lower edge of 0 for the
+// first bucket; ranks landing in the +Inf overflow bucket clamp to the
+// last finite bound. Returns 0 for a nil or empty histogram. The estimate
+// is read from a racy multi-word snapshot, which is fine for monitoring.
+func (h *Histogram) Quantile(q float64) int64 {
+	if h == nil {
+		return 0
+	}
+	return quantile(q, h.bounds, h.snapshot())
+}
+
+// Quantile estimates the q-quantile of a frozen histogram; see
+// (*Histogram).Quantile for the interpolation rules.
+func (s HistogramSnapshot) Quantile(q float64) int64 {
+	return quantile(q, s.Bounds, s.Buckets)
+}
+
+func quantile(q float64, bounds []int64, buckets []int64) int64 {
+	var total int64
+	for _, c := range buckets {
+		total += c
+	}
+	if total == 0 || len(bounds) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	// rank is the 1-based index of the target observation under the usual
+	// nearest-rank-with-interpolation convention.
+	rank := q * float64(total)
+	if rank < 1 {
+		rank = 1
+	}
+	var seen float64
+	for i, c := range buckets {
+		if c == 0 {
+			continue
+		}
+		if seen+float64(c) < rank {
+			seen += float64(c)
+			continue
+		}
+		if i >= len(bounds) {
+			// +Inf overflow bucket: no upper edge to interpolate toward.
+			return bounds[len(bounds)-1]
+		}
+		lo := int64(0)
+		if i > 0 {
+			lo = bounds[i-1]
+		}
+		hi := bounds[i]
+		frac := (rank - seen) / float64(c)
+		return lo + int64(frac*float64(hi-lo))
+	}
+	return bounds[len(bounds)-1]
 }
 
 // Registry names and owns the metrics of one process (or one test). All

@@ -25,6 +25,8 @@ type Observer struct {
 	cluster *ClusterObs
 	pool    *PoolObs
 	serve   *ServeObs
+	spans   *SpanRecorder
+	tenants *TenantObs
 	solveID atomic.Int64
 }
 
@@ -453,7 +455,7 @@ type PoolObs struct {
 	tr                         *Trace
 	submitted, completed, errs *Counter
 	queueDepth, active         *Gauge
-	jobUS                      *Histogram
+	jobUS, waitUS              *Histogram
 }
 
 // Pool returns the solver-pool view, resolving its metrics on first use.
@@ -473,9 +475,21 @@ func (o *Observer) Pool() *PoolObs {
 			queueDepth: o.Metrics.Gauge("engine.pool.queue_depth"),
 			active:     o.Metrics.Gauge("engine.pool.workers_active"),
 			jobUS:      o.Metrics.Histogram("engine.pool.job_us", DurationBuckets),
+			waitUS:     o.Metrics.Histogram("engine.pool.queue_wait_us", DurationBuckets),
 		}
 	}
 	return o.pool
+}
+
+// StartWait opens the queue-wait clock for a job about to be submitted.
+// The caller stores the WaitSpan in the job *before* handing it to the
+// queue (a worker may claim it immediately) and calls Enqueue only once
+// the hand-off succeeded, so a full queue never counts a phantom job.
+func (p *PoolObs) StartWait() WaitSpan {
+	if p == nil {
+		return WaitSpan{}
+	}
+	return WaitSpan{p: p, span: p.tr.StartSpan("engine", "pool wait", PIDEngine, 0)}
 }
 
 // Enqueue accounts for a job entering the pool's queue.
@@ -487,25 +501,37 @@ func (p *PoolObs) Enqueue() {
 	p.queueDepth.Add(1)
 }
 
-// Dequeue opens the span of a job a worker just claimed.
-func (p *PoolObs) Dequeue(worker int) JobSpan {
-	if p == nil {
-		return JobSpan{}
+// WaitSpan times one job's stay in the pool queue, from StartWait to the
+// moment a worker claims it (Dequeue) or the pool gives up on it
+// (Abandon). The zero value discards everything.
+type WaitSpan struct {
+	p    *PoolObs
+	span Span
+}
+
+// Dequeue closes the wait — a worker claimed the job — and opens the job's
+// execution span. Returns the measured queue wait so the caller can thread
+// it into the job's Result without reading a clock itself.
+func (w WaitSpan) Dequeue(worker int) (JobSpan, time.Duration) {
+	if w.p == nil {
+		return JobSpan{}, 0
 	}
-	p.queueDepth.Add(-1)
-	p.active.Add(1)
-	return JobSpan{p: p, span: p.tr.StartSpan("engine", "pool job", PIDEngine, worker+1)}
+	wait := w.span.Elapsed()
+	w.p.waitUS.Observe(wait.Microseconds())
+	w.p.queueDepth.Add(-1)
+	w.p.active.Add(1)
+	return JobSpan{p: w.p, span: w.p.tr.StartSpan("engine", "pool job", PIDEngine, worker+1)}, wait
 }
 
 // Abandon accounts for a queued job that no worker will run (the pool is
 // closing or the submitter's context expired first).
-func (p *PoolObs) Abandon() {
-	if p == nil {
+func (w WaitSpan) Abandon() {
+	if w.p == nil {
 		return
 	}
-	p.queueDepth.Add(-1)
-	p.completed.Inc()
-	p.errs.Inc()
+	w.p.queueDepth.Add(-1)
+	w.p.completed.Inc()
+	w.p.errs.Inc()
 }
 
 // JobSpan times one pool job on one worker. The zero value (what a nil
@@ -515,10 +541,11 @@ type JobSpan struct {
 	span Span
 }
 
-// Done closes the job span with its outcome.
-func (sp JobSpan) Done(err error) {
+// Done closes the job span with its outcome and returns the measured solve
+// time (0 when unobserved).
+func (sp JobSpan) Done(err error) time.Duration {
 	if sp.p == nil {
-		return
+		return 0
 	}
 	sp.p.active.Add(-1)
 	sp.p.completed.Inc()
@@ -527,8 +554,10 @@ func (sp JobSpan) Done(err error) {
 		sp.p.errs.Inc()
 		failed = 1
 	}
-	sp.p.jobUS.Observe(sp.span.Elapsed().Microseconds())
+	solve := sp.span.Elapsed()
+	sp.p.jobUS.Observe(solve.Microseconds())
 	sp.span.End([]Arg{{"err", failed}})
+	return solve
 }
 
 // ---------------------------------------------------------------------------
@@ -546,6 +575,7 @@ type ServeObs struct {
 	rejects, protoErrs, readErrs  *Counter
 	sessionsActive, tenantsActive *Gauge
 	requestUS                     *Histogram
+	queueWaitUS, solveUS          *Histogram
 }
 
 // Serve returns the service view, resolving its metrics on first use.
@@ -569,9 +599,23 @@ func (o *Observer) Serve() *ServeObs {
 			sessionsActive: o.Metrics.Gauge("serve.sessions_active"),
 			tenantsActive:  o.Metrics.Gauge("serve.tenants_known"),
 			requestUS:      o.Metrics.Histogram("serve.request_us", DurationBuckets),
+			queueWaitUS:    o.Metrics.Histogram("serve.queue_wait_us", DurationBuckets),
+			solveUS:        o.Metrics.Histogram("serve.solve_us", DurationBuckets),
 		}
 	}
 	return o.serve
+}
+
+// Timings records where one answered request spent its time: pool-queue
+// wait versus the solve itself, as measured by the pool's spans. Zero
+// durations (unobserved pool) are still recorded — they are real
+// observations of "no measurable wait".
+func (s *ServeObs) Timings(wait, solve time.Duration) {
+	if s == nil {
+		return
+	}
+	s.queueWaitUS.Observe(wait.Microseconds())
+	s.solveUS.Observe(solve.Microseconds())
 }
 
 // SessionOpen accounts for an accepted client connection.

@@ -1,0 +1,265 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file renders an Observer in the Prometheus text exposition format,
+// version 0.0.4, with no dependency beyond the standard library.
+//
+// Name mapping: registry names are dotted ("solver.shard.solves_total.OGGP");
+// Prometheus names are [a-zA-Z_:][a-zA-Z0-9_:]*. Every exported name is
+// "redist_" + the registry name with each invalid rune mapped to '_', so
+// solver.shard.* becomes redist_solver_shard_*. The mapping is documented
+// in DESIGN.md §12 and pinned by TestPromName.
+//
+// Cardinality: registry metrics are unlabeled. The only labeled series are
+// the per-tenant SLO views, whose label values come from the bounded LRU
+// in tenant.go — the exposition can never grow past tenantCap tenants.
+
+// promQuantiles are the summary quantiles exported per histogram.
+var promQuantiles = []float64{0.5, 0.95, 0.99}
+
+// promName maps a registry metric name to its Prometheus name.
+func promName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name) + 7)
+	b.WriteString("redist_")
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// writeHistogram emits one histogram family (TYPE line, cumulative
+// buckets, sum, count) followed by its quantile summary family. labels is
+// either empty or a rendered label set like `tenant="3"`.
+func writeHistogram(w *bufio.Writer, name, labels string, h HistogramSnapshot) {
+	sep := func(extra string) string {
+		switch {
+		case labels == "" && extra == "":
+			return ""
+		case labels == "":
+			return "{" + extra + "}"
+		case extra == "":
+			return "{" + labels + "}"
+		default:
+			return "{" + labels + "," + extra + "}"
+		}
+	}
+	var cum int64
+	for i, c := range h.Buckets {
+		cum += c
+		le := "+Inf"
+		if i < len(h.Bounds) {
+			le = strconv.FormatInt(h.Bounds[i], 10)
+		}
+		fmt.Fprintf(w, "%s_bucket%s %d\n", name, sep(`le="`+le+`"`), cum)
+	}
+	fmt.Fprintf(w, "%s_sum%s %d\n", name, sep(""), h.Sum)
+	fmt.Fprintf(w, "%s_count%s %d\n", name, sep(""), h.Count)
+}
+
+// writeSummary emits the quantile companion family for a histogram,
+// estimated by linear interpolation (see Histogram.Quantile).
+func writeSummary(w *bufio.Writer, name, labels string, h HistogramSnapshot) {
+	for _, q := range promQuantiles {
+		lq := `quantile="` + strconv.FormatFloat(q, 'g', -1, 64) + `"`
+		if labels != "" {
+			lq = labels + "," + lq
+		}
+		fmt.Fprintf(w, "%s{%s} %d\n", name, lq, h.Quantile(q))
+	}
+	if labels != "" {
+		labels = "{" + labels + "}"
+	}
+	fmt.Fprintf(w, "%s_sum%s %d\n", name, labels, h.Sum)
+	fmt.Fprintf(w, "%s_count%s %d\n", name, labels, h.Count)
+}
+
+// WritePrometheus renders o's registry and per-tenant SLO views as
+// Prometheus text format 0.0.4. A nil observer renders an empty (but
+// valid) exposition. Output is deterministic: families sorted by name,
+// tenants by id.
+func WritePrometheus(w io.Writer, o *Observer) error {
+	bw := bufio.NewWriter(w)
+	if o != nil {
+		snap := o.Metrics.Snapshot()
+
+		names := make([]string, 0, len(snap.Counters))
+		for n := range snap.Counters {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			pn := promName(n)
+			fmt.Fprintf(bw, "# TYPE %s counter\n%s %d\n", pn, pn, snap.Counters[n])
+		}
+
+		names = names[:0]
+		for n := range snap.Gauges {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			pn := promName(n)
+			fmt.Fprintf(bw, "# TYPE %s gauge\n%s %d\n", pn, pn, snap.Gauges[n])
+		}
+
+		for _, h := range snap.Histograms {
+			pn := promName(h.Name)
+			fmt.Fprintf(bw, "# TYPE %s histogram\n", pn)
+			writeHistogram(bw, pn, "", h)
+			fmt.Fprintf(bw, "# TYPE %s_summary summary\n", pn)
+			writeSummary(bw, pn+"_summary", "", h)
+		}
+
+		if tenants := o.TenantSLO().Snapshot(); len(tenants) > 0 {
+			writeTenants(bw, tenants)
+		}
+	}
+	return bw.Flush()
+}
+
+// writeTenants emits the labeled per-tenant families. Each family's TYPE
+// line appears once, followed by one series per tenant.
+func writeTenants(w *bufio.Writer, tenants []TenantSnapshot) {
+	label := func(t TenantSnapshot) string { return `tenant="` + strconv.Itoa(t.Tenant) + `"` }
+
+	for _, c := range []struct {
+		name string
+		get  func(TenantSnapshot) int64
+	}{
+		{"redist_tenant_requests_total", func(t TenantSnapshot) int64 { return t.Requests }},
+		{"redist_tenant_responses_total", func(t TenantSnapshot) int64 { return t.Responses }},
+		{"redist_tenant_rejects_total", func(t TenantSnapshot) int64 { return t.Rejects }},
+	} {
+		fmt.Fprintf(w, "# TYPE %s counter\n", c.name)
+		for _, t := range tenants {
+			fmt.Fprintf(w, "%s{%s} %d\n", c.name, label(t), c.get(t))
+		}
+	}
+
+	for _, hf := range []struct {
+		name string
+		get  func(TenantSnapshot) HistogramSnapshot
+	}{
+		{"redist_tenant_queue_wait_us", func(t TenantSnapshot) HistogramSnapshot { return t.QueueWaitUS }},
+		{"redist_tenant_solve_us", func(t TenantSnapshot) HistogramSnapshot { return t.SolveUS }},
+	} {
+		fmt.Fprintf(w, "# TYPE %s histogram\n", hf.name)
+		for _, t := range tenants {
+			writeHistogram(w, hf.name, label(t), hf.get(t))
+		}
+		fmt.Fprintf(w, "# TYPE %s_summary summary\n", hf.name)
+		for _, t := range tenants {
+			writeSummary(w, hf.name+"_summary", label(t), hf.get(t))
+		}
+	}
+}
+
+// ValidatePrometheus checks that data parses as Prometheus text format
+// 0.0.4: every line is a comment, blank, or `name[{labels}] value`; TYPE
+// comments are well-formed and precede their family's samples; histogram
+// families end their buckets with le="+Inf". It returns the first
+// violation found. The soak smoke target runs every /metrics scrape
+// through it.
+func ValidatePrometheus(data string) error {
+	types := map[string]string{}
+	for ln, line := range strings.Split(data, "\n") {
+		lineNo := ln + 1
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			if len(fields) >= 2 && fields[1] == "TYPE" {
+				if len(fields) != 4 {
+					return fmt.Errorf("line %d: malformed TYPE comment %q", lineNo, line)
+				}
+				switch fields[3] {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return fmt.Errorf("line %d: unknown metric type %q", lineNo, fields[3])
+				}
+				types[fields[2]] = fields[3]
+			}
+			continue
+		}
+		name, rest := line, ""
+		if i := strings.IndexAny(line, "{ "); i >= 0 {
+			name, rest = line[:i], line[i:]
+		}
+		if !validMetricName(name) {
+			return fmt.Errorf("line %d: invalid metric name %q", lineNo, name)
+		}
+		if strings.HasPrefix(rest, "{") {
+			end := strings.Index(rest, "}")
+			if end < 0 {
+				return fmt.Errorf("line %d: unterminated label set", lineNo)
+			}
+			if err := validLabels(rest[1:end]); err != nil {
+				return fmt.Errorf("line %d: %v", lineNo, err)
+			}
+			rest = rest[end+1:]
+		}
+		val := strings.TrimSpace(rest)
+		if i := strings.IndexByte(val, ' '); i >= 0 {
+			// Optional trailing timestamp.
+			if _, err := strconv.ParseInt(val[i+1:], 10, 64); err != nil {
+				return fmt.Errorf("line %d: bad timestamp %q", lineNo, val[i+1:])
+			}
+			val = val[:i]
+		}
+		if _, err := strconv.ParseFloat(val, 64); err != nil {
+			return fmt.Errorf("line %d: bad sample value %q", lineNo, val)
+		}
+		// Samples of a TYPEd histogram family must use the family suffixes.
+		base := strings.TrimSuffix(strings.TrimSuffix(strings.TrimSuffix(name, "_bucket"), "_sum"), "_count")
+		if t, ok := types[base]; ok && t == "histogram" && name == base {
+			return fmt.Errorf("line %d: histogram family %q sampled without _bucket/_sum/_count", lineNo, base)
+		}
+	}
+	return nil
+}
+
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		ok := r == '_' || r == ':' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(i > 0 && r >= '0' && r <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func validLabels(s string) error {
+	for _, pair := range strings.Split(s, ",") {
+		eq := strings.IndexByte(pair, '=')
+		if eq < 0 {
+			return fmt.Errorf("label %q missing '='", pair)
+		}
+		if !validMetricName(pair[:eq]) || strings.ContainsRune(pair[:eq], ':') {
+			return fmt.Errorf("invalid label name %q", pair[:eq])
+		}
+		v := pair[eq+1:]
+		if len(v) < 2 || v[0] != '"' || v[len(v)-1] != '"' {
+			return fmt.Errorf("label value %q not quoted", v)
+		}
+	}
+	return nil
+}

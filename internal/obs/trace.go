@@ -17,6 +17,7 @@ const (
 	PIDEngine  = 2
 	PIDCluster = 3
 	PIDServe   = 4
+	PIDRequest = 5
 )
 
 // Arg is one key/value annotation on a trace event. Values are int64 so

@@ -17,6 +17,8 @@ import (
 type Flags struct {
 	addr  string
 	trace string
+
+	srv *obs.Server // set by Start when -obs bound an endpoint
 }
 
 // Register installs -obs and -trace on the flag set and returns the
@@ -45,7 +47,8 @@ func (f *Flags) Start(w io.Writer) (*obs.Observer, func() error, error) {
 		if err != nil {
 			return nil, nil, fmt.Errorf("starting observability endpoint: %w", err)
 		}
-		fmt.Fprintf(w, "observability endpoint on http://%s (metrics, /debug/pprof, /debug/trace)\n", srv.Addr())
+		f.srv = srv
+		fmt.Fprintf(w, "observability endpoint on http://%s (/metrics, /healthz, /readyz, /debug/pprof, /debug/trace)\n", srv.Addr())
 	}
 	finish := func() error {
 		if srv != nil {
@@ -67,4 +70,19 @@ func (f *Flags) Start(w io.Writer) (*obs.Observer, func() error, error) {
 		return tf.Close()
 	}
 	return o, finish, nil
+}
+
+// Endpoint returns the bound introspection address ("127.0.0.1:6060"),
+// empty when -obs was not set or Start has not run.
+func (f *Flags) Endpoint() string {
+	if f.srv == nil {
+		return ""
+	}
+	return f.srv.Addr()
+}
+
+// SetReady forwards to the endpoint's readiness probe; a no-op without
+// an endpoint.
+func (f *Flags) SetReady(ok bool) {
+	f.srv.SetReady(ok)
 }

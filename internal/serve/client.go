@@ -3,6 +3,7 @@ package serve
 import (
 	"fmt"
 	"net"
+	"time"
 
 	"redistgo/internal/kpbs"
 	"redistgo/internal/wire"
@@ -43,43 +44,61 @@ func Dial(addr string, tenant int32) (*Client, error) {
 // Solve sends one request and waits for its answer. On success it
 // returns the decoded schedule together with the server's raw response
 // payload — the codec is injective, so comparing raw bytes against a
-// local wire.EncodeSolveResp of the same instance proves the served
-// schedule identical (the soak harness's check). A *RejectError reports
-// a server refusal; any other error means the session is dead.
+// local wire.EncodeSolveResp of the same instance (re-encoded with the
+// response's echoed trace context) proves the served schedule identical
+// (the soak harness's check). A *RejectError reports a server refusal;
+// any other error means the session is dead.
 func (c *Client) Solve(req wire.SolveRequest) (*kpbs.Schedule, []byte, error) {
+	resp, payload, err := c.SolveFull(req)
+	if err != nil {
+		return nil, nil, err
+	}
+	return resp.Schedule, payload, nil
+}
+
+// SolveFull is Solve returning the whole decoded response, trace context
+// included. When the request carries a trace id, the client-send
+// timestamp is stamped just before the frame is written (unless the
+// caller set Trace.TS itself), and the response's Trace.TS carries the
+// server's handling time in microseconds — the two sides of the
+// server-vs-client latency split.
+func (c *Client) SolveFull(req wire.SolveRequest) (wire.SolveResponse, []byte, error) {
 	if req.ID == 0 {
 		c.nextID++
 		req.ID = c.nextID
 	}
+	if !req.Trace.Zero() && req.Trace.TS == 0 {
+		req.Trace.TS = time.Now().UnixMicro()
+	}
 	payload, err := wire.EncodeSolveReq(req)
 	if err != nil {
-		return nil, nil, err
+		return wire.SolveResponse{}, nil, err
 	}
 	if err := wire.Write(c.conn, wire.Frame{Type: wire.MsgSolveReq, Src: c.tenant, Payload: payload}); err != nil {
-		return nil, nil, fmt.Errorf("serve: send request: %w", err)
+		return wire.SolveResponse{}, nil, fmt.Errorf("serve: send request: %w", err)
 	}
 	f, err := wire.Read(c.conn)
 	if err != nil {
-		return nil, nil, fmt.Errorf("serve: read response: %w", err)
+		return wire.SolveResponse{}, nil, fmt.Errorf("serve: read response: %w", err)
 	}
 	switch f.Type {
 	case wire.MsgSolveResp:
 		resp, err := wire.DecodeSolveResp(f.Payload)
 		if err != nil {
-			return nil, nil, err
+			return wire.SolveResponse{}, nil, err
 		}
 		if resp.ID != req.ID {
-			return nil, nil, fmt.Errorf("serve: response for request %d, want %d", resp.ID, req.ID)
+			return wire.SolveResponse{}, nil, fmt.Errorf("serve: response for request %d, want %d", resp.ID, req.ID)
 		}
-		return resp.Schedule, f.Payload, nil
+		return resp, f.Payload, nil
 	case wire.MsgReject:
 		rej, err := wire.DecodeReject(f.Payload)
 		if err != nil {
-			return nil, nil, err
+			return wire.SolveResponse{}, nil, err
 		}
-		return nil, nil, &RejectError{ID: rej.ID, Code: rej.Code, Reason: rej.Reason}
+		return wire.SolveResponse{}, nil, &RejectError{ID: rej.ID, Code: rej.Code, Reason: rej.Reason}
 	default:
-		return nil, nil, fmt.Errorf("serve: unexpected frame %s", f.Type)
+		return wire.SolveResponse{}, nil, fmt.Errorf("serve: unexpected frame %s", f.Type)
 	}
 }
 

@@ -23,11 +23,14 @@ package serve
 
 import (
 	"context"
+	"encoding/hex"
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"sync"
+	"time"
 
 	"redistgo/internal/engine"
 	"redistgo/internal/kpbs"
@@ -67,8 +70,13 @@ type Config struct {
 	// Shard is the pool-wide kpbs sharding default for served solves.
 	Shard kpbs.ShardMode
 	// Obs attaches the observability layer ("serve.*" and "engine.pool.*"
-	// metrics, per-session trace lanes). nil disables instrumentation.
+	// metrics, per-session trace lanes, per-request spans and per-tenant
+	// SLO views). nil disables instrumentation.
 	Obs *obs.Observer
+	// Log receives the daemon's structured logs: lifecycle at Info,
+	// session open/close and per-request outcomes (trace id, tenant,
+	// algorithm, nodes, outcome) at Debug. nil discards everything.
+	Log *slog.Logger
 }
 
 // Server is a running scheduling daemon. Create with New, stop with
@@ -78,6 +86,9 @@ type Server struct {
 	ln     net.Listener
 	pool   *engine.Pool
 	so     *obs.ServeObs
+	spans  *obs.SpanRecorder
+	slo    *obs.TenantObs
+	log    *slog.Logger
 	global *tokenbucket.Limiter
 
 	// ctx ends the session loops; it is cancelled by Shutdown only after
@@ -124,12 +135,19 @@ func New(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, fmt.Errorf("serve: listen %s: %w", addr, err)
 	}
+	logger := cfg.Log
+	if logger == nil {
+		logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
 		cfg:     cfg,
 		ln:      ln,
 		pool:    engine.NewPool(engine.PoolOptions{Workers: cfg.Workers, QueueDepth: cfg.QueueDepth, Obs: cfg.Obs, Shard: cfg.Shard}),
 		so:      cfg.Obs.Serve(),
+		spans:   cfg.Obs.Spans(),
+		slo:     cfg.Obs.TenantSLO(),
+		log:     logger,
 		global:  global,
 		ctx:     ctx,
 		cancel:  cancel,
@@ -137,6 +155,7 @@ func New(cfg Config) (*Server, error) {
 		conns:   map[net.Conn]struct{}{},
 		done:    make(chan struct{}),
 	}
+	s.log.Info("listening", "addr", s.Addr())
 	s.acceptWG.Add(1)
 	go s.acceptLoop()
 	return s, nil
@@ -186,19 +205,26 @@ func (s *Server) acceptLoop() {
 func (s *Server) session(id int, conn net.Conn) {
 	defer s.sessionWG.Done()
 	s.so.SessionOpen(id)
+	s.log.Debug("session open", "session", id, "remote", conn.RemoteAddr().String())
 	defer func() {
 		s.mu.Lock()
 		delete(s.conns, conn)
 		s.mu.Unlock()
 		_ = conn.Close() // session teardown; the read/write error already decided the outcome
 		s.so.SessionClose(id)
+		s.log.Debug("session close", "session", id)
 	}()
 	for {
 		if s.ctx.Err() != nil {
 			return
 		}
+		// The request record opens before the blocking read so the span's
+		// read phase covers the wire wait; frames that turn out not to be
+		// solve requests drop the record unemitted.
+		rec := s.spans.Begin(id)
 		f, err := wire.Read(conn)
 		if err != nil {
+			rec.Drop()
 			if wire.IsProtocolError(err) {
 				// A malformed frame is diagnosable misbehavior, not a
 				// disconnect: count it and tell the peer before hanging up.
@@ -211,12 +237,14 @@ func (s *Server) session(id int, conn net.Conn) {
 		}
 		switch f.Type {
 		case wire.MsgDone:
+			rec.Drop()
 			return
 		case wire.MsgSolveReq:
-			if !s.handleSolve(id, conn, f) {
+			if !s.handleSolve(id, conn, f, rec) {
 				return
 			}
 		default:
+			rec.Drop()
 			s.so.ProtocolError()
 			s.sendReject(conn, 0, wire.RejectBadRequest, "unexpected frame "+f.Type.String())
 			return
@@ -228,17 +256,50 @@ func (s *Server) session(id int, conn net.Conn) {
 // It reports whether the session should continue: codec violations drop
 // the connection, while refusals (quota, queue, size, shutdown) keep the
 // session alive so a throttled client can retry without re-dialing.
-func (s *Server) handleSolve(id int, conn net.Conn, f wire.Frame) bool {
+//
+// A request carrying a CodecV2 trace context gets it echoed on the
+// response with TS replaced by the server's handling time in microseconds
+// (read-to-encode), so the client can split its round-trip latency into
+// server time and wire time. Untraced (CodecV1) requests get the exact
+// pre-trace-era V1 response bytes — the differential test pins that.
+func (s *Server) handleSolve(id int, conn net.Conn, f wire.Frame, rec *obs.ReqRec) bool {
+	start := time.Now()
+	rec.Mark(obs.PhaseAdmit)
+	rec.SetTenant(int(f.Src))
 	sp := s.so.Request(id)
+	slot := s.slo.Slot(int(f.Src))
+
 	req, err := wire.DecodeSolveReq(f.Payload)
 	if err != nil {
 		s.so.ProtocolError()
 		sp.Reject("bad-request")
+		slot.Reject()
+		rec.Finish(obs.OutcomeReject)
+		s.log.Debug("request", "session", id, "tenant", f.Src, "outcome", "bad-request", "err", err.Error())
 		s.sendReject(conn, 0, wire.RejectBadRequest, err.Error())
 		return false
 	}
+	slot.Request()
+	rec.SetTrace(req.Trace.ID)
+	var traceID string // empty when the client sent no trace context
+	if !req.Trace.Zero() {
+		traceID = hex.EncodeToString(req.Trace.ID[:])
+	}
+	logReq := func(outcome string) {
+		s.log.Debug("request",
+			"session", id, "tenant", f.Src, "trace", traceID,
+			"algorithm", req.Algorithm, "n1", req.N1, "n2", req.N2,
+			"outcome", outcome)
+	}
+	reject := func(code string) {
+		sp.Reject(code)
+		slot.Reject()
+		rec.Finish(obs.OutcomeReject)
+		logReq(code)
+	}
+
 	if s.cfg.MaxNodes > 0 && (req.N1 > s.cfg.MaxNodes || req.N2 > s.cfg.MaxNodes) {
-		sp.Reject("too-large")
+		reject("too-large")
 		return s.sendReject(conn, req.ID, wire.RejectTooLarge,
 			fmt.Sprintf("instance %dx%d exceeds the configured limit %d per side", req.N1, req.N2, s.cfg.MaxNodes))
 	}
@@ -249,7 +310,7 @@ func (s *Server) handleSolve(id int, conn net.Conn, f wire.Frame) bool {
 	s.mu.Lock()
 	if s.draining {
 		s.mu.Unlock()
-		sp.Reject("shutting-down")
+		reject("shutting-down")
 		return s.sendReject(conn, req.ID, wire.RejectShuttingDown, "service is draining")
 	}
 	s.reqWG.Add(1)
@@ -257,42 +318,62 @@ func (s *Server) handleSolve(id int, conn net.Conn, f wire.Frame) bool {
 	defer s.reqWG.Done()
 
 	if !s.global.Allow(1) {
-		sp.Reject("over-quota")
+		reject("over-quota")
 		return s.sendReject(conn, req.ID, wire.RejectOverQuota, "service admission budget exhausted")
 	}
 	if !s.tenantLimiter(f.Src).Allow(1) {
-		sp.Reject("over-quota")
+		reject("over-quota")
 		return s.sendReject(conn, req.ID, wire.RejectOverQuota,
 			fmt.Sprintf("tenant %d admission budget exhausted", f.Src))
 	}
 
 	inst := engine.Instance{G: req.Graph(), K: req.K, Beta: req.Beta, Opts: kpbs.Options{Algorithm: req.Algorithm}}
+	rec.Mark(obs.PhaseQueue)
 	// The job context is Background on purpose: once admitted, a request
 	// is solved even while the server drains — that is the drain.
 	ch, err := s.pool.TrySubmit(context.Background(), inst)
 	switch {
 	case errors.Is(err, engine.ErrQueueFull):
-		sp.Reject("busy")
+		reject("busy")
 		return s.sendReject(conn, req.ID, wire.RejectBusy, "solve queue full")
 	case err != nil:
-		sp.Reject("shutting-down")
+		reject("shutting-down")
 		return s.sendReject(conn, req.ID, wire.RejectShuttingDown, err.Error())
 	}
 	res := <-ch // every admitted job delivers exactly one result
+	// The queue→solve boundary happened on the pool worker's goroutine;
+	// place it from the measured wait rather than re-reading the clock.
+	rec.MarkAfter(obs.PhaseSolve, obs.PhaseQueue, res.Wait)
 	if res.Err != nil {
 		sp.Reject("solve-failed")
+		slot.Reject()
+		rec.Finish(obs.OutcomeError)
+		logReq("solve-failed")
 		return s.sendReject(conn, req.ID, wire.RejectSolveFailed, res.Err.Error())
 	}
-	payload, err := wire.EncodeSolveResp(req.ID, res.Schedule)
+	rec.Mark(obs.PhaseEncode)
+	tc := req.Trace
+	if !tc.Zero() {
+		tc.TS = time.Since(start).Microseconds()
+	}
+	payload, err := wire.EncodeSolveResp(req.ID, res.Schedule, tc)
 	if err != nil {
-		sp.Reject("too-large")
+		reject("too-large")
 		return s.sendReject(conn, req.ID, wire.RejectTooLarge, err.Error())
 	}
+	rec.Mark(obs.PhaseWrite)
 	if err := wire.Write(conn, wire.Frame{Type: wire.MsgSolveResp, Dst: f.Src, Payload: payload}); err != nil {
 		sp.Reject("bad-request")
+		slot.Reject()
+		rec.Finish(obs.OutcomeError)
+		logReq("write-failed")
 		return false
 	}
 	sp.Respond()
+	s.so.Timings(res.Wait, res.Solve)
+	slot.Respond(res.Wait, res.Solve)
+	rec.Finish(obs.OutcomeOK)
+	logReq("ok")
 	return true
 }
 
@@ -354,6 +435,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}
 	s.draining = true
 	s.mu.Unlock()
+	s.log.Info("draining")
 
 	_ = s.ln.Close() // stops the accept loop; its error has no consumer
 	s.acceptWG.Wait()
@@ -380,5 +462,6 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	s.sessionWG.Wait()
 	s.pool.Close()
 	close(s.done)
+	s.log.Info("shutdown complete")
 	return err
 }

@@ -62,7 +62,7 @@ func verify(t *testing.T, req wire.SolveRequest, raw []byte) {
 	if err != nil {
 		t.Fatalf("local solve: %v", err)
 	}
-	want, err := wire.EncodeSolveResp(req.ID, local)
+	want, err := wire.EncodeSolveResp(req.ID, local, wire.TraceContext{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -130,6 +130,108 @@ func TestServeEndToEnd(t *testing.T) {
 	if got := snap.Counters["serve.rejects_total"]; got != 0 {
 		t.Errorf("rejects_total = %d, want 0", got)
 	}
+}
+
+// TestTraceRoundTrip: a traced request's 16-byte id comes back on the
+// response (TS rewritten to the server's handling time), the response
+// payload is CodecV2, and the per-request observability — spans, tenant
+// SLO slots, queue-wait/solve histograms — fills in behind it.
+func TestTraceRoundTrip(t *testing.T) {
+	o := obs.New()
+	s := newServer(t, Config{Obs: o})
+	rng := rand.New(rand.NewSource(7))
+	cl, err := Dial(s.Addr(), 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	req := request(t, rng, 8, 2)
+	req.ID = 1
+	req.Trace = wire.TraceContext{ID: [16]byte{0x5A, 5: 0xA5, 15: 0x01}}
+	resp, raw, err := cl.SolveFull(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Trace.ID != req.Trace.ID {
+		t.Fatalf("response trace id %x, want the request's %x", resp.Trace.ID, req.Trace.ID)
+	}
+	if resp.Trace.TS < 0 {
+		t.Fatalf("server handling time = %d µs, want ≥ 0", resp.Trace.TS)
+	}
+	if raw[0] != wire.CodecV2 {
+		t.Fatalf("traced response payload version %d, want CodecV2", raw[0])
+	}
+	// Byte-identical check still holds after re-encoding under the echoed
+	// trace context.
+	local, err := kpbs.Solve(req.Graph(), req.K, req.Beta, kpbs.Options{Algorithm: req.Algorithm})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := wire.EncodeSolveResp(req.ID, local, resp.Trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(raw, want) {
+		t.Fatal("traced response differs from the local solve re-encoded with the echoed context")
+	}
+
+	cl.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for o.Metrics.Snapshot().Gauges["serve.sessions_active"] != 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	snap := o.Metrics.Snapshot()
+	if got := snap.Counters["spans.finished_total"]; got != 1 {
+		t.Errorf("spans.finished_total = %d, want 1", got)
+	}
+	var waitOK, solveOK bool
+	for _, h := range snap.Histograms {
+		switch h.Name {
+		case "serve.queue_wait_us":
+			waitOK = h.Count == 1
+		case "serve.solve_us":
+			solveOK = h.Count == 1
+		}
+	}
+	if !waitOK || !solveOK {
+		t.Errorf("timing histograms not recorded (wait=%v solve=%v)", waitOK, solveOK)
+	}
+	tenants := o.TenantSLO().Snapshot()
+	if len(tenants) != 1 || tenants[0].Tenant != 42 || tenants[0].Responses != 1 {
+		t.Errorf("tenant SLO snapshot = %+v, want one slot for tenant 42", tenants)
+	}
+}
+
+// TestUntracedStaysV1 pins the differential guarantee: a request without
+// a trace context gets a CodecV1 response whose bytes are exactly the
+// pre-trace-era encoding, observability on or off.
+func TestUntracedStaysV1(t *testing.T) {
+	s := newServer(t, Config{})
+	rng := rand.New(rand.NewSource(8))
+	cl, err := Dial(s.Addr(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	req := request(t, rng, 8, 2)
+	req.ID = 1
+	reqPayload, err := wire.EncodeSolveReq(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reqPayload[0] != wire.CodecV1 {
+		t.Fatalf("untraced request payload version %d, want CodecV1", reqPayload[0])
+	}
+	_, raw, err := cl.Solve(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if raw[0] != wire.CodecV1 {
+		t.Fatalf("untraced response payload version %d, want CodecV1", raw[0])
+	}
+	verify(t, req, raw) // verify() encodes with a zero trace context — the V1 bytes
 }
 
 // TestTenantQuota: a tenant over its admission budget is refused with

@@ -72,18 +72,29 @@ func FuzzReadStream(f *testing.F) {
 }
 
 // FuzzDecodeSolveReq feeds arbitrary payloads to the request codec: it
-// must never panic or over-allocate, and any request it accepts must
-// re-encode and decode to the same value (the codec is injective).
+// must never panic or over-allocate, and any request it accepts — V1 or
+// V2 — must re-encode to the exact input bytes (accepted payloads are
+// canonical encodings, so the codec is injective across both versions).
 func FuzzDecodeSolveReq(f *testing.F) {
-	seed, err := EncodeSolveReq(SolveRequest{
+	base := SolveRequest{
 		ID: 1, K: 2, Beta: 8, N1: 2, N2: 2,
 		Edges: []bipartite.Edge{{L: 0, R: 1, Weight: 3}},
-	})
+	}
+	seed, err := EncodeSolveReq(base)
+	if err != nil {
+		f.Fatal(err)
+	}
+	traced := base
+	traced.Trace = TraceContext{ID: [16]byte{0xAB, 1: 0xCD, 15: 0x01}, TS: 1_700_000_000_000_000}
+	seedV2, err := EncodeSolveReq(traced)
 	if err != nil {
 		f.Fatal(err)
 	}
 	f.Add(seed)
 	f.Add(seed[:len(seed)-4])
+	f.Add(seedV2)
+	f.Add(seedV2[:12])                          // V2 with a truncated trace extension
+	f.Add(append([]byte{CodecV2}, seed[1:]...)) // V2 version byte on a V1 body
 	f.Add([]byte{CodecV1})
 	f.Add([]byte{})
 
@@ -95,6 +106,12 @@ func FuzzDecodeSolveReq(f *testing.F) {
 			}
 			return
 		}
+		if len(data) > 0 && data[0] == CodecV1 && !req.Trace.Zero() {
+			t.Fatal("V1 payload decoded with a trace context")
+		}
+		if len(data) > 0 && data[0] == CodecV2 && req.Trace.Zero() {
+			t.Fatal("accepted V2 payload with a zero trace context")
+		}
 		out, err := EncodeSolveReq(req)
 		if err != nil {
 			t.Fatalf("re-encoding accepted request failed: %v", err)
@@ -105,18 +122,26 @@ func FuzzDecodeSolveReq(f *testing.F) {
 	})
 }
 
-// FuzzDecodeSolveResp: the response codec must never panic and must
-// bound its allocations by the payload it was given.
+// FuzzDecodeSolveResp: the response codec must never panic, must bound
+// its allocations by the payload it was given, and must only accept
+// canonical encodings in either codec version.
 func FuzzDecodeSolveResp(f *testing.F) {
 	sched := &kpbs.Schedule{Beta: 4, Steps: []kpbs.Step{
 		{Comms: []kpbs.Comm{{L: 0, R: 0, Amount: 9}}, Duration: 13},
 	}}
-	seed, err := EncodeSolveResp(7, sched)
+	seed, err := EncodeSolveResp(7, sched, TraceContext{})
+	if err != nil {
+		f.Fatal(err)
+	}
+	seedV2, err := EncodeSolveResp(7, sched, TraceContext{ID: [16]byte{9, 8, 7}, TS: 1234})
 	if err != nil {
 		f.Fatal(err)
 	}
 	f.Add(seed)
 	f.Add(seed[:len(seed)-2])
+	f.Add(seedV2)
+	f.Add(seedV2[:4])                           // V2 with a truncated trace extension
+	f.Add(append([]byte{CodecV2}, seed[1:]...)) // V2 version byte on a V1 body
 	f.Add([]byte{})
 
 	f.Fuzz(func(t *testing.T, data []byte) {
@@ -127,7 +152,10 @@ func FuzzDecodeSolveResp(f *testing.F) {
 			}
 			return
 		}
-		out, err := EncodeSolveResp(resp.ID, resp.Schedule)
+		if len(data) > 0 && data[0] == CodecV2 && resp.Trace.Zero() {
+			t.Fatal("accepted V2 payload with a zero trace context")
+		}
+		out, err := EncodeSolveResp(resp.ID, resp.Schedule, resp.Trace)
 		if err != nil {
 			t.Fatalf("re-encoding accepted response failed: %v", err)
 		}

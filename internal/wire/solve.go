@@ -16,10 +16,38 @@ import (
 	"redistgo/internal/kpbs"
 )
 
-// CodecV1 is the current solve-payload codec version. Decoders reject
-// other versions with a *ProtocolError, so the format can evolve without
+// CodecV1 is the baseline solve-payload codec version. Decoders reject
+// unknown versions with a *ProtocolError, so the format can evolve without
 // silent misinterpretation.
 const CodecV1 = 1
+
+// CodecV2 is CodecV1 plus a leading trace-context extension (16-byte trace
+// id + int64 timestamp) on solve requests and responses. Encoders emit V2
+// exactly when a non-zero trace context is attached, so V1 peers and
+// V1-shaped traffic keep producing byte-identical frames; decoders accept
+// both versions and enforce that a V2 payload carries a non-zero trace id
+// (a zero id would not be a canonical encoding).
+const CodecV2 = 2
+
+// TraceContext is the optional request-scoped tracing extension carried by
+// CodecV2 solve payloads. ID is an opaque 16-byte trace id minted by the
+// client and echoed verbatim in the response. TS is direction-dependent:
+// on a request it is the client-send wall clock in unix microseconds; on a
+// response it is the server-side handling time of the request in
+// microseconds (read-to-write), letting clients split their measured RTT
+// into server time and wire/queue overhead.
+type TraceContext struct {
+	ID [16]byte
+	TS int64
+}
+
+// Zero reports whether the context is absent (all-zero trace id). A
+// zero-ID context cannot be carried on the wire: encoders fall back to
+// CodecV1 and reject a dangling timestamp.
+func (t TraceContext) Zero() bool { return t.ID == [16]byte{} }
+
+// traceExtLen is the encoded size of a TraceContext (id + timestamp).
+const traceExtLen = 16 + 8
 
 // MaxInstanceNodes bounds each side of a requested instance. It keeps a
 // single request from describing a graph far larger than anything the
@@ -69,6 +97,8 @@ func (c RejectCode) String() string {
 
 // SolveRequest is one K-PBS instance submitted for scheduling. ID is a
 // client-chosen correlation id echoed back in the response or reject.
+// A non-zero Trace upgrades the payload to CodecV2 and asks the server to
+// echo the trace id (with its own handling time) in the response.
 type SolveRequest struct {
 	ID        uint64
 	K         int
@@ -76,6 +106,7 @@ type SolveRequest struct {
 	Algorithm kpbs.Algorithm
 	N1, N2    int
 	Edges     []bipartite.Edge
+	Trace     TraceContext
 }
 
 // Graph materializes the request's instance. Decoded requests are already
@@ -89,9 +120,13 @@ func (r SolveRequest) Graph() *bipartite.Graph {
 }
 
 // SolveResponse is the schedule computed for the request with the same ID.
+// Trace is the echoed request trace context (CodecV2 responses only): the
+// id matches the request's and TS is the server's handling time in
+// microseconds.
 type SolveResponse struct {
 	ID       uint64
 	Schedule *kpbs.Schedule
+	Trace    TraceContext
 }
 
 // Reject refuses the request with the same ID.
@@ -178,16 +213,74 @@ func (r *payloadReader) done() error {
 	return nil
 }
 
-// version consumes and checks the leading codec version byte.
+// version consumes and checks the leading codec version byte against a
+// single accepted version (the reject codec is V1-only).
 func (r *payloadReader) version() {
 	if v := r.u8(); r.err == nil && v != CodecV1 {
 		r.fail("unsupported codec version %d, want %d", v, CodecV1)
 	}
 }
 
-// EncodeSolveReq serializes r as a CodecV1 payload. It enforces the same
-// bounds the decoder does, so an encoded request always decodes.
+// traceVersion consumes the version byte of a solve payload and, for
+// CodecV2, the trace-context extension that follows it. A V2 payload with
+// an all-zero trace id is rejected: encoders only emit V2 when a trace
+// context is attached, so a zero id can never be a canonical encoding.
+func (r *payloadReader) traceVersion(what string) TraceContext {
+	v := r.u8()
+	if r.err != nil {
+		return TraceContext{}
+	}
+	switch v {
+	case CodecV1:
+		return TraceContext{}
+	case CodecV2:
+		var tc TraceContext
+		b := r.take(traceExtLen)
+		if r.err != nil {
+			return TraceContext{}
+		}
+		copy(tc.ID[:], b[:16])
+		tc.TS = int64(binary.BigEndian.Uint64(b[16:]))
+		if tc.Zero() {
+			r.fail("%s carries a V2 trace extension with a zero trace id", what)
+			return TraceContext{}
+		}
+		return tc
+	default:
+		r.fail("unsupported codec version %d, want %d or %d", v, CodecV1, CodecV2)
+		return TraceContext{}
+	}
+}
+
+// appendTraceVersion emits the version byte and, when tc is non-zero, the
+// V2 trace extension. It reports how many bytes the header needs so size
+// pre-computation and emission cannot drift apart.
+func appendTraceVersion(b []byte, tc TraceContext) []byte {
+	if tc.Zero() {
+		return append(b, CodecV1)
+	}
+	b = append(b, CodecV2)
+	b = append(b, tc.ID[:]...)
+	return binary.BigEndian.AppendUint64(b, uint64(tc.TS))
+}
+
+// traceVersionLen is the encoded size of the version byte plus, for a
+// non-zero context, the trace extension.
+func traceVersionLen(tc TraceContext) int {
+	if tc.Zero() {
+		return 1
+	}
+	return 1 + traceExtLen
+}
+
+// EncodeSolveReq serializes r as a CodecV1 payload — or CodecV2 when a
+// trace context is attached. It enforces the same bounds the decoder
+// does, so an encoded request always decodes; requests without a trace
+// context encode byte-identically to the pre-V2 codec.
 func EncodeSolveReq(r SolveRequest) ([]byte, error) {
+	if r.Trace.Zero() && r.Trace.TS != 0 {
+		return nil, fmt.Errorf("wire: solve request trace timestamp %d without a trace id", r.Trace.TS)
+	}
 	if r.K < 1 {
 		return nil, fmt.Errorf("wire: solve request k must be positive, got %d", r.K)
 	}
@@ -202,12 +295,12 @@ func EncodeSolveReq(r SolveRequest) ([]byte, error) {
 	if r.N1 < 1 || r.N1 > MaxInstanceNodes || r.N2 < 1 || r.N2 > MaxInstanceNodes {
 		return nil, fmt.Errorf("wire: solve request sides %dx%d outside [1, %d]", r.N1, r.N2, MaxInstanceNodes)
 	}
-	size := 1 + 8 + 4 + 8 + 1 + 4 + 4 + 4 + 16*len(r.Edges)
+	size := traceVersionLen(r.Trace) + 8 + 4 + 8 + 1 + 4 + 4 + 4 + 16*len(r.Edges)
 	if size > MaxPayload {
 		return nil, fmt.Errorf("wire: solve request with %d edges needs %d bytes, frame maximum is %d", len(r.Edges), size, MaxPayload)
 	}
 	b := make([]byte, 0, size)
-	b = append(b, CodecV1)
+	b = appendTraceVersion(b, r.Trace)
 	b = binary.BigEndian.AppendUint64(b, r.ID)
 	b = binary.BigEndian.AppendUint32(b, uint32(r.K))
 	b = binary.BigEndian.AppendUint64(b, uint64(r.Beta))
@@ -229,15 +322,17 @@ func EncodeSolveReq(r SolveRequest) ([]byte, error) {
 	return b, nil
 }
 
-// DecodeSolveReq parses and fully validates a CodecV1 solve request. Any
-// violation yields a *ProtocolError.
+// DecodeSolveReq parses and fully validates a CodecV1 or CodecV2 solve
+// request. Any violation — including a V2 payload whose trace extension
+// is truncated or zero — yields a *ProtocolError.
 func DecodeSolveReq(p []byte) (SolveRequest, error) {
 	r := payloadReader{p: p}
-	r.version()
+	tc := r.traceVersion("solve request")
 	req := SolveRequest{
-		ID:   r.u64(),
-		K:    int(r.u32()),
-		Beta: r.i64(),
+		Trace: tc,
+		ID:    r.u64(),
+		K:     int(r.u32()),
+		Beta:  r.i64(),
 	}
 	req.Algorithm = kpbs.Algorithm(r.u8())
 	req.N1 = int(r.u32())
@@ -282,12 +377,19 @@ func DecodeSolveReq(p []byte) (SolveRequest, error) {
 	return req, nil
 }
 
-// EncodeSolveResp serializes a schedule as a CodecV1 payload. Schedules
-// whose encoding would exceed a frame are refused (the server maps that to
-// RejectTooLarge). Encoding is injective: byte-equal payloads mean
-// identical schedules, which is what redist-soak's verification rests on.
-func EncodeSolveResp(id uint64, s *kpbs.Schedule) ([]byte, error) {
-	size := 1 + 8 + 8 + 4
+// EncodeSolveResp serializes a schedule as a CodecV1 payload — or CodecV2
+// when a trace context (normally the request's, echoed with the server's
+// handling time) is attached. Schedules whose encoding would exceed a
+// frame are refused (the server maps that to RejectTooLarge). Encoding is
+// injective given the trace context: byte-equal payloads mean identical
+// schedules, which is what redist-soak's verification rests on (it
+// re-encodes its local solve with the trace context echoed by the server
+// before comparing bytes).
+func EncodeSolveResp(id uint64, s *kpbs.Schedule, tc TraceContext) ([]byte, error) {
+	if tc.Zero() && tc.TS != 0 {
+		return nil, fmt.Errorf("wire: solve response trace timestamp %d without a trace id", tc.TS)
+	}
+	size := traceVersionLen(tc) + 8 + 8 + 4
 	for _, st := range s.Steps {
 		size += 4 + 16*len(st.Comms)
 	}
@@ -295,7 +397,7 @@ func EncodeSolveResp(id uint64, s *kpbs.Schedule) ([]byte, error) {
 		return nil, fmt.Errorf("wire: schedule with %d steps needs %d bytes, frame maximum is %d", len(s.Steps), size, MaxPayload)
 	}
 	b := make([]byte, 0, size)
-	b = append(b, CodecV1)
+	b = appendTraceVersion(b, tc)
 	b = binary.BigEndian.AppendUint64(b, id)
 	b = binary.BigEndian.AppendUint64(b, uint64(s.Beta))
 	b = binary.BigEndian.AppendUint32(b, uint32(len(s.Steps)))
@@ -316,13 +418,14 @@ func EncodeSolveResp(id uint64, s *kpbs.Schedule) ([]byte, error) {
 	return b, nil
 }
 
-// DecodeSolveResp parses a CodecV1 schedule payload. Step durations are
-// recomputed from the amounts (the codec never trusts a peer-supplied
-// aggregate), so a decoded schedule passes kpbs duration validation.
+// DecodeSolveResp parses a CodecV1 or CodecV2 schedule payload. Step
+// durations are recomputed from the amounts (the codec never trusts a
+// peer-supplied aggregate), so a decoded schedule passes kpbs duration
+// validation.
 func DecodeSolveResp(p []byte) (SolveResponse, error) {
 	r := payloadReader{p: p}
-	r.version()
-	resp := SolveResponse{ID: r.u64()}
+	tc := r.traceVersion("solve response")
+	resp := SolveResponse{Trace: tc, ID: r.u64()}
 	sched := &kpbs.Schedule{Beta: r.i64()}
 	nSteps := int(r.u32())
 	if r.err != nil {

@@ -84,7 +84,7 @@ func TestDecodeSolveReqRejectsMalformed(t *testing.T) {
 	}
 	mutants := map[string][]byte{
 		"empty":               {},
-		"bad version":         append([]byte{CodecV1 + 1}, valid[1:]...),
+		"bad version":         append([]byte{CodecV2 + 1}, valid[1:]...),
 		"truncated header":    valid[:8],
 		"truncated edge":      valid[:len(valid)-1],
 		"trailing garbage":    append(append([]byte(nil), valid...), 0xAA),
@@ -120,7 +120,7 @@ func TestSolveRespRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	p, err := EncodeSolveResp(req.ID, sched)
+	p, err := EncodeSolveResp(req.ID, sched, TraceContext{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -149,7 +149,7 @@ func TestSolveRespRoundTrip(t *testing.T) {
 	// The codec is injective — re-encoding the decoded schedule must give
 	// the same bytes. The soak harness's byte-identical check rests on
 	// this.
-	again, err := EncodeSolveResp(resp.ID, resp.Schedule)
+	again, err := EncodeSolveResp(resp.ID, resp.Schedule, resp.Trace)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -164,13 +164,13 @@ func TestDecodeSolveRespRejectsMalformed(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	valid, err := EncodeSolveResp(req.ID, sched)
+	valid, err := EncodeSolveResp(req.ID, sched, TraceContext{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	for name, p := range map[string][]byte{
 		"empty":            {},
-		"bad version":      append([]byte{CodecV1 + 1}, valid[1:]...),
+		"bad version":      append([]byte{CodecV2 + 1}, valid[1:]...),
 		"truncated":        valid[:len(valid)-3],
 		"trailing garbage": append(append([]byte(nil), valid...), 1, 2, 3),
 	} {
@@ -179,6 +179,120 @@ func TestDecodeSolveRespRejectsMalformed(t *testing.T) {
 		} else if !IsProtocolError(err) {
 			t.Errorf("%s: want *ProtocolError, got %T: %v", name, err, err)
 		}
+	}
+}
+
+// sampleTrace is a non-zero trace context for the V2 tests.
+func sampleTrace() TraceContext {
+	return TraceContext{ID: [16]byte{0xDE, 0xAD, 0xBE, 0xEF, 15: 0x7F}, TS: 1_722_000_000_123_456}
+}
+
+// TestSolveReqTraceRoundTrip: a traced request upgrades to CodecV2, the
+// trace context survives the round trip, and the untraced encoding of the
+// same request is byte-identical to CodecV1 (the pre-trace format).
+func TestSolveReqTraceRoundTrip(t *testing.T) {
+	req := sampleRequest()
+	plain, err := EncodeSolveReq(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain[0] != CodecV1 {
+		t.Fatalf("untraced request encoded as version %d, want %d", plain[0], CodecV1)
+	}
+	req.Trace = sampleTrace()
+	traced, err := EncodeSolveReq(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if traced[0] != CodecV2 {
+		t.Fatalf("traced request encoded as version %d, want %d", traced[0], CodecV2)
+	}
+	if len(traced) != len(plain)+traceExtLen {
+		t.Fatalf("V2 payload is %d bytes, want V1 %d + %d trace extension", len(traced), len(plain), traceExtLen)
+	}
+	if !bytes.Equal(traced[1+traceExtLen:], plain[1:]) {
+		t.Fatal("V2 body differs from the V1 body after the trace extension")
+	}
+	got, err := DecodeSolveReq(traced)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Trace != req.Trace {
+		t.Fatalf("trace context %+v, want %+v", got.Trace, req.Trace)
+	}
+}
+
+// TestSolveRespTraceRoundTrip mirrors the request test for responses.
+func TestSolveRespTraceRoundTrip(t *testing.T) {
+	req := sampleRequest()
+	sched, err := kpbs.Solve(req.Graph(), req.K, req.Beta, kpbs.Options{Algorithm: req.Algorithm})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc := TraceContext{ID: sampleTrace().ID, TS: 4242} // echoed id + server µs
+	p, err := EncodeSolveResp(req.ID, sched, tc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p[0] != CodecV2 {
+		t.Fatalf("traced response encoded as version %d, want %d", p[0], CodecV2)
+	}
+	resp, err := DecodeSolveResp(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Trace != tc {
+		t.Fatalf("trace context %+v, want %+v", resp.Trace, tc)
+	}
+	again, err := EncodeSolveResp(resp.ID, resp.Schedule, resp.Trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(again, p) {
+		t.Fatal("re-encoding the decoded traced response changed the bytes")
+	}
+}
+
+// TestTraceCrossVersionRejected pins the V1↔V2 failure matrix: a V2
+// version byte on a V1-shaped body, a zero trace id under V2, a V2 body
+// presented as V1, and a dangling timestamp without an id all fail with a
+// typed *ProtocolError — never a panic, never a silent accept.
+func TestTraceCrossVersionRejected(t *testing.T) {
+	req := sampleRequest()
+	v1, err := EncodeSolveReq(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Trace = sampleTrace()
+	v2, err := EncodeSolveReq(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A V2 body with its trace id zeroed is not a canonical encoding.
+	zeroID := append([]byte(nil), v2...)
+	for i := 1; i <= 16; i++ {
+		zeroID[i] = 0
+	}
+	for name, p := range map[string][]byte{
+		"V2 version on V1 body":  append([]byte{CodecV2}, v1[1:]...),
+		"V1 version on V2 body":  append([]byte{CodecV1}, v2[1:]...),
+		"V2 with zero trace id":  zeroID,
+		"V2 truncated mid-trace": v2[:10],
+	} {
+		if got, err := DecodeSolveReq(p); err == nil {
+			t.Errorf("%s: decoder accepted %+v", name, got)
+		} else if !IsProtocolError(err) {
+			t.Errorf("%s: want *ProtocolError, got %T: %v", name, err, err)
+		}
+	}
+
+	if _, err := EncodeSolveReq(SolveRequest{ID: 1, K: 1, Beta: 0, Algorithm: kpbs.GGP, N1: 1, N2: 1,
+		Trace: TraceContext{TS: 99}}); err == nil {
+		t.Error("encode accepted a trace timestamp without a trace id")
+	}
+	if _, err := EncodeSolveResp(1, &kpbs.Schedule{}, TraceContext{TS: 99}); err == nil {
+		t.Error("encode accepted a response trace timestamp without a trace id")
 	}
 }
 

@@ -19,11 +19,13 @@ import (
 //     plain value literals like T{...} live on the stack and are exempt),
 //   - function literals (closure environments escape and allocate),
 //   - append (grows its backing array when capacity runs out),
-//   - method calls on obs.Registry or obs.Observer (handle lookups take a
-//     lock and a map read, and view construction allocates; hot code must
-//     receive pre-resolved nil-safe handles — Counter/Gauge/Histogram or a
-//     view like SolverObs, whose methods no-op when instrumentation is
-//     off — so observation never costs the disabled path anything).
+//   - method calls on obs.Registry, obs.Observer or obs.SpanRecorder
+//     (handle lookups take a lock and a map read, view construction
+//     allocates, and SpanRecorder.Begin claims a ring slot; hot code must
+//     receive pre-resolved nil-safe handles — Counter/Gauge/Histogram, a
+//     view like SolverObs, or a claimed *ReqRec span handle, whose methods
+//     no-op when instrumentation is off — so observation never costs the
+//     disabled path anything).
 //
 // Arena-refill appends that are amortized-zero (capacity is retained
 // across runs and AllocsPerRun proves it) carry a
@@ -99,11 +101,11 @@ func scanHotpathBody(p *lintPackage, body *ast.BlockStmt, report func(n ast.Node
 // points are barred from hot paths (their handle types are fine).
 const obsPkgPath = "redistgo/internal/obs"
 
-// obsLookupReceiver reports the receiver type name ("Registry" or
-// "Observer") when se selects a method on one of the obs entry points,
-// and "" otherwise. Handle and view types (Counter, Gauge, Histogram,
-// SolverObs, …) are deliberately not matched: their methods are the
-// sanctioned nil-safe no-op path.
+// obsLookupReceiver reports the receiver type name ("Registry",
+// "Observer" or "SpanRecorder") when se selects a method on one of the
+// obs entry points, and "" otherwise. Handle and view types (Counter,
+// Gauge, Histogram, SolverObs, ReqRec, …) are deliberately not matched:
+// their methods are the sanctioned nil-safe no-op path.
 func obsLookupReceiver(p *lintPackage, se *ast.SelectorExpr) string {
 	sel, ok := p.Info.Selections[se]
 	if !ok || sel.Kind() != types.MethodVal {
@@ -122,7 +124,7 @@ func obsLookupReceiver(p *lintPackage, se *ast.SelectorExpr) string {
 		return ""
 	}
 	switch obj.Name() {
-	case "Registry", "Observer":
+	case "Registry", "Observer", "SpanRecorder":
 		return obj.Name()
 	}
 	return ""
