@@ -52,6 +52,8 @@ func main() {
 // echoed in the response's trace context — their gap is the wire.
 type clientStats struct {
 	ok        int
+	deltas    int // responses verified via the delta path (-delta)
+	fallbacks int // chains re-opened with a full solve after unknown-base
 	rejects   map[string]int
 	mismatch  int
 	traceErrs int
@@ -76,6 +78,8 @@ func run(args []string, stdout io.Writer) (err error) {
 	spawnTenantRate := fs.Float64("spawn-tenant-rate", 0, "with -spawn: per-tenant admission requests/s")
 	spawnWorkers := fs.Int("spawn-workers", 0, "with -spawn: solver pool size; 0 means GOMAXPROCS")
 	tracectx := fs.Bool("tracectx", false, "attach a trace context to every request, verify the server echoes it, and print an end-of-run per-tenant SLO summary")
+	delta := fs.Bool("delta", false, "each client solves one base instance then streams delta requests against it, verifying every response byte-identical to a local cold solve of the edited instance")
+	spawnCacheSize := fs.Int("spawn-cache-size", 0, "with -spawn: retained solves in the server's content-addressed cache; 0 disables")
 	obsFlags := obsflag.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -108,6 +112,7 @@ func run(args []string, stdout io.Writer) (err error) {
 			GlobalRate: *spawnGlobalRate,
 			TenantRate: *spawnTenantRate,
 			Shard:      shardMode,
+			CacheSize:  *spawnCacheSize,
 			Obs:        observer,
 		})
 		if err != nil {
@@ -125,20 +130,27 @@ func run(args []string, stdout io.Writer) (err error) {
 		wg.Add(1)
 		go func(ci int) {
 			defer wg.Done()
-			stats[ci] = soakClient(target, int32(ci+1), soakParams{
+			p := soakParams{
 				requests: *requests, rate: *rate, n: *n, k: *k, beta: *beta,
 				shard: shardMode, trace: *tracectx,
 				rng: rand.New(rand.NewSource(*seed + int64(ci)*7919)),
-			})
+			}
+			if *delta {
+				stats[ci] = soakDeltaClient(target, int32(ci+1), p)
+			} else {
+				stats[ci] = soakClient(target, int32(ci+1), p)
+			}
 		}(ci)
 	}
 	wg.Wait()
 
-	ok, mismatches, traceErrs := 0, 0, 0
+	ok, deltas, fallbacks, mismatches, traceErrs := 0, 0, 0, 0, 0
 	rejects := map[string]int{}
 	var fatal error
 	for ci, st := range stats {
 		ok += st.ok
+		deltas += st.deltas
+		fallbacks += st.fallbacks
 		mismatch := st.mismatch
 		mismatches += mismatch
 		traceErrs += st.traceErrs
@@ -150,6 +162,9 @@ func run(args []string, stdout io.Writer) (err error) {
 		}
 	}
 	fmt.Fprintf(stdout, "verified %d responses byte-identical, %d mismatches, rejects: %v\n", ok, mismatches, rejects)
+	if *delta {
+		fmt.Fprintf(stdout, "delta mode: %d delta responses verified against cold solves, %d full-solve fallbacks\n", deltas, fallbacks)
+	}
 	if *tracectx {
 		printSLOSummary(stdout, stats)
 	}
@@ -332,6 +347,157 @@ func soakClient(addr string, tenant int32, p soakParams) clientStats {
 			continue
 		}
 		st.ok++
+	}
+	return st
+}
+
+// soakDeltaClient runs one tenant's delta chain: a full solve opens the
+// chain, then every round draws a deterministic edit batch, sends it as
+// a delta against the latest response id, and verifies the answer
+// byte-identical to a local cold solve of the edited instance — the
+// wire-level form of kpbs.SolveDelta's equivalence contract. Every
+// sixteenth round first probes a base id the server never issued and
+// requires the unknown-base refusal; an unexpected unknown-base on a
+// real delta is recovered by re-opening the chain with a full solve
+// (counted as a fallback), which is the documented client protocol.
+func soakDeltaClient(addr string, tenant int32, p soakParams) clientStats {
+	st := clientStats{
+		rejects:  map[string]int{},
+		rttUS:    obs.NewHistogram(obs.DurationBuckets),
+		serverUS: obs.NewHistogram(obs.DurationBuckets),
+	}
+	var pace *tokenbucket.Limiter
+	if p.rate > 0 {
+		if l, err := tokenbucket.New(p.rate, 1); err == nil {
+			pace = l
+		}
+	}
+	cl, err := serve.Dial(addr, tenant)
+	if err != nil {
+		st.fatal = err
+		return st
+	}
+	defer func() { _ = cl.Close() }()
+
+	stream := trafficgen.NewEditStream(p.rng.Int63(), trafficgen.DenseUniform(p.rng, p.n, p.n, 1, 1<<12), 0.05)
+	alg := kpbs.GGP
+	if p.rng.Intn(2) == 1 {
+		alg = kpbs.OGGP
+	}
+	opts := kpbs.Options{Algorithm: alg, Shard: p.shard}
+	nextID := uint64(0)
+	trace := func() (tc wire.TraceContext) {
+		if p.trace {
+			_, _ = p.rng.Read(tc.ID[:])
+			if tc.Zero() {
+				tc.ID[0] = 1
+			}
+		}
+		return tc
+	}
+	// verifyResp checks a solve or delta response against a local cold
+	// solve of the stream's current matrix, re-encoded under the echoed
+	// trace context.
+	verifyResp := func(req wire.TraceContext, resp wire.SolveResponse, raw []byte, rtt time.Duration) error {
+		if p.trace {
+			if resp.Trace.ID != req.ID {
+				st.traceErrs++
+				return nil
+			}
+			st.rttUS.Observe(rtt.Microseconds())
+			st.serverUS.Observe(resp.Trace.TS)
+		}
+		g, err := bipartite.FromMatrix(stream.Matrix())
+		if err != nil {
+			return fmt.Errorf("graph: %w", err)
+		}
+		local, err := kpbs.Solve(g, p.k, p.beta, opts)
+		if err != nil {
+			return fmt.Errorf("local solve: %w", err)
+		}
+		want, err := wire.EncodeSolveResp(resp.ID, local, resp.Trace)
+		if err != nil {
+			return fmt.Errorf("local encode: %w", err)
+		}
+		if !bytesEqual(raw, want) {
+			st.mismatch++
+			return nil
+		}
+		st.ok++
+		return nil
+	}
+	// openChain full-solves the current matrix, making the response id the
+	// chain's base.
+	openChain := func() (uint64, error) {
+		g, err := bipartite.FromMatrix(stream.Matrix())
+		if err != nil {
+			return 0, err
+		}
+		nextID++
+		req := wire.SolveRequest{
+			ID: nextID, K: p.k, Beta: p.beta, Algorithm: alg,
+			N1: g.LeftCount(), N2: g.RightCount(), Edges: g.Edges(),
+			Trace: trace(),
+		}
+		t0 := time.Now()
+		resp, raw, err := cl.SolveFull(req)
+		if err != nil {
+			return 0, err
+		}
+		return req.ID, verifyResp(req.Trace, resp, raw, time.Since(t0))
+	}
+
+	base, err := openChain()
+	if err != nil {
+		st.fatal = fmt.Errorf("open chain: %w", err)
+		return st
+	}
+	for i := 0; i < p.requests; i++ {
+		pace.Wait(1)
+		if i%16 == 15 {
+			// A base id we never received must be refused, not served.
+			var rej *serve.RejectError
+			_, _, err := cl.SolveDelta(wire.DeltaRequest{ID: 0, Base: base + 1<<32})
+			if !errors.As(err, &rej) || rej.Code != wire.RejectUnknownBase {
+				st.fatal = fmt.Errorf("round %d: bogus base answered with %v, want %s reject", i+1, err, wire.RejectUnknownBase)
+				return st
+			}
+			st.rejects[rej.Code.String()]++
+		}
+		edits := make([]kpbs.Edit, 0, 8)
+		for _, e := range stream.Next() {
+			edits = append(edits, kpbs.Edit(e))
+		}
+		nextID++
+		dreq := wire.DeltaRequest{ID: nextID, Base: base, Edits: edits, Trace: trace()}
+		t0 := time.Now()
+		resp, raw, err := cl.SolveDeltaFull(dreq)
+		rtt := time.Since(t0)
+		var rej *serve.RejectError
+		switch {
+		case errors.As(err, &rej):
+			st.rejects[rej.Code.String()]++
+			if rej.Code != wire.RejectUnknownBase {
+				continue
+			}
+			// The server dropped our chain (eviction, restart): fall back to
+			// a full solve of the current state and chain from there.
+			st.fallbacks++
+			if base, err = openChain(); err != nil {
+				st.fatal = fmt.Errorf("round %d: fallback solve: %w", i+1, err)
+				return st
+			}
+			continue
+		case err != nil:
+			st.fatal = fmt.Errorf("round %d: %w", i+1, err)
+			return st
+		}
+		if err := verifyResp(dreq.Trace, resp, raw, rtt); err != nil {
+			st.fatal = fmt.Errorf("round %d: %w", i+1, err)
+			return st
+		}
+		st.deltas++
+		base = dreq.ID
 	}
 	return st
 }

@@ -75,6 +75,60 @@ func TestSolveAllPublicAlgorithms(t *testing.T) {
 	}
 }
 
+// TestDeltaFacade exercises the retained-solve delta API and the solve
+// cache through the public surface: a SolveDelta schedule must be
+// byte-identical to a cold Solve of the edited instance, and a cache
+// hit must return the bytes of the miss that populated it.
+func TestDeltaFacade(t *testing.T) {
+	m := [][]int64{
+		{40, 0, 12},
+		{0, 30, 7},
+		{5, 0, 21},
+	}
+	g, err := redistgo.FromMatrix(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := redistgo.Options{Algorithm: redistgo.OGGP}
+	res, err := redistgo.NewSolveResult(g, 2, 3, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	edits := []redistgo.EditCell{{L: 2, R: 1, W: 17}, {L: 0, R: 2, W: 0}}
+	got, err := redistgo.SolveDelta(res, edits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m[2][1], m[0][2] = 17, 0
+	g2, err := redistgo.FromMatrix(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := redistgo.Solve(g2, 2, 3, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.String() != want.String() {
+		t.Fatalf("delta schedule diverges from cold solve:\n%v\nvs\n%v", got, want)
+	}
+
+	cache := redistgo.NewSolveCache(4)
+	s1, hit1, err := cache.GetOrSolve(g2, 2, 3, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, hit2, err := cache.GetOrSolve(g2, 2, 3, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit1 || !hit2 {
+		t.Fatalf("hit flags: first %v, second %v", hit1, hit2)
+	}
+	if s1.String() != s2.String() || s1.String() != want.String() {
+		t.Fatal("cache hit diverges from miss")
+	}
+}
+
 // TestAggregateFacadeDispatch exercises the dispatch plan facade.
 func TestAggregateFacadeDispatch(t *testing.T) {
 	m := [][]int64{

@@ -42,6 +42,12 @@ type Instance struct {
 	K    int
 	Beta int64
 	Opts kpbs.Options
+	// Cache, when non-nil, routes the solve through the content-addressed
+	// solve cache: a hit (or a coalesced concurrent solve of the same
+	// instance) skips the solver entirely. Misses solve inside the cache's
+	// single-flight and populate it. Instances whose graphs are not in
+	// canonical row-major order bypass the cache (see kpbs.NewResult).
+	Cache *kpbs.SolveCache
 }
 
 // Result is the outcome for the instance at the same index of the batch:
@@ -151,6 +157,17 @@ func solveOne(inst Instance, defObs *obs.Observer, defShard kpbs.ShardMode) (res
 	}
 	if inst.Opts.Shard == kpbs.ShardOff {
 		inst.Opts.Shard = defShard
+	}
+	if inst.Cache != nil {
+		s, _, err := inst.Cache.GetOrSolve(inst.G, inst.K, inst.Beta, inst.Opts)
+		if err == nil {
+			return Result{Schedule: s}
+		}
+		if !kpbs.IsNonCanonical(err) {
+			return Result{Err: err}
+		}
+		// Non-canonical edge order: the cache cannot retain a delta base for
+		// it; solve directly (uncached) instead of failing the request.
 	}
 	s, err := kpbs.Solve(inst.G, inst.K, inst.Beta, inst.Opts)
 	if err != nil {

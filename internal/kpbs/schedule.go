@@ -60,6 +60,22 @@ type Schedule struct {
 	Beta  int64
 }
 
+// Clone returns a deep copy sharing no storage with s. Used to snapshot
+// schedules that alias a Result's arenas (delta solving, the solve cache).
+func (s *Schedule) Clone() *Schedule {
+	out := &Schedule{Beta: s.Beta}
+	if s.Steps != nil {
+		out.Steps = make([]Step, len(s.Steps))
+		for i, st := range s.Steps {
+			out.Steps[i] = Step{Duration: st.Duration}
+			if st.Comms != nil {
+				out.Steps[i].Comms = append([]Comm(nil), st.Comms...)
+			}
+		}
+	}
+	return out
+}
+
 // NumSteps returns s = |Steps|.
 func (s *Schedule) NumSteps() int { return len(s.Steps) }
 

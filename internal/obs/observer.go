@@ -21,6 +21,8 @@ type Observer struct {
 
 	mu      sync.Mutex
 	solvers map[string]*solverMetrics
+	deltas  map[string]*deltaMetrics
+	cache   *CacheObs
 	engine  *EngineObs
 	cluster *ClusterObs
 	pool    *PoolObs

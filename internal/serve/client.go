@@ -102,6 +102,65 @@ func (c *Client) SolveFull(req wire.SolveRequest) (wire.SolveResponse, []byte, e
 	}
 }
 
+// SolveDelta sends one delta request — edits against a base schedule id
+// this session was previously answered with — and waits for its answer.
+// The response is an ordinary solve response, byte-identical to a cold
+// solve of the edited instance, so the raw payload verifies exactly like
+// Solve's. A *RejectError with RejectUnknownBase means the base is no
+// longer retained (superseded or evicted) and the caller must fall back
+// to a full Solve; the session stays usable.
+func (c *Client) SolveDelta(req wire.DeltaRequest) (*kpbs.Schedule, []byte, error) {
+	resp, payload, err := c.SolveDeltaFull(req)
+	if err != nil {
+		return nil, nil, err
+	}
+	return resp.Schedule, payload, nil
+}
+
+// SolveDeltaFull is SolveDelta returning the whole decoded response,
+// trace context included. ID defaulting and trace timestamp stamping
+// behave exactly as in SolveFull; on success the response's id is the
+// new base id for the next delta of the chain.
+func (c *Client) SolveDeltaFull(req wire.DeltaRequest) (wire.SolveResponse, []byte, error) {
+	if req.ID == 0 {
+		c.nextID++
+		req.ID = c.nextID
+	}
+	if !req.Trace.Zero() && req.Trace.TS == 0 {
+		req.Trace.TS = time.Now().UnixMicro()
+	}
+	payload, err := wire.EncodeDeltaReq(req)
+	if err != nil {
+		return wire.SolveResponse{}, nil, err
+	}
+	if err := wire.Write(c.conn, wire.Frame{Type: wire.MsgDeltaReq, Src: c.tenant, Payload: payload}); err != nil {
+		return wire.SolveResponse{}, nil, fmt.Errorf("serve: send delta request: %w", err)
+	}
+	f, err := wire.Read(c.conn)
+	if err != nil {
+		return wire.SolveResponse{}, nil, fmt.Errorf("serve: read response: %w", err)
+	}
+	switch f.Type {
+	case wire.MsgSolveResp:
+		resp, err := wire.DecodeSolveResp(f.Payload)
+		if err != nil {
+			return wire.SolveResponse{}, nil, err
+		}
+		if resp.ID != req.ID {
+			return wire.SolveResponse{}, nil, fmt.Errorf("serve: response for request %d, want %d", resp.ID, req.ID)
+		}
+		return resp, f.Payload, nil
+	case wire.MsgReject:
+		rej, err := wire.DecodeReject(f.Payload)
+		if err != nil {
+			return wire.SolveResponse{}, nil, err
+		}
+		return wire.SolveResponse{}, nil, &RejectError{ID: rej.ID, Code: rej.Code, Reason: rej.Reason}
+	default:
+		return wire.SolveResponse{}, nil, fmt.Errorf("serve: unexpected frame %s", f.Type)
+	}
+}
+
 // Close ends the session politely (MsgDone) and closes the connection.
 func (c *Client) Close() error {
 	_ = wire.Write(c.conn, wire.Frame{Type: wire.MsgDone}) // best-effort goodbye

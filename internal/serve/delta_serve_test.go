@@ -1,0 +1,336 @@
+package serve
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"redistgo/internal/bipartite"
+	"redistgo/internal/kpbs"
+	"redistgo/internal/obs"
+	"redistgo/internal/wire"
+)
+
+// deltaMatrix is a client-side mirror of the instance a delta chain
+// evolves: the test applies the same edits locally and cold-solves the
+// patched matrix to verify every delta response byte-for-byte.
+type deltaMatrix struct {
+	m   [][]int64
+	n   int
+	alg kpbs.Algorithm
+	k   int
+}
+
+func newDeltaMatrix(rng *rand.Rand, n, k int, alg kpbs.Algorithm) *deltaMatrix {
+	m := make([][]int64, n)
+	for i := range m {
+		m[i] = make([]int64, n)
+		for j := range m[i] {
+			if rng.Intn(4) > 0 {
+				m[i][j] = 1 + rng.Int63n(1<<10)
+			}
+		}
+	}
+	return &deltaMatrix{m: m, n: n, alg: alg, k: k}
+}
+
+func (d *deltaMatrix) request(id uint64) wire.SolveRequest {
+	g := d.graph()
+	return wire.SolveRequest{
+		ID: id, K: d.k, Beta: 16, Algorithm: d.alg,
+		N1: g.LeftCount(), N2: g.RightCount(), Edges: g.Edges(),
+	}
+}
+
+func (d *deltaMatrix) graph() *bipartite.Graph {
+	g, err := bipartite.FromMatrix(d.m)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// edits draws a random mixed edit batch and applies it to the mirror.
+func (d *deltaMatrix) edits(rng *rand.Rand, count int) []kpbs.Edit {
+	out := make([]kpbs.Edit, 0, count)
+	for len(out) < count {
+		l, r := rng.Intn(d.n), rng.Intn(d.n)
+		var w int64
+		switch rng.Intn(3) {
+		case 0:
+			w = 1 + rng.Int63n(1<<10)
+		case 1:
+			w = 0
+		default:
+			w = d.m[l][r] + 1 + rng.Int63n(64)
+		}
+		d.m[l][r] = w
+		out = append(out, kpbs.Edit{L: l, R: r, W: w})
+	}
+	return out
+}
+
+// verifyDelta cold-solves the mirror and checks the server's raw delta
+// response is its byte-identical encoding.
+func (d *deltaMatrix) verifyDelta(t *testing.T, id uint64, raw []byte, tc wire.TraceContext) {
+	t.Helper()
+	local, err := kpbs.Solve(d.graph(), d.k, 16, kpbs.Options{Algorithm: d.alg})
+	if err != nil {
+		t.Fatalf("local cold solve: %v", err)
+	}
+	want, err := wire.EncodeSolveResp(id, local, tc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(raw, want) {
+		t.Fatal("delta response differs from a cold solve of the edited instance")
+	}
+}
+
+// TestServeDeltaChain is the serve-side acceptance for delta solving: a
+// solve opens a chain, every subsequent delta names the latest response
+// id, and each response is byte-identical to a cold solve of the edited
+// instance — with and without the solve cache, for both algorithms.
+func TestServeDeltaChain(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		alg  kpbs.Algorithm
+		cfg  Config
+	}{
+		{"ggp", kpbs.GGP, Config{}},
+		{"oggp", kpbs.OGGP, Config{}},
+		{"ggp-cached", kpbs.GGP, Config{CacheSize: 8}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			o := obs.New()
+			cfg := tc.cfg
+			cfg.Obs = o
+			s := newServer(t, cfg)
+			cl, err := Dial(s.Addr(), 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer cl.Close()
+			rng := rand.New(rand.NewSource(11))
+			d := newDeltaMatrix(rng, 12, 3, tc.alg)
+
+			req := d.request(1)
+			if _, raw, err := cl.Solve(req); err != nil {
+				t.Fatalf("base solve: %v", err)
+			} else {
+				verify(t, req, raw)
+			}
+			base := req.ID
+			for round := 0; round < 6; round++ {
+				edits := d.edits(rng, 1+rng.Intn(8))
+				id := uint64(round + 2)
+				_, raw, err := cl.SolveDelta(wire.DeltaRequest{ID: id, Base: base, Edits: edits})
+				if err != nil {
+					t.Fatalf("delta round %d: %v", round, err)
+				}
+				d.verifyDelta(t, id, raw, wire.TraceContext{})
+				base = id
+			}
+			snap := o.Metrics.Snapshot()
+			var deltaTotal int64
+			for name, v := range snap.Counters {
+				if len(name) > 27 && name[:27] == "solver.delta.requests_total" {
+					deltaTotal += v
+				}
+			}
+			if deltaTotal != 6 {
+				t.Errorf("delta path counters sum to %d, want 6", deltaTotal)
+			}
+			if got := snap.Counters["serve.responses_total"]; got != 7 {
+				t.Errorf("responses_total = %d, want 7", got)
+			}
+		})
+	}
+}
+
+// TestServeDeltaTraced: a traced delta echoes the trace id with the
+// server's handling time, and the payload still matches a local cold
+// solve re-encoded under the echoed context.
+func TestServeDeltaTraced(t *testing.T) {
+	s := newServer(t, Config{})
+	cl, err := Dial(s.Addr(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	rng := rand.New(rand.NewSource(21))
+	d := newDeltaMatrix(rng, 8, 2, kpbs.GGP)
+	req := d.request(1)
+	if _, _, err := cl.Solve(req); err != nil {
+		t.Fatal(err)
+	}
+	edits := d.edits(rng, 4)
+	dreq := wire.DeltaRequest{ID: 2, Base: 1, Edits: edits,
+		Trace: wire.TraceContext{ID: [16]byte{0xD3, 15: 0x7A}}}
+	resp, raw, err := cl.SolveDeltaFull(dreq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Trace.ID != dreq.Trace.ID {
+		t.Fatalf("response trace id %x, want the request's %x", resp.Trace.ID, dreq.Trace.ID)
+	}
+	if raw[0] != wire.CodecV2 {
+		t.Fatalf("traced delta response version %d, want CodecV2", raw[0])
+	}
+	d.verifyDelta(t, 2, raw, resp.Trace)
+}
+
+// TestServeDeltaUnknownBase: deltas against ids that were never issued,
+// or that a successful delta superseded, are refused with unknown-base
+// and the session stays usable.
+func TestServeDeltaUnknownBase(t *testing.T) {
+	s := newServer(t, Config{})
+	cl, err := Dial(s.Addr(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	rng := rand.New(rand.NewSource(31))
+	d := newDeltaMatrix(rng, 8, 2, kpbs.GGP)
+
+	expectUnknown := func(base uint64) {
+		t.Helper()
+		var rej *RejectError
+		if _, _, err := cl.SolveDelta(wire.DeltaRequest{ID: 0, Base: base}); !errors.As(err, &rej) {
+			t.Fatalf("delta against base %d: %v, want reject", base, err)
+		} else if rej.Code != wire.RejectUnknownBase {
+			t.Fatalf("delta against base %d rejected with %s, want %s", base, rej.Code, wire.RejectUnknownBase)
+		}
+	}
+
+	expectUnknown(99) // never issued
+
+	if _, _, err := cl.Solve(d.request(1)); err != nil {
+		t.Fatal(err)
+	}
+	edits := d.edits(rng, 3)
+	if _, raw, err := cl.SolveDelta(wire.DeltaRequest{ID: 2, Base: 1, Edits: edits}); err != nil {
+		t.Fatal(err)
+	} else {
+		d.verifyDelta(t, 2, raw, wire.TraceContext{})
+	}
+	expectUnknown(1) // superseded by response 2
+
+	// The chain is still addressable under its latest id.
+	edits = d.edits(rng, 3)
+	if _, raw, err := cl.SolveDelta(wire.DeltaRequest{ID: 3, Base: 2, Edits: edits}); err != nil {
+		t.Fatalf("delta against the advanced base: %v", err)
+	} else {
+		d.verifyDelta(t, 3, raw, wire.TraceContext{})
+	}
+}
+
+// TestServeDeltaEvictedBase: the per-session base registry is bounded;
+// opening more chains than MaxBases evicts the oldest, whose id is then
+// refused, while the newest chains keep answering.
+func TestServeDeltaEvictedBase(t *testing.T) {
+	s := newServer(t, Config{MaxBases: 2})
+	cl, err := Dial(s.Addr(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	rng := rand.New(rand.NewSource(41))
+	mats := make([]*deltaMatrix, 3)
+	for i := range mats {
+		mats[i] = newDeltaMatrix(rng, 8, 2, kpbs.GGP)
+		if _, _, err := cl.Solve(mats[i].request(uint64(i + 1))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var rej *RejectError
+	if _, _, err := cl.SolveDelta(wire.DeltaRequest{ID: 10, Base: 1}); !errors.As(err, &rej) {
+		t.Fatalf("delta against the evicted base: %v, want reject", err)
+	} else if rej.Code != wire.RejectUnknownBase {
+		t.Fatalf("evicted base rejected with %s, want %s", rej.Code, wire.RejectUnknownBase)
+	}
+	edits := mats[2].edits(rng, 4)
+	if _, raw, err := cl.SolveDelta(wire.DeltaRequest{ID: 11, Base: 3, Edits: edits}); err != nil {
+		t.Fatalf("delta against a retained base: %v", err)
+	} else {
+		mats[2].verifyDelta(t, 11, raw, wire.TraceContext{})
+	}
+}
+
+// TestServeDeltaBadEdits: an edit outside the base's matrix is refused
+// as bad-request without poisoning the chain — the same base answers the
+// corrected delta.
+func TestServeDeltaBadEdits(t *testing.T) {
+	s := newServer(t, Config{})
+	cl, err := Dial(s.Addr(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	rng := rand.New(rand.NewSource(51))
+	d := newDeltaMatrix(rng, 8, 2, kpbs.GGP)
+	if _, _, err := cl.Solve(d.request(1)); err != nil {
+		t.Fatal(err)
+	}
+	var rej *RejectError
+	bad := wire.DeltaRequest{ID: 2, Base: 1, Edits: []kpbs.Edit{{L: 8, R: 0, W: 1}}}
+	if _, _, err := cl.SolveDelta(bad); !errors.As(err, &rej) {
+		t.Fatalf("out-of-matrix edit: %v, want reject", err)
+	} else if rej.Code != wire.RejectBadRequest {
+		t.Fatalf("out-of-matrix edit rejected with %s, want %s", rej.Code, wire.RejectBadRequest)
+	}
+	edits := d.edits(rng, 4)
+	if _, raw, err := cl.SolveDelta(wire.DeltaRequest{ID: 3, Base: 1, Edits: edits}); err != nil {
+		t.Fatalf("delta after a refused edit list: %v", err)
+	} else {
+		d.verifyDelta(t, 3, raw, wire.TraceContext{})
+	}
+}
+
+// TestServeCacheHit: with the solve cache on, a repeat of an identical
+// instance is answered from the cache (hit counter, byte-identical), and
+// a delta then checks the retained result out rather than re-solving.
+func TestServeCacheHit(t *testing.T) {
+	o := obs.New()
+	s := newServer(t, Config{CacheSize: 4, Obs: o})
+	cl, err := Dial(s.Addr(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	rng := rand.New(rand.NewSource(61))
+	d := newDeltaMatrix(rng, 10, 2, kpbs.GGP)
+
+	first := d.request(1)
+	_, raw1, err := cl.Solve(first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second := d.request(2)
+	_, raw2, err := cl.Solve(second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Identical instances, different request ids: the payloads differ only
+	// in the id header; both must match their local cold solves.
+	verify(t, first, raw1)
+	verify(t, second, raw2)
+	snap := o.Metrics.Snapshot()
+	if got := snap.Counters["solver.cache.hits_total"]; got != 1 {
+		t.Errorf("cache hits = %d, want 1", got)
+	}
+	if got := snap.Counters["solver.cache.misses_total"]; got != 1 {
+		t.Errorf("cache misses = %d, want 1", got)
+	}
+
+	edits := d.edits(rng, 4)
+	if _, raw, err := cl.SolveDelta(wire.DeltaRequest{ID: 3, Base: 2, Edits: edits}); err != nil {
+		t.Fatal(err)
+	} else {
+		d.verifyDelta(t, 3, raw, wire.TraceContext{})
+	}
+	if got := o.Metrics.Snapshot().Counters["solver.cache.checkouts_total"]; got != 1 {
+		t.Errorf("cache checkouts = %d, want 1", got)
+	}
+}

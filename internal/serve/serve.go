@@ -69,6 +69,17 @@ type Config struct {
 	MaxNodes int
 	// Shard is the pool-wide kpbs sharding default for served solves.
 	Shard kpbs.ShardMode
+	// CacheSize enables the content-addressed solve cache with that many
+	// entries: repeated solves of byte-identical instances (across all
+	// sessions) are served from the cache, and delta bases are checked out
+	// of it instead of being rebuilt. ≤ 0 disables the cache.
+	CacheSize int
+	// MaxBases bounds how many delta-base chains each session may keep
+	// alive at once (a chain advances by addressing the latest response id
+	// of its lineage). Inserting beyond the bound evicts the least recently
+	// advanced chain; deltas against an evicted base are refused with
+	// RejectUnknownBase. ≤ 0 selects 4.
+	MaxBases int
 	// Obs attaches the observability layer ("serve.*" and "engine.pool.*"
 	// metrics, per-session trace lanes, per-request spans and per-tenant
 	// SLO views). nil disables instrumentation.
@@ -85,6 +96,7 @@ type Server struct {
 	cfg    Config
 	ln     net.Listener
 	pool   *engine.Pool
+	cache  *kpbs.SolveCache // nil when Config.CacheSize ≤ 0
 	so     *obs.ServeObs
 	spans  *obs.SpanRecorder
 	slo    *obs.TenantObs
@@ -155,6 +167,9 @@ func New(cfg Config) (*Server, error) {
 		conns:   map[net.Conn]struct{}{},
 		done:    make(chan struct{}),
 	}
+	if cfg.CacheSize > 0 {
+		s.cache = kpbs.NewSolveCache(cfg.CacheSize, cfg.Obs)
+	}
 	s.log.Info("listening", "addr", s.Addr())
 	s.acceptWG.Add(1)
 	go s.acceptLoop()
@@ -204,6 +219,7 @@ func (s *Server) acceptLoop() {
 // sessions (the solver pool multiplexes them onto Workers goroutines).
 func (s *Server) session(id int, conn net.Conn) {
 	defer s.sessionWG.Done()
+	bases := newBaseRegistry(s.cfg.MaxBases)
 	s.so.SessionOpen(id)
 	s.log.Debug("session open", "session", id, "remote", conn.RemoteAddr().String())
 	defer func() {
@@ -240,7 +256,11 @@ func (s *Server) session(id int, conn net.Conn) {
 			rec.Drop()
 			return
 		case wire.MsgSolveReq:
-			if !s.handleSolve(id, conn, f, rec) {
+			if !s.handleSolve(id, conn, f, rec, bases) {
+				return
+			}
+		case wire.MsgDeltaReq:
+			if !s.handleDelta(id, conn, f, rec, bases) {
 				return
 			}
 		default:
@@ -262,7 +282,7 @@ func (s *Server) session(id int, conn net.Conn) {
 // (read-to-encode), so the client can split its round-trip latency into
 // server time and wire time. Untraced (CodecV1) requests get the exact
 // pre-trace-era V1 response bytes — the differential test pins that.
-func (s *Server) handleSolve(id int, conn net.Conn, f wire.Frame, rec *obs.ReqRec) bool {
+func (s *Server) handleSolve(id int, conn net.Conn, f wire.Frame, rec *obs.ReqRec, bases *baseRegistry) bool {
 	start := time.Now()
 	rec.Mark(obs.PhaseAdmit)
 	rec.SetTenant(int(f.Src))
@@ -327,7 +347,8 @@ func (s *Server) handleSolve(id int, conn net.Conn, f wire.Frame, rec *obs.ReqRe
 			fmt.Sprintf("tenant %d admission budget exhausted", f.Src))
 	}
 
-	inst := engine.Instance{G: req.Graph(), K: req.K, Beta: req.Beta, Opts: kpbs.Options{Algorithm: req.Algorithm}}
+	inst := engine.Instance{G: req.Graph(), K: req.K, Beta: req.Beta,
+		Opts: kpbs.Options{Algorithm: req.Algorithm}, Cache: s.cache}
 	rec.Mark(obs.PhaseQueue)
 	// The job context is Background on purpose: once admitted, a request
 	// is solved even while the server drains — that is the drain.
@@ -374,6 +395,18 @@ func (s *Server) handleSolve(id int, conn net.Conn, f wire.Frame, rec *obs.ReqRe
 	slot.Respond(res.Wait, res.Solve)
 	rec.Finish(obs.OutcomeOK)
 	logReq("ok")
+	// The response id becomes addressable as a delta base. The registered
+	// options mirror what solveOne resolved (pool-default shard and
+	// observer), so a later base materialization — cache checkout or cold
+	// build — reproduces this exact solve.
+	opts := inst.Opts
+	if opts.Obs == nil {
+		opts.Obs = s.cfg.Obs
+	}
+	if opts.Shard == kpbs.ShardOff {
+		opts.Shard = s.cfg.Shard
+	}
+	bases.register(req.ID, inst.G, req.K, req.Beta, opts)
 	return true
 }
 

@@ -1,0 +1,143 @@
+package trafficgen
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Edit is one cell assignment of an evolving traffic matrix: the amount
+// node L sends node R becomes W (0 removes the transfer). It is
+// field-identical to kpbs.Edit — trafficgen cannot import the solver
+// (the solver's tests import trafficgen), so callers convert with
+// kpbs.Edit(e).
+type Edit struct {
+	L, R int
+	W    int64
+}
+
+// EditStream evolves a traffic matrix through rounds of cell edits the
+// way a long-running redistribution workload does: mostly small drift
+// (bumps and decays of existing transfers), some churn (new transfers
+// appearing, old ones draining to zero), and periodic bursts where one
+// sender rewrites much of its row at once. Rounds are reproducible
+// bit-for-bit from the seed, independent of when or where they are
+// drawn — the delta soak relies on replaying the identical stream on
+// both sides of a connection.
+type EditStream struct {
+	rng   *rand.Rand
+	m     [][]int64
+	nL    int
+	nR    int
+	per   int   // edits per regular round
+	maxW  int64 // weight ceiling for new/bumped transfers
+	round int
+}
+
+// burstEvery is the round period of the burst pattern: every eighth
+// round is a row-concentrated burst instead of uniform drift.
+const burstEvery = 8
+
+// NewEditStream clones base as the evolving state and returns a stream
+// editing a rate fraction of its cells per round (at least one edit; a
+// quarter of the cells at most). The weight ceiling is the largest base
+// entry, so edited instances stay in the workload's magnitude range.
+func NewEditStream(seed int64, base [][]int64, rate float64) *EditStream {
+	nL := len(base)
+	if nL == 0 || len(base[0]) == 0 {
+		panic("trafficgen: edit stream needs a non-empty base matrix")
+	}
+	nR := len(base[0])
+	m := make([][]int64, nL)
+	var maxW int64 = 1
+	for i, row := range base {
+		if len(row) != nR {
+			panic(fmt.Sprintf("trafficgen: ragged base matrix (row %d has %d cells, want %d)", i, len(row), nR))
+		}
+		m[i] = append([]int64(nil), row...)
+		for _, w := range row {
+			if w > maxW {
+				maxW = w
+			}
+		}
+	}
+	per := int(rate * float64(nL*nR))
+	if per < 1 {
+		per = 1
+	}
+	if cap := nL * nR / 4; per > cap && cap > 0 {
+		per = cap
+	}
+	return &EditStream{rng: rand.New(rand.NewSource(seed)), m: m, nL: nL, nR: nR, per: per, maxW: maxW}
+}
+
+// Matrix is the stream's current state — the base with every edit drawn
+// so far applied. The caller must treat it as read-only; mutating it
+// desynchronizes the stream from any replica replaying the same seed.
+func (s *EditStream) Matrix() [][]int64 {
+	return s.m
+}
+
+// Next draws one round of edits and applies them to the stream's state.
+// Later edits win when a round touches a cell twice, matching how
+// kpbs.SolveDelta applies a batch.
+func (s *EditStream) Next() []Edit {
+	defer func() { s.round++ }()
+	if s.round%burstEvery == burstEvery-1 {
+		return s.burst()
+	}
+	out := make([]Edit, 0, s.per)
+	for len(out) < s.per {
+		l, r := s.rng.Intn(s.nL), s.rng.Intn(s.nR)
+		out = append(out, s.apply(l, r, s.drift(s.m[l][r])))
+	}
+	return out
+}
+
+// drift picks the new weight for one cell: bump or decay a live
+// transfer, occasionally drain it; start a fresh transfer in a dead
+// cell, usually leaving it dead.
+func (s *EditStream) drift(cur int64) int64 {
+	if cur == 0 {
+		if s.rng.Intn(4) == 0 { // add
+			return 1 + s.rng.Int63n(s.maxW)
+		}
+		return 0
+	}
+	switch s.rng.Intn(5) {
+	case 0: // remove
+		return 0
+	case 1, 2: // bump
+		w := cur + 1 + s.rng.Int63n(s.maxW/4+1)
+		if w > s.maxW {
+			w = s.maxW
+		}
+		return w
+	default: // decay
+		w := cur - 1 - s.rng.Int63n(cur/2+1)
+		if w < 1 {
+			w = 1
+		}
+		return w
+	}
+}
+
+// burst rewrites a contiguous stretch of one sender's row with fresh
+// uniform transfers — the "node re-plans its redistribution" event.
+func (s *EditStream) burst() []Edit {
+	l := s.rng.Intn(s.nL)
+	width := s.per
+	if width > s.nR {
+		width = s.nR
+	}
+	start := s.rng.Intn(s.nR - width + 1)
+	out := make([]Edit, 0, width)
+	for r := start; r < start+width; r++ {
+		out = append(out, s.apply(l, r, 1+s.rng.Int63n(s.maxW)))
+	}
+	return out
+}
+
+func (s *EditStream) apply(l, r int, w int64) Edit {
+	s.m[l][r] = w
+	return Edit{L: l, R: r, W: w}
+}

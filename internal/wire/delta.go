@@ -1,0 +1,112 @@
+// Delta-request codec: the wire protocol extension that lets a client
+// patch a schedule the service already computed instead of re-submitting
+// the whole instance (DESIGN.md §13). A delta request names the response
+// id of the base schedule and carries a list of cell edits; the reply is
+// an ordinary MsgSolveResp — byte-identical to a cold solve of the edited
+// instance — or a MsgReject (RejectUnknownBase when the base is not
+// retained). Like the solve codecs, every field is length- and
+// range-checked, so hostile payloads produce a *ProtocolError, never a
+// panic or an over-allocation.
+
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"redistgo/internal/kpbs"
+)
+
+// MaxDeltaEdits bounds the edit list of one delta request. A full dense
+// MaxInstanceNodes-sided rewrite is far beyond any sane delta (clients
+// should cold-solve instead), and the payload length bounds the list
+// independently (MaxPayload / 16 edits at most).
+const MaxDeltaEdits = 1 << 16
+
+// DeltaRequest asks the service to apply Edits to the instance behind the
+// schedule it previously returned with response id Base, and to return
+// the schedule of the edited instance. ID is the client-chosen
+// correlation id of this request (echoed in the response or reject); Base
+// must be the id of the session's latest solve or delta response for the
+// chain (earlier ids are superseded and rejected). An edit with weight 0
+// clears the cell.
+type DeltaRequest struct {
+	ID    uint64
+	Base  uint64
+	Edits []kpbs.Edit
+	Trace TraceContext
+}
+
+// EncodeDeltaReq serializes r as a CodecV1 payload — or CodecV2 when a
+// trace context is attached. It enforces the decoder's bounds, so an
+// encoded request always decodes.
+func EncodeDeltaReq(r DeltaRequest) ([]byte, error) {
+	if r.Trace.Zero() && r.Trace.TS != 0 {
+		return nil, fmt.Errorf("wire: delta request trace timestamp %d without a trace id", r.Trace.TS)
+	}
+	if len(r.Edits) > MaxDeltaEdits {
+		return nil, fmt.Errorf("wire: delta request carries %d edits, maximum is %d", len(r.Edits), MaxDeltaEdits)
+	}
+	size := traceVersionLen(r.Trace) + 8 + 8 + 4 + 16*len(r.Edits)
+	if size > MaxPayload {
+		return nil, fmt.Errorf("wire: delta request with %d edits needs %d bytes, frame maximum is %d", len(r.Edits), size, MaxPayload)
+	}
+	b := make([]byte, 0, size)
+	b = appendTraceVersion(b, r.Trace)
+	b = binary.BigEndian.AppendUint64(b, r.ID)
+	b = binary.BigEndian.AppendUint64(b, r.Base)
+	b = binary.BigEndian.AppendUint32(b, uint32(len(r.Edits)))
+	for _, e := range r.Edits {
+		if e.L < 0 || e.L >= MaxInstanceNodes || e.R < 0 || e.R >= MaxInstanceNodes {
+			return nil, fmt.Errorf("wire: delta request edit (%d,%d) outside [0, %d)", e.L, e.R, MaxInstanceNodes)
+		}
+		if e.W < 0 {
+			return nil, fmt.Errorf("wire: delta request edit (%d,%d) has negative weight %d", e.L, e.R, e.W)
+		}
+		b = binary.BigEndian.AppendUint32(b, uint32(e.L))
+		b = binary.BigEndian.AppendUint32(b, uint32(e.R))
+		b = binary.BigEndian.AppendUint64(b, uint64(e.W))
+	}
+	return b, nil
+}
+
+// DecodeDeltaReq parses and fully validates a CodecV1 or CodecV2 delta
+// request. Edit endpoints are checked against the protocol-wide node
+// bound here; the service re-checks them against the actual base
+// instance's dimensions before applying anything.
+func DecodeDeltaReq(p []byte) (DeltaRequest, error) {
+	r := payloadReader{p: p}
+	tc := r.traceVersion("delta request")
+	req := DeltaRequest{
+		Trace: tc,
+		ID:    r.u64(),
+		Base:  r.u64(),
+	}
+	nEdits := int(r.u32())
+	if r.err != nil {
+		return DeltaRequest{}, r.err
+	}
+	if nEdits > MaxDeltaEdits {
+		return DeltaRequest{}, protoErrf("delta request declares %d edits, maximum is %d", nEdits, MaxDeltaEdits)
+	}
+	if rest := len(p) - r.off; rest != 16*nEdits {
+		return DeltaRequest{}, protoErrf("delta request declares %d edits (%d bytes) but carries %d bytes", nEdits, 16*nEdits, rest)
+	}
+	if nEdits > 0 {
+		req.Edits = make([]kpbs.Edit, nEdits)
+	}
+	for i := 0; i < nEdits; i++ {
+		l, rr, w := int(r.u32()), int(r.u32()), r.i64()
+		if l >= MaxInstanceNodes || rr >= MaxInstanceNodes {
+			return DeltaRequest{}, protoErrf("delta request edit %d cell (%d,%d) outside [0, %d)", i, l, rr, MaxInstanceNodes)
+		}
+		if w < 0 {
+			return DeltaRequest{}, protoErrf("delta request edit %d has negative weight %d", i, w)
+		}
+		req.Edits[i] = kpbs.Edit{L: l, R: rr, W: w}
+	}
+	if err := r.done(); err != nil {
+		return DeltaRequest{}, err
+	}
+	return req, nil
+}

@@ -72,8 +72,13 @@ const (
 	RejectTooLarge
 	// RejectSolveFailed: the solver returned an error for the instance.
 	RejectSolveFailed
+	// RejectUnknownBase: a delta request referenced a base schedule id the
+	// service does not retain (never issued on this session, superseded by
+	// a later delta, or evicted); the client must fall back to a full
+	// MsgSolveReq.
+	RejectUnknownBase
 
-	maxRejectCode = RejectSolveFailed
+	maxRejectCode = RejectUnknownBase
 )
 
 // String names the reject code.
@@ -91,6 +96,8 @@ func (c RejectCode) String() string {
 		return "too-large"
 	case RejectSolveFailed:
 		return "solve-failed"
+	case RejectUnknownBase:
+		return "unknown-base"
 	}
 	return fmt.Sprintf("RejectCode(%d)", uint8(c))
 }

@@ -43,10 +43,16 @@ const (
 	// MsgReject refuses a request (quota, shutdown, malformed instance):
 	// payload is a versioned Reject codec (solve.go).
 	MsgReject
+	// MsgDeltaReq asks the service to patch a previously returned schedule
+	// with an edit list instead of re-submitting the whole instance:
+	// payload is a versioned DeltaRequest codec (delta.go). The response is
+	// an ordinary MsgSolveResp (byte-identical to a cold solve of the
+	// edited instance) or a MsgReject.
+	MsgDeltaReq
 
 	// maxMsgType is the highest assigned message type; Read and Write
 	// refuse frames outside [MsgXfer, maxMsgType].
-	maxMsgType = MsgReject
+	maxMsgType = MsgDeltaReq
 )
 
 // ProtocolError is a framing or codec violation: the peer sent bytes that
@@ -91,6 +97,8 @@ func (t MsgType) String() string {
 		return "SOLVE_RESP"
 	case MsgReject:
 		return "REJECT"
+	case MsgDeltaReq:
+		return "DELTA_REQ"
 	}
 	return fmt.Sprintf("MsgType(%d)", uint8(t))
 }

@@ -137,6 +137,39 @@ func Solve(g *Graph, k int, beta int64, opts Options) (*Schedule, error) {
 	return kpbs.Solve(g, k, beta, opts)
 }
 
+// EditCell sets one cell of the traffic matrix behind a retained solve:
+// a positive weight writes the cell (adding it if absent), zero clears
+// it. Later edits to the same cell win.
+type EditCell = kpbs.Edit
+
+// SolveResult is a retained solve that can be advanced under edits with
+// SolveDelta instead of re-solved from scratch (DESIGN.md §13). It is
+// single-owner state, not safe for concurrent use.
+type SolveResult = kpbs.Result
+
+// NewSolveResult runs a cold solve of (g, k, beta) under opts and
+// retains its full state for delta solving. The graph must be canonical
+// row-major — exactly what FromMatrix builds.
+func NewSolveResult(g *Graph, k int, beta int64, opts Options) (*SolveResult, error) {
+	return kpbs.NewResult(g, k, beta, opts)
+}
+
+// SolveDelta patches the retained instance with edits and returns the
+// schedule of the edited instance — byte-identical to what Solve would
+// return for it, usually much faster (see `make bench-delta`).
+func SolveDelta(prev *SolveResult, edits []EditCell) (*Schedule, error) {
+	return kpbs.SolveDelta(prev, edits)
+}
+
+// SolveCache is a bounded content-addressed LRU of solves: repeat
+// instances are served without running the solver, concurrent misses of
+// one instance coalesce into a single solve, and delta chains can check
+// warm bases out of it (DESIGN.md §13.3).
+type SolveCache = kpbs.SolveCache
+
+// NewSolveCache builds a solve cache bounded to capacity entries.
+func NewSolveCache(capacity int) *SolveCache { return kpbs.NewSolveCache(capacity, nil) }
+
 // SolveWRGP runs the plain Weight-Regular Graph Peeling algorithm
 // (paper §4.1) on a weight-regular balanced graph with unbounded k and no
 // setup delay. bottleneck selects OGGP's matching rule.

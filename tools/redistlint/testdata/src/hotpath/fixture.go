@@ -70,6 +70,40 @@ func (m *meters) hotObsClean(v int64) {
 	m.rec.Mark(obs.PhaseSolve)
 }
 
+// The delta-repair loops (kpbs delta solving) lean on three shapes that
+// must stay exempt: re-slicing retained arenas to zero length, clearing a
+// scratch map with a delete loop, and binary search over retained keys.
+// None of them allocates; flagging them would force allow-comments onto
+// every delta hot function.
+//
+//redistlint:hotpath
+func (a *arena) hotDeltaClean(keys []uint64, idx map[uint64]int, want uint64) int {
+	a.buf = a.buf[:0]
+	for k := range idx {
+		delete(idx, k)
+	}
+	lo, hi := 0, len(keys)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if keys[mid] < want {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Building the scratch map itself, though, is a cold-path job: a map
+// literal (or make) inside a hot function is an allocation per call.
+//
+//redistlint:hotpath
+func (a *arena) hotDeltaViolations(k uint64) map[uint64]int {
+	idx := map[uint64]int{} // want "allocating composite literal"
+	idx[k] = 1
+	return idx
+}
+
 // coldPath is unannotated: it may allocate freely, and it may resolve the
 // handles that hot code consumes.
 func coldPath(n int, reg *obs.Registry) []comm {
