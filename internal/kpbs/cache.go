@@ -53,24 +53,37 @@ func HashInstance(g *bipartite.Graph, k int, beta int64, opts Options) InstanceK
 	}
 	put(uint64(g.LeftCount()))
 	put(uint64(g.RightCount()))
-	edges := g.Edges()
-	if !sort.SliceIsSorted(edges, func(i, j int) bool {
-		if edges[i].L != edges[j].L {
-			return edges[i].L < edges[j].L
+	// The common case — a canonically ordered graph (bipartite.FromMatrix)
+	// — hashes edges in place; only a non-canonical edge list pays for the
+	// copy+sort. This keeps the serve-path lookup allocation-free.
+	sorted := true
+	for i, m := 1, g.EdgeCount(); i < m; i++ {
+		a, b := g.Edge(i-1), g.Edge(i)
+		if a.L > b.L || (a.L == b.L && a.R > b.R) {
+			sorted = false
+			break
 		}
-		return edges[i].R < edges[j].R
-	}) {
+	}
+	if sorted {
+		for i, m := 0, g.EdgeCount(); i < m; i++ {
+			e := g.Edge(i)
+			put(uint64(e.L))
+			put(uint64(e.R))
+			put(uint64(e.Weight))
+		}
+	} else {
+		edges := g.Edges()
 		sort.Slice(edges, func(i, j int) bool {
 			if edges[i].L != edges[j].L {
 				return edges[i].L < edges[j].L
 			}
 			return edges[i].R < edges[j].R
 		})
-	}
-	for _, e := range edges {
-		put(uint64(e.L))
-		put(uint64(e.R))
-		put(uint64(e.Weight))
+		for _, e := range edges {
+			put(uint64(e.L))
+			put(uint64(e.R))
+			put(uint64(e.Weight))
+		}
 	}
 	var key InstanceKey
 	h.Sum(key[:0])

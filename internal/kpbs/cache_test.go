@@ -67,6 +67,46 @@ func TestHashInstanceLayoutIndependence(t *testing.T) {
 	}
 }
 
+// TestHashInstanceCanonicalPath: a canonically ordered graph
+// (bipartite.FromMatrix) is hashed by iterating its edges in place — no
+// copy, no sort, no allocation — and the key still matches the copy+sort
+// fallback a permuted construction of the same matrix takes. Guards the
+// serve-path lookup staying allocation-free.
+func TestHashInstanceCanonicalPath(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	n := 16
+	m := make([][]int64, n)
+	for i := range m {
+		m[i] = make([]int64, n)
+		for j := range m[i] {
+			if rng.Intn(3) > 0 {
+				m[i][j] = 1 + rng.Int63n(1<<12)
+			}
+		}
+	}
+	canon, err := bipartite.FromMatrix(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rebuild the same matrix with reversed insertion order: guaranteed
+	// non-canonical (first two edges descend), so it exercises the sort
+	// fallback.
+	edges := canon.Edges()
+	perm := bipartite.New(n, n)
+	for i := len(edges) - 1; i >= 0; i-- {
+		perm.AddEdge(edges[i].L, edges[i].R, edges[i].Weight)
+	}
+	opts := Options{Algorithm: GGP}
+	if HashInstance(canon, 3, 16, opts) != HashInstance(perm, 3, 16, opts) {
+		t.Fatal("in-place hash of the canonical graph differs from the sort-fallback hash of its permutation")
+	}
+	if avg := testing.AllocsPerRun(50, func() {
+		HashInstance(canon, 3, 16, opts)
+	}); avg != 0 {
+		t.Errorf("canonical-path HashInstance allocates %v per call, want 0", avg)
+	}
+}
+
 // TestSolveCacheHitMissEvict exercises the LRU bound and hit accounting.
 func TestSolveCacheHitMissEvict(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))

@@ -74,6 +74,9 @@ func (b *baseRegistry) register(id uint64, g *bipartite.Graph, k int, beta int64
 	}
 	b.chains = append(b.chains, &baseChain{id: id, g: g, k: k, beta: beta, opts: opts})
 	if len(b.chains) > b.max {
+		// Clear the evicted slot so its warm Result is not kept reachable
+		// through the slice's backing array until the next reallocation.
+		b.chains[0] = nil
 		b.chains = b.chains[1:]
 	}
 }
@@ -103,7 +106,9 @@ func (b *baseRegistry) advance(c *baseChain, newID uint64) {
 func (b *baseRegistry) remove(c *baseChain) {
 	for i, x := range b.chains {
 		if x == c {
-			b.chains = append(b.chains[:i], b.chains[i+1:]...)
+			copy(b.chains[i:], b.chains[i+1:])
+			b.chains[len(b.chains)-1] = nil
+			b.chains = b.chains[:len(b.chains)-1]
 			return
 		}
 	}
@@ -123,6 +128,20 @@ func (c *baseChain) materialize(cache *kpbs.SolveCache) error {
 		c.res, err = kpbs.NewResult(c.g, c.k, c.beta, c.opts)
 	}
 	return err
+}
+
+// solveDeltaSafe runs the delta repair with the same panic isolation the
+// engine pool gives cold solves (engine.solveOne): deltas run on the
+// session goroutine, so a panic in the patch/replay hot paths must fail
+// the one request — via the solve-failed path, which drops the chain —
+// instead of crashing the daemon.
+func solveDeltaSafe(res *kpbs.Result, edits []kpbs.Edit) (sched *kpbs.Schedule, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			sched, err = nil, fmt.Errorf("delta solver panicked: %v", r)
+		}
+	}()
+	return res.SolveDelta(edits)
 }
 
 // handleDelta runs one delta request through admit → repair → respond.
@@ -211,7 +230,7 @@ func (s *Server) handleDelta(id int, conn net.Conn, f wire.Frame, rec *obs.ReqRe
 		reject("solve-failed")
 		return s.sendReject(conn, req.ID, wire.RejectSolveFailed, err.Error())
 	}
-	sched, err := chain.res.SolveDelta(req.Edits)
+	sched, err := solveDeltaSafe(chain.res, req.Edits)
 	if err != nil {
 		// A post-validation failure poisons the Result; drop the chain so
 		// the client's fallback cold solve starts a fresh lineage.
@@ -227,6 +246,12 @@ func (s *Server) handleDelta(id int, conn net.Conn, f wire.Frame, rec *obs.ReqRe
 	}
 	payload, err := wire.EncodeSolveResp(req.ID, sched, tc)
 	if err != nil {
+		// The solve succeeded, so chain.res already reflects the edited
+		// instance — but the chain is still keyed by the old base id. Drop
+		// it (like the solve-failed path) so a later delta against that id
+		// cannot silently run on top of these rejected edits; the client's
+		// fallback cold solve starts a fresh lineage.
+		bases.remove(chain)
 		reject("too-large")
 		return s.sendReject(conn, req.ID, wire.RejectTooLarge, err.Error())
 	}

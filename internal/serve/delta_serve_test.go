@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"errors"
 	"math/rand"
+	"strings"
 	"testing"
 
 	"redistgo/internal/bipartite"
@@ -285,6 +286,121 @@ func TestServeDeltaBadEdits(t *testing.T) {
 		t.Fatalf("delta after a refused edit list: %v", err)
 	} else {
 		d.verifyDelta(t, 3, raw, wire.TraceContext{})
+	}
+}
+
+// TestServeDeltaTooLargeDropsChain: when the delta solve succeeds but the
+// response exceeds a frame (RejectTooLarge), the chain's retained Result
+// already reflects the edited instance while the registry still keys it
+// by the old base id. The chain must be dropped: a later delta naming
+// that id would otherwise be applied on top of the rejected edits and
+// silently return a schedule for the wrong instance.
+func TestServeDeltaTooLargeDropsChain(t *testing.T) {
+	s := newServer(t, Config{})
+	cl, err := Dial(s.Addr(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	// Base: a diagonal instance — cheap to solve, tiny response.
+	const n = 180
+	m := make([][]int64, n)
+	for i := range m {
+		m[i] = make([]int64, n)
+		m[i][i] = 64
+	}
+	g, err := bipartite.FromMatrix(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := wire.SolveRequest{ID: 1, K: 2, Beta: 16, Algorithm: kpbs.GGP,
+		N1: n, N2: n, Edges: g.Edges()}
+	if _, _, err := cl.Solve(base); err != nil {
+		t.Fatal(err)
+	}
+
+	// Densify the whole matrix: the edited instance solves fine, but its
+	// schedule encodes past wire.MaxPayload, failing after the solve.
+	rng := rand.New(rand.NewSource(71))
+	edits := make([]kpbs.Edit, 0, n*(n-1))
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j {
+				edits = append(edits, kpbs.Edit{L: i, R: j, W: 1 + rng.Int63n(1<<20)})
+			}
+		}
+	}
+	var rej *RejectError
+	if _, _, err := cl.SolveDelta(wire.DeltaRequest{ID: 2, Base: 1, Edits: edits}); !errors.As(err, &rej) {
+		t.Fatalf("densifying delta: %v, want too-large reject", err)
+	} else if rej.Code != wire.RejectTooLarge {
+		t.Fatalf("densifying delta rejected with %s, want %s", rej.Code, wire.RejectTooLarge)
+	}
+
+	// The old base id must no longer be addressable.
+	if _, _, err := cl.SolveDelta(wire.DeltaRequest{ID: 3, Base: 1,
+		Edits: []kpbs.Edit{{L: 0, R: 0, W: 128}}}); !errors.As(err, &rej) {
+		t.Fatalf("delta against the dropped base: %v, want reject", err)
+	} else if rej.Code != wire.RejectUnknownBase {
+		t.Fatalf("delta against the dropped base rejected with %s, want %s", rej.Code, wire.RejectUnknownBase)
+	}
+
+	// The session stays healthy: a fresh solve opens a new chain that
+	// answers deltas byte-identically.
+	d := newDeltaMatrix(rand.New(rand.NewSource(72)), 8, 2, kpbs.GGP)
+	if _, _, err := cl.Solve(d.request(4)); err != nil {
+		t.Fatal(err)
+	}
+	fresh := d.edits(rng, 3)
+	if _, raw, err := cl.SolveDelta(wire.DeltaRequest{ID: 5, Base: 4, Edits: fresh}); err != nil {
+		t.Fatalf("delta after the dropped chain: %v", err)
+	} else {
+		d.verifyDelta(t, 5, raw, wire.TraceContext{})
+	}
+}
+
+// TestSolveDeltaSafeRecoversPanic: delta solves run on the session
+// goroutine, so a panic in the repair hot paths must surface as an error
+// (failing the one request via the solve-failed path) instead of crashing
+// the daemon. A nil base makes SolveDelta fault immediately.
+func TestSolveDeltaSafeRecoversPanic(t *testing.T) {
+	sched, err := solveDeltaSafe(nil, []kpbs.Edit{{L: 0, R: 0, W: 1}})
+	if sched != nil || err == nil {
+		t.Fatalf("solveDeltaSafe on a nil base = (%v, %v), want (nil, panic error)", sched, err)
+	}
+	if !strings.Contains(err.Error(), "panicked") {
+		t.Fatalf("recovered error %q does not mention the panic", err)
+	}
+}
+
+// TestBaseRegistryReleasesSlots: eviction and removal must clear the
+// vacated backing-array slots so evicted chains (and their warm Results)
+// are promptly collectible rather than pinned until the next append
+// reallocates.
+func TestBaseRegistryReleasesSlots(t *testing.T) {
+	r := newBaseRegistry(2)
+	r.chains = make([]*baseChain, 0, 8) // one backing array for the whole test
+	r.register(1, nil, 1, 16, kpbs.Options{})
+	backing := r.chains // aliases the array from slot 0
+	r.register(2, nil, 1, 16, kpbs.Options{})
+	r.register(3, nil, 1, 16, kpbs.Options{}) // evicts chain 1
+	if r.lookup(1) != nil {
+		t.Fatal("chain 1 should have been evicted")
+	}
+	if backing[:1][0] != nil {
+		t.Fatal("evicted chain still reachable through the backing array slot")
+	}
+	c := r.lookup(2)
+	if c == nil {
+		t.Fatal("chain 2 should still be registered")
+	}
+	r.remove(c)
+	if got := r.chains[:2][1]; got != nil {
+		t.Fatal("removed chain's vacated tail slot still holds a pointer")
+	}
+	if r.lookup(3) == nil {
+		t.Fatal("chain 3 should survive the removal")
 	}
 }
 
